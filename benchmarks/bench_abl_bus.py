@@ -1,0 +1,65 @@
+"""Ablation: the shared bus and caches (Section 5, requirements 2-3).
+
+Paper: "a single high-speed bus should be able to handle the load put
+on it by about 32 processors, provided that reasonable cache-hit ratios
+are obtained."  This bench sweeps processor count x bus count and the
+cache-hit ratio, showing where the single bus gives out.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import render_table
+from repro.psim import MachineConfig, simulate
+
+
+def _sweep(paper_traces):
+    trace = paper_traces["r1-soar"]  # the most parallel system
+    rows = []
+    for processors in (16, 32, 64):
+        for buses in (1, 2):
+            config = MachineConfig(processors=processors, buses=buses)
+            result = simulate(trace, config)
+            rows.append([
+                processors, buses, f"{config.cache_hit_ratio:.0%}",
+                round(result.true_speedup, 2),
+                round(result.wme_changes_per_second),
+            ])
+    cache_rows = []
+    for hit_ratio in (0.95, 0.85, 0.60, 0.30):
+        config = MachineConfig(processors=32, cache_hit_ratio=hit_ratio)
+        result = simulate(trace, config)
+        cache_rows.append([
+            32, 1, f"{hit_ratio:.0%}",
+            round(result.true_speedup, 2),
+            round(result.wme_changes_per_second),
+        ])
+    return rows, cache_rows
+
+
+def test_abl_bus_and_cache(benchmark, report, paper_traces):
+    rows, cache_rows = benchmark.pedantic(
+        _sweep, args=(paper_traces,), rounds=1, iterations=1
+    )
+
+    report(
+        "abl_bus",
+        render_table(
+            ["processors", "buses", "cache hit", "true speed-up", "wme-changes/s"],
+            rows + cache_rows,
+            title="Section 5 ablation: bus count and cache-hit ratio on "
+                  "r1-soar (paper: one bus suffices for ~32 processors "
+                  "at reasonable hit ratios)",
+        ),
+    )
+
+    def speed(processors, buses):
+        return next(r[4] for r in rows if r[0] == processors and r[1] == buses)
+
+    # At 32 processors the second bus buys nothing: one bus suffices.
+    assert speed(32, 2) <= speed(32, 1) * 1.02
+    # At 64 processors the single bus saturates; a second bus helps.
+    assert speed(64, 2) > speed(64, 1) * 1.05
+
+    # Degrading the cache loads the bus and costs real speed.
+    cache_speeds = [r[4] for r in cache_rows]
+    assert cache_speeds[0] > cache_speeds[-1] * 1.2

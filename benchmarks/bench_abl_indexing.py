@@ -1,0 +1,72 @@
+"""Ablation: hashed join memories vs linear memory scans.
+
+The PSM project's implementation studies looked at memory-node
+organisation; hashing the memories by the equality-join values turns
+each two-input activation from a scan of the opposite memory into a
+bucket probe.  Semantics are untouched (differentially tested); the
+match effort drops in proportion to memory size over bucket size.
+
+Measured here as comparison counts on real programs at two working-set
+scales, demonstrating that indexing matters more as memories grow --
+the reason serious Rete implementations (OPS83 onward) index.
+"""
+
+from repro.analysis import render_table
+from repro.ops5 import ProductionSystem
+from repro.rete import ReteNetwork
+from repro.workloads.programs import closure, hanoi
+
+_JOIN_SRC = "(p find (item ^v <x>) (slot ^v <x>) --> (halt))"
+
+
+def _join_workload(size, indexed):
+    net = ReteNetwork(indexed=indexed)
+    system = ProductionSystem(_JOIN_SRC, matcher=net)
+    for v in range(size):
+        system.add("item", v=v)
+        system.add("slot", v=v)
+    return net.stats.total_comparisons
+
+
+def _program_workload(builder, indexed, cycles):
+    system = builder(matcher=ReteNetwork(indexed=indexed))
+    system.run(cycles)
+    return system.matcher.stats.total_comparisons
+
+
+def _measure():
+    rows = []
+    for size in (20, 80, 320):
+        scan = _join_workload(size, indexed=False)
+        probe = _join_workload(size, indexed=True)
+        rows.append([f"equality join, {size} WMEs/side", scan, probe,
+                     round(scan / probe, 1)])
+    for name, builder, cycles in (
+        ("hanoi-5", lambda **kw: hanoi.build(5, **kw), None),
+        ("closure-10", lambda **kw: closure.build(closure.chain(10), **kw), 5000),
+    ):
+        scan = _program_workload(builder, False, cycles)
+        probe = _program_workload(builder, True, cycles)
+        rows.append([name, scan, probe, round(scan / probe, 1)])
+    return rows
+
+
+def test_abl_memory_indexing(benchmark, report):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    report(
+        "abl_indexing",
+        render_table(
+            ["workload", "scan comparisons", "indexed comparisons", "reduction"],
+            rows,
+            title="Ablation: hashed join memories vs linear scans "
+                  "(same conflict sets; tested differentially)",
+        ),
+    )
+
+    # Indexing wins on every workload...
+    assert all(row[3] >= 1.0 for row in rows)
+    # ... and the win grows with memory size (the scan is O(memory)).
+    sizes = [row[3] for row in rows[:3]]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > 10

@@ -1,0 +1,70 @@
+"""Ablation: decomposing the paper's lost factor of 1.93.
+
+Section 6 attributes the gap between concurrency (15.92) and true
+speed-up (8.25) to (1) extra computation from loss of node sharing,
+(2) node scheduling overheads, (3) synchronisation overheads.  This
+bench switches the three model knobs off one at a time and together,
+showing how much of the lost factor each accounts for.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import render_table
+from repro.psim import MachineConfig, simulate
+
+
+def _decompose(paper_traces):
+    base = MachineConfig(processors=32)
+    variants = [
+        ("full model (paper machine)", base),
+        ("no sharing loss", replace(base, sharing_loss_factor=1.0)),
+        ("no sync cost", replace(base, sync_cost_per_task=0.0)),
+        ("free dispatch", replace(base, hardware_dispatch_cost=0.0)),
+        ("no overheads at all", replace(
+            base, sharing_loss_factor=1.0, sync_cost_per_task=0.0,
+            hardware_dispatch_cost=0.0)),
+    ]
+    rows = []
+    for label, config in variants:
+        results = [simulate(trace, config) for trace in paper_traces.values()]
+        n = len(results)
+        rows.append([
+            label,
+            round(sum(r.concurrency for r in results) / n, 2),
+            round(sum(r.true_speedup for r in results) / n, 2),
+            round(sum(r.lost_factor for r in results) / n, 2),
+        ])
+    return rows
+
+
+def test_abl_overhead_decomposition(benchmark, report, paper_traces):
+    rows = benchmark.pedantic(
+        _decompose, args=(paper_traces,), rounds=1, iterations=1
+    )
+
+    report(
+        "abl_overheads",
+        render_table(
+            ["model variant", "concurrency", "true speed-up", "lost factor"],
+            rows,
+            title="Ablation: the lost factor (paper: 1.93) decomposed "
+                  "into sharing loss, scheduling, synchronisation",
+        ),
+    )
+
+    by_label = {row[0]: row for row in rows}
+    full_lost = by_label["full model (paper machine)"][3]
+    no_sharing = by_label["no sharing loss"][3]
+    no_overheads = by_label["no overheads at all"][3]
+
+    # The full model reproduces the paper's ~1.9 lost factor.
+    assert 1.6 <= full_lost <= 2.3
+    # Sharing loss is the single largest component...
+    assert no_sharing < full_lost - 0.25
+    # ... and with every overhead off, concurrency ~ true speed-up
+    # (lost factor collapses towards 1).
+    assert no_overheads <= 1.25
+    # Each removed overhead raises the speed-up.
+    full_speedup = by_label["full model (paper machine)"][2]
+    for label in ("no sharing loss", "no sync cost", "free dispatch"):
+        assert by_label[label][2] >= full_speedup

@@ -1,0 +1,84 @@
+"""Ablation: run-time assignment vs. static partitioning (Section 5).
+
+Paper: without shared memory, node-to-processor assignment must be
+fixed at load time; "this partitioning of nodes amongst the processors
+is a very difficult problem, and in its full generality is shown to be
+NP-Complete" (Oflazer).  "Using a shared-memory architecture the
+partitioning problem is bypassed since all processors are capable of
+processing all node activations."
+
+This bench gives static partitioning every advantage it cannot have in
+reality -- an LPT packing computed from the exact per-production costs
+of the replayed trace -- and still shows run-time assignment ahead
+whenever processors are contended.
+
+It also exercises the hierarchical-multiprocessor extension the paper
+proposes for 100-1000 processors: clusters localise state but cost
+cross-cluster balance.
+"""
+
+from repro.analysis import render_table
+from repro.psim import MachineConfig, simulate, simulate_partitioned
+
+
+def _compare(paper_traces):
+    partition_rows = []
+    for name in ("r1-soar", "daa", "vt"):
+        trace = paper_traces[name]
+        for processors in (4, 8, 16, 32):
+            dynamic = simulate(
+                trace, MachineConfig(processors=processors, granularity="production")
+            )
+            static, _, imbalance = simulate_partitioned(
+                trace, MachineConfig(processors=processors)
+            )
+            partition_rows.append([
+                name, processors,
+                round(dynamic.true_speedup, 2),
+                round(static.true_speedup, 2),
+                round(dynamic.true_speedup / static.true_speedup, 2),
+                round(imbalance, 2),
+            ])
+    cluster_rows = []
+    trace = paper_traces["r1-soar"]
+    for clusters in (1, 2, 4, 8):
+        result = simulate(trace, MachineConfig(processors=64, clusters=clusters))
+        cluster_rows.append([
+            64, clusters, round(result.true_speedup, 2), round(result.concurrency, 2)
+        ])
+    return partition_rows, cluster_rows
+
+
+def test_abl_partitioning(benchmark, report, paper_traces):
+    partition_rows, cluster_rows = benchmark.pedantic(
+        _compare, args=(paper_traces,), rounds=1, iterations=1
+    )
+
+    report(
+        "abl_partitioning",
+        render_table(
+            ["system", "procs", "dynamic speed-up", "static (oracle LPT)",
+             "dynamic/static", "LPT imbalance"],
+            partition_rows,
+            title="Section 5 ablation: run-time assignment vs oracle "
+                  "static partition (production granularity)",
+        ) + "\n\n" + render_table(
+            ["procs", "clusters", "true speed-up", "concurrency"],
+            cluster_rows,
+            title="Hierarchical extension: clustering a 64-processor "
+                  "machine localises state but costs balance",
+        ),
+    )
+
+    # Run-time assignment wins whenever processors are contended
+    # (few processors relative to the affected-production burst).
+    contended = [row for row in partition_rows if row[1] <= 16]
+    assert all(row[4] >= 1.0 for row in contended)
+    assert sum(row[4] for row in contended) / len(contended) > 1.05
+
+    # The flat machine beats every clustered split of the same 64
+    # processors on a single-stream workload.
+    speedups = [row[2] for row in cluster_rows]
+    assert speedups[0] == max(speedups)
+    # And clustering degrades monotonically as state gets more confined.
+    assert speedups == sorted(speedups, reverse=True)

@@ -1,0 +1,63 @@
+"""Ablation: the hardware task scheduler (Section 5, requirement 4).
+
+Paper: "if a hardware mechanism is not used, the serial enqueueing and
+dequeueing of hundreds of fine-grain node activations from the task
+queue is expected to become a bottleneck."  The machine model's
+``software`` scheduler pays a serial critical section per dispatch;
+multiple software queues relieve it partially.
+"""
+
+from repro.analysis import render_table
+from repro.psim import MachineConfig, simulate
+
+
+def _sweep(paper_traces):
+    configs = [
+        ("hardware", MachineConfig(processors=32)),
+        ("software x1", MachineConfig(processors=32, scheduler="software",
+                                      software_queues=1)),
+        ("software x2", MachineConfig(processors=32, scheduler="software",
+                                      software_queues=2)),
+        ("software x4", MachineConfig(processors=32, scheduler="software",
+                                      software_queues=4)),
+        ("software x8", MachineConfig(processors=32, scheduler="software",
+                                      software_queues=8)),
+    ]
+    rows = []
+    for label, config in configs:
+        results = [simulate(trace, config) for trace in paper_traces.values()]
+        rows.append([
+            label,
+            round(sum(r.concurrency for r in results) / len(results), 2),
+            round(sum(r.true_speedup for r in results) / len(results), 2),
+            round(sum(r.wme_changes_per_second for r in results) / len(results)),
+            f"{sum(r.scheduling_fraction for r in results) / len(results):.1%}",
+        ])
+    return rows
+
+
+def test_abl_scheduler(benchmark, report, paper_traces):
+    rows = benchmark.pedantic(_sweep, args=(paper_traces,), rounds=1, iterations=1)
+
+    report(
+        "abl_scheduler",
+        render_table(
+            ["scheduler", "concurrency", "true speed-up", "wme-changes/s",
+             "scheduling share of busy time"],
+            rows,
+            title="Ablation: hardware vs software task scheduler, "
+                  "32 processors (paper: software queues bottleneck "
+                  "fine-grain tasks)",
+        ),
+    )
+
+    by_label = {row[0]: row for row in rows}
+    hw_speed = by_label["hardware"][3]
+    sw1_speed = by_label["software x1"][3]
+
+    # A single software queue cripples the machine (paper's warning).
+    assert sw1_speed < 0.45 * hw_speed
+    # More queues help monotonically, but even 8 don't fully recover.
+    speeds = [by_label[f"software x{n}"][3] for n in (1, 2, 4, 8)]
+    assert speeds == sorted(speeds)
+    assert speeds[-1] < hw_speed

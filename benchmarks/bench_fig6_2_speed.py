@@ -1,0 +1,64 @@
+"""Figure 6-2: execution speed vs. number of processors.
+
+Paper shape: wme-changes/sec at 2 MIPS per processor rises with the
+processor count and flattens by 32-64; the best systems reach five
+digits, the average at 32 processors is 9400 wme-changes/sec.
+"""
+
+from conftest import FIRINGS, PROCESSOR_COUNTS, SEED
+
+from repro.analysis import render_series
+from repro.psim import MachineConfig, sweep_processors
+from repro.workloads import PARALLEL_FIRING_SYSTEMS, generate_trace
+
+
+def _curves(paper_traces):
+    base = MachineConfig()  # 2 MIPS processors, as in the figure
+    series = {}
+    for name, trace in paper_traces.items():
+        series[name] = [
+            r.wme_changes_per_second
+            for r in sweep_processors(trace, base, PROCESSOR_COUNTS)
+        ]
+    for profile in PARALLEL_FIRING_SYSTEMS:
+        trace = generate_trace(profile, seed=SEED, firings=FIRINGS)
+        series[profile.name + " (pf)"] = [
+            r.wme_changes_per_second
+            for r in sweep_processors(
+                trace, MachineConfig(firing_batch=2), PROCESSOR_COUNTS
+            )
+        ]
+    return series
+
+
+def test_fig6_2_execution_speed(benchmark, report, save_csv, paper_traces):
+    series = benchmark.pedantic(
+        _curves, args=(paper_traces,), rounds=1, iterations=1
+    )
+
+    save_csv("fig6_2_speed", "procs", PROCESSOR_COUNTS, series)
+    report(
+        "fig6_2_speed",
+        render_series(
+            "procs",
+            PROCESSOR_COUNTS,
+            series,
+            title="Figure 6-2: execution speed (wme-changes/sec, 2 MIPS "
+                  "processors; paper: average 9400 at 32 processors)",
+            precision=0,
+        ),
+    )
+
+    at = {n: i for i, n in enumerate(PROCESSOR_COUNTS)}
+    values_at_32 = [curve[at[32]] for curve in series.values()]
+    mean_at_32 = sum(values_at_32) / len(values_at_32)
+
+    # The paper's 9400 average: we accept the band 6000-12000.
+    assert 6000 <= mean_at_32 <= 12000
+
+    # The parallel target range of Section 2.2 (5000-10000) is reached
+    # by most systems; the serial baseline (~1100 at 2 MIPS) is far below.
+    assert sum(v > 5000 for v in values_at_32) >= 5
+    for curve in series.values():
+        assert curve[at[1]] < 2000  # single processor ~ serial speed
+        assert curve[at[64]] <= curve[at[32]] * 1.35  # saturation

@@ -1,0 +1,70 @@
+"""Microbenchmarks: wall-clock cost of the three match algorithms.
+
+Not a paper table -- a library health check.  Times full runs of the
+real OPS5 programs under Rete, TREAT, and the naive matcher, confirming
+the state-saving hierarchy in actual Python wall-clock on a join-heavy
+workload (the paper's Section 3.1 argument, measured for real).
+"""
+
+import pytest
+
+from repro.naive import NaiveMatcher
+from repro.oflazer import CombinationMatcher
+from repro.rete import ReteNetwork
+from repro.treat import TreatMatcher
+from repro.workloads.programs import closure, hanoi
+
+MATCHERS = {
+    "rete": ReteNetwork,
+    "treat": TreatMatcher,
+    "naive": NaiveMatcher,
+    "oflazer": CombinationMatcher,
+}
+
+
+@pytest.mark.parametrize("matcher_name", list(MATCHERS))
+def test_bench_hanoi(benchmark, matcher_name):
+    matcher_cls = MATCHERS[matcher_name]
+
+    def run():
+        result = hanoi.run(4, matcher=matcher_cls())
+        assert result.halted
+        return result
+
+    result = benchmark(run)
+    assert result.fired == 30
+
+
+@pytest.mark.parametrize("matcher_name", list(MATCHERS))
+def test_bench_closure(benchmark, matcher_name):
+    matcher_cls = MATCHERS[matcher_name]
+
+    def run():
+        system = closure.build(closure.chain(7), matcher=matcher_cls())
+        system.run(5000)
+        return system
+
+    system = benchmark(run)
+    assert closure.derived_facts(system) == closure.expected_chain_facts(7)
+
+
+def test_bench_rete_compile(benchmark):
+    """Network compilation speed: all five programs' rules."""
+    from repro.ops5 import parse_program
+    from repro.workloads.programs import blocks, eight_puzzle, monkey
+
+    sources = [
+        hanoi.PROGRAM, blocks.PROGRAM, monkey.PROGRAM,
+        eight_puzzle.PROGRAM, closure.PROGRAM,
+    ]
+    programs = [parse_program(src) for src in sources]
+
+    def compile_all():
+        net = ReteNetwork()
+        for program in programs:
+            for i, production in enumerate(program.productions):
+                net.add_production(production)
+        return net
+
+    net = benchmark(compile_all)
+    assert len(list(net.productions)) == sum(len(p.productions) for p in programs)

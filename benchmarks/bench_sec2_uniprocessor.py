@@ -1,0 +1,47 @@
+"""Section 2.2: the uniprocessor interpreter speed ladder.
+
+Paper: on a VAX-11/780 (~1 MIPS), the Lisp OPS5 interpreter runs at
+~8 wme-changes/sec, the Bliss interpreter at ~40, the compiled OPS83 at
+~200, and further compiler optimisations reach 400-800.  The parallel
+target is 5000-10000.
+
+This bench regenerates the ladder from the cost model and checks each
+rung's published value.
+"""
+
+from repro.analysis import render_table
+from repro.trace import UNIPROCESSOR_TIERS, uniprocessor_ladder
+
+
+def _ladder():
+    at_1_mips = uniprocessor_ladder(mips=1.0)
+    at_2_mips = uniprocessor_ladder(mips=2.0)
+    rows = [
+        [tier, UNIPROCESSOR_TIERS[tier], round(at_1_mips[tier], 1), round(at_2_mips[tier], 1)]
+        for tier in UNIPROCESSOR_TIERS
+    ]
+    return at_1_mips, rows
+
+
+def test_sec2_uniprocessor_ladder(benchmark, report):
+    at_1_mips, rows = benchmark.pedantic(_ladder, rounds=1, iterations=1)
+
+    report(
+        "sec2_uniprocessor_ladder",
+        render_table(
+            ["implementation", "instr/change", "wme-changes/s @1 MIPS (VAX-780)",
+             "@2 MIPS"],
+            rows,
+            title="Section 2.2: interpreter speed ladder "
+                  "(paper: 8 / 40 / 200 / 400-800 at 1 MIPS)",
+        ),
+    )
+
+    assert at_1_mips["lisp-interpreted"] == 8.0
+    assert at_1_mips["bliss-interpreted"] == 40.0
+    assert at_1_mips["ops83-compiled"] == 200.0
+    assert 400 <= at_1_mips["ops83-optimized"] <= 800
+    # Each rung is a large step over the previous -- the ladder shape.
+    speeds = list(at_1_mips.values())
+    for slower, faster in zip(speeds, speeds[1:]):
+        assert faster >= 2.5 * slower

@@ -1,0 +1,78 @@
+"""Section 6 headline numbers at 32 processors x 2 MIPS.
+
+Paper: average concurrency 15.92, execution speed ~9400 wme-changes/sec
+(~3800 production firings/sec), *true* speed-up over the best serial
+implementation only 8.25, a lost factor of 1.93 attributed to (1) loss
+of node sharing, (2) scheduling overhead, (3) synchronisation overhead.
+"""
+
+from conftest import FIRINGS, SEED
+
+from repro.analysis import render_table
+from repro.psim import MachineConfig, simulate
+from repro.psim.metrics import (
+    average_concurrency,
+    average_speed,
+    average_true_speedup,
+)
+from repro.workloads import PARALLEL_FIRING_SYSTEMS, generate_trace
+
+
+def _run(paper_traces):
+    config = MachineConfig(processors=32)
+    results = [simulate(trace, config) for trace in paper_traces.values()]
+    for profile in PARALLEL_FIRING_SYSTEMS:
+        trace = generate_trace(profile, seed=SEED, firings=FIRINGS)
+        results.append(
+            simulate(trace, MachineConfig(processors=32, firing_batch=2))
+        )
+    return results
+
+
+def test_sec6_headline_summary(benchmark, report, paper_traces):
+    results = benchmark.pedantic(_run, args=(paper_traces,), rounds=1, iterations=1)
+
+    rows = [
+        [
+            r.trace_name + (" (pf)" if r.config.firing_batch > 1 else ""),
+            round(r.concurrency, 2),
+            round(r.true_speedup, 2),
+            round(r.lost_factor, 2),
+            round(r.wme_changes_per_second),
+            round(r.firings_per_second),
+        ]
+        for r in results
+    ]
+    rows.append([
+        "AVERAGE",
+        round(average_concurrency(results), 2),
+        round(average_true_speedup(results), 2),
+        round(sum(r.lost_factor for r in results) / len(results), 2),
+        round(average_speed(results)),
+        round(sum(r.firings_per_second for r in results) / len(results)),
+    ])
+
+    report(
+        "sec6_summary",
+        render_table(
+            ["system", "concurrency", "true speed-up", "lost factor",
+             "wme-changes/s", "firings/s"],
+            rows,
+            title="Section 6 at 32 x 2 MIPS (paper: 15.92 concurrency, "
+                  "8.25 true speed-up, 1.93 lost factor, 9400 wme/s, "
+                  "~3800 firings/s)",
+        ),
+    )
+
+    concurrency = average_concurrency(results)
+    speedup = average_true_speedup(results)
+    speed = average_speed(results)
+    lost = concurrency / speedup
+
+    assert 12.0 <= concurrency <= 20.0      # paper: 15.92
+    assert 6.0 <= speedup <= 11.0           # paper: 8.25
+    assert 1.6 <= lost <= 2.3               # paper: 1.93
+    assert 6000 <= speed <= 12000           # paper: 9400
+    # The abstract's claim: the speed-up from parallelism is < 10-fold
+    # on average.
+    assert speedup < 10.5

@@ -1,0 +1,112 @@
+"""Section 7: five production-system architectures compared.
+
+Paper numbers: DADO 175 (Rete) / 215 (TREAT), NON-VON 2000, Oflazer
+4500-7000, PSM 9400 wme-changes/sec (PESA-1 unpublished).  The
+qualitative findings: small numbers of powerful shared-memory
+processors beat massive trees of weak ones; the state-storing strategy
+barely matters on the trees.
+"""
+
+from conftest import SEED
+
+from repro.analysis import render_table
+from repro.machines import (
+    ALL_MACHINES,
+    DADO_RETE,
+    DADO_TREAT,
+    DADO_TREE,
+    NONVON_TREE,
+    comparison_table,
+    measured_speed,
+    simulate_tree,
+    speed_ratios,
+)
+from repro.workloads import PAPER_SYSTEMS, generate_trace
+
+
+def _tree_speed(config):
+    speeds = [
+        simulate_tree(generate_trace(profile, seed=SEED, firings=40), config)
+        .wme_changes_per_second
+        for profile in PAPER_SYSTEMS
+    ]
+    return sum(speeds) / len(speeds)
+
+
+def _build():
+    rows = comparison_table()
+    measured = measured_speed(firings=60)
+    trees = {
+        "dado": _tree_speed(DADO_TREE),
+        "nonvon": _tree_speed(NONVON_TREE),
+    }
+    return rows, measured, trees
+
+
+def test_sec7_architecture_comparison(benchmark, report):
+    rows, measured_psm, trees = benchmark.pedantic(_build, rounds=1, iterations=1)
+
+    table_rows = [
+        [r.machine, r.algorithm, r.processors, r.processor_mips, r.topology,
+         round(r.model_speed), r.published_label]
+        for r in rows
+    ]
+    table_rows.append(
+        ["PSM (DES-measured)", "rete", 32, 2.0, "shared-bus",
+         round(measured_psm), "9400"]
+    )
+    table_rows.append(
+        ["DADO (tree-simulated)", "rete", 16_000, 0.5, "tree",
+         round(trees["dado"]), "175-215"]
+    )
+    table_rows.append(
+        ["NON-VON (tree-simulated)", "rete", 16_032, 3.0, "tree",
+         round(trees["nonvon"]), "2000"]
+    )
+
+    report(
+        "sec7_comparison",
+        render_table(
+            ["machine", "algorithm", "procs", "MIPS", "topology",
+             "model wme/s", "published"],
+            table_rows,
+            title="Section 7: architecture comparison",
+        ),
+    )
+
+    by_name = {r.machine: r.model_speed for r in rows}
+
+    # Who wins: the paper's ordering.
+    assert (
+        by_name["PSM (this paper)"]
+        > by_name["Oflazer's machine"]
+        > by_name["NON-VON"]
+        > by_name["DADO (TREAT)"]
+        > by_name["DADO (Rete)"]
+    )
+
+    # By what factor: PSM beats the trees by well over an order of
+    # magnitude, Oflazer by less than 2x.
+    ratios = speed_ratios(rows)
+    assert ratios["DADO (Rete)"] < 0.05
+    assert ratios["NON-VON"] < 0.35
+    assert 0.4 <= ratios["Oflazer's machine"] <= 0.9
+
+    # TREAT vs Rete on DADO: within ~25% (the paper's "quite the same").
+    assert DADO_TREAT.predicted_speed() / DADO_RETE.predicted_speed() < 1.3
+
+    # Every model reproduces its machine's published prediction.
+    for machine in ALL_MACHINES:
+        error = machine.calibration_error()
+        assert error is None or error < 0.05
+
+    # The PSM's number is *measured* here, not quoted: the simulator
+    # lands in the paper's neighbourhood.
+    assert 6000 <= measured_psm <= 12000
+
+    # The tree machines are measured too (partitioned tree simulation on
+    # the same traces) and land near their cited predictions -- so the
+    # 20-50x gap is no longer an appeal to authority.
+    assert 150 <= trees["dado"] <= 260
+    assert 1500 <= trees["nonvon"] <= 2500
+    assert measured_psm > 20 * trees["dado"]

@@ -1,0 +1,94 @@
+"""Section 8: sensitivity of the speed-up ceiling to workload shifts.
+
+The paper argues its ~10x ceiling is *stable* because the three factors
+that set it cannot move much:
+
+1. working-memory changes per cycle (more changes would erode the
+   rule-based programming style),
+2. affected productions per change (knowledge diversity keeps it small
+   regardless of rule count),
+3. the variance of per-production processing cost (divisible only until
+   scheduling overhead bites).
+
+This bench perturbs each factor on the synthetic generator and
+re-measures the 32-processor true speed-up.  The paper's prediction:
+speed-ups improve somewhat with each relaxation but remain bounded --
+an order of magnitude, not the thousand-fold the naive "one processor
+per rule" intuition suggests.
+"""
+
+from dataclasses import replace
+
+from conftest import FIRINGS, SEED
+
+from repro.analysis import render_table
+from repro.psim import MachineConfig, simulate
+from repro.workloads import generate_trace, profile_named
+
+BASE = profile_named("vt")
+CONFIG = MachineConfig(processors=64)  # generous, to expose the ceiling
+
+
+def _speedup(profile):
+    trace = generate_trace(profile, seed=SEED, firings=FIRINGS)
+    return simulate(trace, CONFIG).true_speedup
+
+
+def _sweep():
+    rows = []
+    for factor in (0.5, 1.0, 2.0, 4.0):
+        profile = replace(
+            BASE,
+            name=f"{BASE.name}-chg{factor}",
+            changes_per_firing=max(1.0, BASE.changes_per_firing * factor),
+        )
+        rows.append(["changes/cycle", f"x{factor}", round(_speedup(profile), 2)])
+    for factor in (0.5, 1.0, 2.0, 4.0):
+        profile = replace(
+            BASE,
+            name=f"{BASE.name}-aff{factor}",
+            affected_mean=max(2.0, BASE.affected_mean * factor),
+        )
+        rows.append(["affected/change", f"x{factor}", round(_speedup(profile), 2)])
+    for bias in (0.8, 0.5, 0.38, 0.2, 0.05):
+        profile = replace(
+            BASE, name=f"{BASE.name}-bias{bias}", heavy_serial_bias=bias
+        )
+        rows.append(["serial bias (variance)", f"{bias}", round(_speedup(profile), 2)])
+    return rows
+
+
+def test_sec8_sensitivity(benchmark, report):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    report(
+        "sec8_sensitivity",
+        render_table(
+            ["factor perturbed", "setting", "true speed-up @64 procs"],
+            rows,
+            title="Section 8: stability of the speed-up ceiling "
+                  "(base system: vt; paper: <10-fold under realistic "
+                  "workload shifts)",
+        ),
+    )
+
+    by_factor: dict[str, list[float]] = {}
+    for factor, _, speedup in rows:
+        by_factor.setdefault(factor, []).append(speedup)
+
+    # Each relaxation helps monotonically (more parallel slack)...
+    for factor in ("changes/cycle", "affected/change"):
+        speedups = by_factor[factor]
+        for slower, faster in zip(speedups, speedups[1:]):
+            assert faster >= slower * 0.95
+    # serial bias: lower bias = less irreducible serial work = faster.
+    bias_speedups = by_factor["serial bias (variance)"]
+    assert bias_speedups[0] < bias_speedups[-1]
+
+    # ... but the ceiling holds: at the paper-realistic settings (the
+    # x1.0 rows and measured bias), speed-up stays under ~10-fold, and
+    # even 4x relaxations of single factors stay within ~2.5x of base.
+    base = by_factor["changes/cycle"][1]  # the x1.0 row
+    assert base < 10.5
+    for factor in ("changes/cycle", "affected/change"):
+        assert by_factor[factor][-1] <= 2.5 * base + 1.0

@@ -1,0 +1,64 @@
+"""Workload characteristics: the statistics the paper's argument rests on.
+
+One table across the six calibrated systems with the quantities the
+paper cites: serial cost per change (~c1 = 1800), two-input task sizes
+(50-100 instructions), activations vs affected productions per change,
+and the per-change intrinsic parallelism that bounds Figure 6-1.
+"""
+
+from conftest import FIRINGS, SEED
+
+from repro.analysis import render_table
+from repro.trace import summarize
+from repro.workloads import PAPER_SYSTEMS, generate_trace
+
+
+def _characteristics():
+    rows = []
+    for profile in PAPER_SYSTEMS:
+        stats = summarize(generate_trace(profile, seed=SEED, firings=FIRINGS))
+        rows.append([
+            profile.name,
+            round(stats.serial_cost / stats.changes, 0),
+            round(stats.two_input_task_cost.mean, 1),
+            round(stats.tasks_per_change.mean, 1),
+            round(stats.affected_per_change.mean, 1),
+            round(stats.change_parallelism.mean, 1),
+            round(stats.change_parallelism.p90, 1),
+        ])
+    return rows
+
+
+def test_trace_characteristics(benchmark, report):
+    rows = benchmark.pedantic(_characteristics, rounds=1, iterations=1)
+
+    report(
+        "trace_characteristics",
+        render_table(
+            ["system", "serial instr/change", "2-input task mean",
+             "tasks/change", "affected/change", "parallelism (mean)",
+             "parallelism (p90)"],
+            rows,
+            title="Workload characteristics (paper: c1~1800 instr/change, "
+                  "50-100 instr tasks, ~30 affected/change)",
+        ),
+    )
+
+    serial = [row[1] for row in rows]
+    assert 1000 <= sum(serial) / len(serial) <= 2800  # around c1
+
+    task_means = [row[2] for row in rows]
+    assert all(25 <= value <= 110 for value in task_means)
+
+    affected = [row[4] for row in rows]
+    assert 15 <= sum(affected) / len(affected) <= 40  # "about 30"
+
+    # Activations per change track the affected count (Section 4): the
+    # ratio stays small, not proportional to program size.
+    for row in rows:
+        assert row[3] <= 4.0 * row[4]
+
+    # Intrinsic per-change parallelism is modest -- the paper's core
+    # claim -- but above 1 (there is something to exploit).
+    parallelism = [row[5] for row in rows]
+    assert all(1.5 <= value <= 25 for value in parallelism)

@@ -1,0 +1,67 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+computes the series, prints it in the paper's shape (run pytest with
+``-s`` to see it), saves it under ``benchmarks/out/``, and asserts the
+qualitative result -- who wins, by roughly what factor, where the
+crossovers fall.  Absolute throughputs depend on the calibrated cost
+model and are asserted as bands, not points.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Processor counts swept in the figures (the paper's x-axis reaches 72;
+#: curves are flat past 64).
+PROCESSOR_COUNTS = [1, 2, 4, 8, 16, 32, 48, 64]
+
+#: Deterministic seed and run length for the calibrated workloads.
+SEED = 42
+FIRINGS = 60
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a rendered table and persist it under benchmarks/out/."""
+
+    def _report(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def save_csv():
+    """Persist a figure's series as CSV under benchmarks/out/ (for
+    replotting outside this harness)."""
+
+    def _save(name: str, x_label, x_values, series: dict) -> None:
+        from repro.analysis import render_csv
+
+        OUT_DIR.mkdir(exist_ok=True)
+        headers = [x_label] + list(series)
+        rows = [
+            [x] + [series[curve][i] for curve in series]
+            for i, x in enumerate(x_values)
+        ]
+        (OUT_DIR / f"{name}.csv").write_text(render_csv(headers, rows) + "\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def paper_traces():
+    """The six calibrated system traces (shared across benches)."""
+    from repro.workloads import PAPER_SYSTEMS, generate_trace
+
+    return {
+        profile.name: generate_trace(profile, seed=SEED, firings=FIRINGS)
+        for profile in PAPER_SYSTEMS
+    }

@@ -1,0 +1,52 @@
+"""The paper's Section 7: five production-system machines compared.
+
+Run:  python examples/architecture_comparison.py
+
+Prints the comparison table (model predictions next to each machine's
+published prediction), the PSM's *measured* speed from this repo's own
+simulator, and the two qualitative conclusions the paper draws.
+"""
+
+from repro.machines import (
+    ALL_MACHINES,
+    DADO_RETE,
+    DADO_TREAT,
+    comparison_table,
+    measured_speed,
+    render_table,
+    speed_ratios,
+)
+
+
+def main() -> None:
+    print(render_table())
+
+    print("\nPSM measured by this repository's trace simulator "
+          "(average over the six calibrated systems):")
+    print(f"  {measured_speed():,.0f} wme-changes/sec   (paper: 9400)")
+
+    ratios = speed_ratios()
+    print("\nWho wins, and by how much (model speeds relative to the PSM):")
+    for machine, ratio in sorted(ratios.items(), key=lambda kv: kv[1]):
+        print(f"  {machine:<20} {ratio:7.3f}x")
+
+    treat_vs_rete = DADO_TREAT.predicted_speed() / DADO_RETE.predicted_speed()
+    print(
+        "\nSection 7.5 observations:\n"
+        "  - the small-count machines (Oflazer, PSM) beat the massively\n"
+        "    parallel trees (DADO, NON-VON) by 20-50x: intrinsic parallelism\n"
+        "    is small (~30 affected productions) and thousands of weak\n"
+        "    processing elements cannot individually be made fast;\n"
+        f"  - on DADO, TREAT vs Rete changes little ({treat_vs_rete:.2f}x):\n"
+        "    the state-storing strategy is not the bottleneck there."
+    )
+
+    print("\nCalibration check (model vs each machine's published number):")
+    for machine in ALL_MACHINES:
+        error = machine.calibration_error()
+        label = f"{error * 100:.1f}%" if error is not None else "n/a"
+        print(f"  {machine.name:<20} {label}")
+
+
+if __name__ == "__main__":
+    main()

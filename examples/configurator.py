@@ -1,0 +1,110 @@
+"""An R1/XCON-flavoured configuration expert system.
+
+Run:  python examples/configurator.py
+
+The paper's motivating applications include R1, the rule-based VAX
+configurer (McDermott 1982).  This miniature version exercises the same
+rule style: an order is expanded into components, memory boards are
+added until the requested capacity is reached, a power supply is sized
+to the accumulated load, and components are placed into cabinet slots.
+
+Demonstrates: compute arithmetic, negated conditions as "until"
+loops, MEA-style goal ordering via recency, and trace capture for the
+parallel simulator.
+"""
+
+from repro.ops5 import ProductionSystem
+from repro.trace import capture_trace
+from repro.psim import MachineConfig, simulate
+
+SOURCE = """
+(literalize order cpu memory-mb status)
+(literalize component kind model draw placed)
+(literalize tally mb load)
+(literalize cabinet slots used)
+
+; Expand the order: drop in the CPU and start the running tallies.
+(p start-order
+  (order ^cpu <c> ^status new)
+  -->
+  (make component ^kind cpu ^model <c> ^draw 30 ^placed no)
+  (make tally ^mb 0 ^load 30)
+  (modify 1 ^status filling))
+
+; Add 32 MB boards until the ordered capacity is covered.
+(p add-memory-board
+  (order ^memory-mb <want> ^status filling)
+  (tally ^mb { <have> < <want> } ^load <l>)
+  -->
+  (make component ^kind memory ^model mem32 ^draw 8 ^placed no)
+  (modify 2 ^mb (compute <have> + 32) ^load (compute <l> + 8)))
+
+; Capacity reached: size the power supply to the accumulated load.
+(p size-power-supply
+  (order ^memory-mb <want> ^status filling)
+  (tally ^mb >= <want> ^load <l>)
+  -->
+  (make component ^kind psu ^model (compute <l> * 2) ^draw 0 ^placed no)
+  (modify 1 ^status placing))
+
+; Place every component into the cabinet, one slot each.
+(p place-component
+  (order ^status placing)
+  (component ^kind <k> ^placed no)
+  (cabinet ^slots <s> ^used { <u> < <s> })
+  -->
+  (modify 2 ^placed yes)
+  (modify 3 ^used (compute <u> + 1))
+  (write placed <k> in slot (compute <u> + 1)))
+
+; Out of slots with components left: order another cabinet.
+(p add-cabinet
+  (order ^status placing)
+  (component ^placed no)
+  - (cabinet ^slots <s> ^used < <s>)
+  -->
+  (make cabinet ^slots 4 ^used 0)
+  (write added a cabinet))
+
+; Everything placed: done.
+(p order-complete
+  (order ^status placing)
+  - (component ^placed no)
+  -->
+  (modify 1 ^status done)
+  (write order complete)
+  (halt))
+"""
+
+
+def setup():
+    return [
+        ("order", {"cpu": "vax780", "memory-mb": 96, "status": "new"}),
+        ("cabinet", {"slots": 4, "used": 0}),
+    ]
+
+
+def main() -> None:
+    ps = ProductionSystem(SOURCE)
+    ps.load_memory(setup())
+    result = ps.run(max_cycles=100)
+    print("configured in", result.fired, "firings:")
+    for line in result.output:
+        print("  ", line)
+    components = ps.memory.of_class("component")
+    print("\nbill of materials:")
+    for component in components:
+        print("  ", component)
+
+    # The same run as a parallel-match workload.
+    trace, _, _ = capture_trace(SOURCE, setup(), name="configurator", max_cycles=100)
+    for processors in (1, 2, 4, 8):
+        r = simulate(trace, MachineConfig(processors=processors))
+        print(
+            f"{processors:2d} processors: concurrency {r.concurrency:.2f}, "
+            f"{r.wme_changes_per_second:,.0f} wme-changes/sec"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""The state-saving spectrum, live: four matchers on one program.
+
+Run:  python examples/four_matchers.py
+
+Runs the transitive-closure workload under all four match algorithms --
+the naive non-state-saving baseline, TREAT (alpha state only), Rete
+(fixed prefix chains), and Oflazer's all-combinations scheme -- and
+tabulates what each stores and how hard each works.  This is the
+paper's Section 3 argument as an experiment you can touch.
+"""
+
+import time
+
+from repro.analysis import render_table
+from repro.naive import NaiveMatcher
+from repro.oflazer import CombinationMatcher
+from repro.rete import ReteNetwork
+from repro.treat import TreatMatcher
+from repro.workloads.programs import closure
+
+MATCHERS = [
+    ("naive (no state)", NaiveMatcher),
+    ("treat (alpha only)", TreatMatcher),
+    ("rete (prefix chains)", ReteNetwork),
+    ("rete (indexed)", lambda: ReteNetwork(indexed=True)),
+    ("oflazer (all combos)", CombinationMatcher),
+]
+
+
+def main() -> None:
+    rows = []
+    reference = None
+    for label, factory in MATCHERS:
+        system = closure.build(closure.chain(9), matcher=factory())
+        started = time.perf_counter()
+        system.run(5000)
+        elapsed = time.perf_counter() - started
+        facts = closure.derived_facts(system)
+        if reference is None:
+            reference = facts
+        assert facts == reference, "matchers disagree!"
+        stats = system.matcher.stats
+        state = getattr(system.matcher, "state_size", lambda: {})()
+        rows.append([
+            label,
+            facts,
+            stats.total_comparisons,
+            state.get("alpha_wmes", "-"),
+            state.get("beta_tokens", "-"),
+            f"{elapsed * 1000:.0f} ms",
+        ])
+
+    print(render_table(
+        ["matcher", "derived facts", "comparisons", "alpha state",
+         "beta state", "wall clock"],
+        rows,
+        title="Transitive closure (9-edge chain) under the full "
+              "state-saving spectrum",
+    ))
+    print(
+        "\nAll matchers derive the same facts (differential testing makes"
+        "\nthat a guarantee, not luck).  The paper's Section 3 spectrum is"
+        "\nvisible in the state columns; its Section 3.1 cost argument in"
+        "\nthe comparison counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""From OPS5 source to multiprocessor speed-up: the full pipeline.
+
+Run:  python examples/real_program_traces.py
+
+Takes the library's real OPS5 programs (Tower of Hanoi, blocks world,
+transitive closure, the eight puzzle), captures node-activation traces
+from instrumented Rete runs, and replays them on PSM configurations --
+including the paper's Section 4 comparison of production-level vs.
+node-level parallelism granularity.
+"""
+
+from repro.analysis import render_table
+from repro.psim import (
+    GRANULARITY_INTRA_NODE,
+    GRANULARITY_NODE,
+    GRANULARITY_PRODUCTION,
+    MachineConfig,
+    simulate,
+)
+from repro.trace import capture_trace
+from repro.workloads.programs import blocks, closure, eight_puzzle, elevator, hanoi, router
+
+
+def workloads():
+    yield "hanoi-5", hanoi.PROGRAM, hanoi.setup(5), None
+    yield "blocks", blocks.PROGRAM, blocks.setup(), 200
+    yield "closure-10", closure.PROGRAM, closure.chain(10), 5000
+    yield "eight-puzzle", eight_puzzle.PROGRAM, eight_puzzle.setup(eight_puzzle.MEDIUM), 60
+    yield "router", router.PROGRAM, router.setup(), 3000
+    yield "elevator", elevator.PROGRAM, elevator.setup(1, (4, 2, 7)), 500
+
+
+def main() -> None:
+    rows = []
+    for name, program, setup, cap in workloads():
+        trace, result, _ = capture_trace(program, setup, name=name, max_cycles=cap)
+        line = [name, result.fired, trace.total_changes, trace.total_tasks]
+        for granularity in (GRANULARITY_PRODUCTION, GRANULARITY_NODE, GRANULARITY_INTRA_NODE):
+            r = simulate(trace, MachineConfig(processors=16, granularity=granularity))
+            line.append(round(r.true_speedup, 2))
+        rows.append(line)
+
+    print(
+        render_table(
+            ["program", "firings", "changes", "tasks",
+             "speedup(production)", "speedup(node)", "speedup(intra-node)"],
+            rows,
+            title="Real programs on a 16-processor PSM, by parallelism granularity",
+        )
+    )
+    print(
+        "\nThe granularity ordering mirrors the paper's Section 4: production-"
+        "\nlevel parallelism is capped by the few affected productions and"
+        "\ntheir cost variance; node- and intra-node-level do better."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""The paper's Section 6 study: concurrency and speed vs. processors.
+
+Run:  python examples/speedup_study.py
+
+Regenerates the series behind Figures 6-1 and 6-2 for the six
+calibrated system workloads (plus the "parallel firings" variants of
+R1-Soar and EP-Soar), and prints the paper's headline aggregates for
+the 32-processor machine.
+"""
+
+from repro.analysis import render_series
+from repro.psim import MachineConfig, simulate, sweep_processors
+from repro.workloads import PAPER_SYSTEMS, PARALLEL_FIRING_SYSTEMS, generate_trace
+
+PROCESSOR_COUNTS = [1, 2, 4, 8, 16, 32, 48, 64]
+
+
+def main() -> None:
+    base = MachineConfig()
+    concurrency: dict[str, list[float]] = {}
+    speed: dict[str, list[float]] = {}
+    at_32 = []
+
+    for profile in PAPER_SYSTEMS:
+        trace = generate_trace(profile, seed=42, firings=60)
+        results = sweep_processors(trace, base, PROCESSOR_COUNTS)
+        concurrency[profile.name] = [r.concurrency for r in results]
+        speed[profile.name] = [r.wme_changes_per_second for r in results]
+        at_32.append(results[PROCESSOR_COUNTS.index(32)])
+
+    for profile in PARALLEL_FIRING_SYSTEMS:
+        trace = generate_trace(profile, seed=42, firings=60)
+        label = profile.name + " (parallel firings)"
+        results = sweep_processors(
+            trace, MachineConfig(firing_batch=2), PROCESSOR_COUNTS
+        )
+        concurrency[label] = [r.concurrency for r in results]
+        speed[label] = [r.wme_changes_per_second for r in results]
+        at_32.append(results[PROCESSOR_COUNTS.index(32)])
+
+    print(render_series("procs", PROCESSOR_COUNTS, concurrency,
+                        title="Figure 6-1: average concurrency"))
+    print()
+    print(render_series("procs", PROCESSOR_COUNTS, speed,
+                        title="Figure 6-2: execution speed (wme-changes/sec)",
+                        precision=0))
+
+    n = len(at_32)
+    print("\nAt 32 processors x 2 MIPS (paper: concurrency 15.92, "
+          "9400 wme-changes/sec, ~3800 firings/sec, true speed-up 8.25, "
+          "lost factor 1.93):")
+    print(f"  mean concurrency   {sum(r.concurrency for r in at_32) / n:.2f}")
+    print(f"  mean speed         {sum(r.wme_changes_per_second for r in at_32) / n:,.0f} wme-changes/sec")
+    print(f"  mean firing rate   {sum(r.firings_per_second for r in at_32) / n:,.0f} firings/sec")
+    print(f"  mean true speed-up {sum(r.true_speedup for r in at_32) / n:.2f}")
+    print(f"  mean lost factor   {sum(r.lost_factor for r in at_32) / n:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on offline hosts without the ``wheel``
+package (legacy editable installs do not need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

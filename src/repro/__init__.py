@@ -1,0 +1,56 @@
+"""Reproduction of Gupta, Forgy, Newell & Wedig (ISCA 1986):
+"Parallel Algorithms and Architectures for Rule-Based Systems".
+
+The library has four layers:
+
+* :mod:`repro.ops5` -- the OPS5 production-system language: parser,
+  working memory, conflict resolution, recognize--act engine;
+* matchers -- :mod:`repro.rete` (instrumented, node-sharing Rete),
+  :mod:`repro.treat` (alpha-state-only TREAT), :mod:`repro.naive`
+  (non-state-saving reference);
+* :mod:`repro.trace` + :mod:`repro.psim` -- node-activation traces, the
+  instruction cost model, and the discrete-event multiprocessor
+  simulator reproducing the paper's Section 6 evaluation;
+* :mod:`repro.machines`, :mod:`repro.workloads`, :mod:`repro.analysis`
+  -- the Section 7 architecture comparison, the calibrated workloads,
+  and the Sections 3/4/8 measurements.
+
+Quickstart::
+
+    from repro.ops5 import ProductionSystem
+
+    ps = ProductionSystem('''
+      (p hello (greeting ^to <x>) --> (write hello <x>) (remove 1))
+    ''')
+    ps.add("greeting", to="world")
+    print(ps.run().output)   # ['hello world']
+"""
+
+from .ops5 import ProductionSystem, Production, WME, parse_program
+from .rete import ReteNetwork
+from .treat import TreatMatcher
+from .naive import NaiveMatcher
+from .oflazer import CombinationMatcher
+from .trace import CostModel, Trace, capture_trace
+from .psim import MachineConfig, SimulationResult, simulate, sweep_processors
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CombinationMatcher",
+    "CostModel",
+    "MachineConfig",
+    "NaiveMatcher",
+    "Production",
+    "ProductionSystem",
+    "ReteNetwork",
+    "SimulationResult",
+    "Trace",
+    "TreatMatcher",
+    "WME",
+    "capture_trace",
+    "parse_program",
+    "simulate",
+    "sweep_processors",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Measurement and analysis: the paper's quantitative arguments.
+
+* :mod:`repro.analysis.statesaving` -- Section 3.1's cost model and the
+  empirical Rete-vs-naive effort comparison;
+* :mod:`repro.analysis.spectrum` -- Section 3.2's state-storing
+  spectrum (TREAT / Rete / all-pairs);
+* :mod:`repro.analysis.affected` -- Sections 4 & 8's three limiting
+  factors, measured on programs and traces;
+* :mod:`repro.analysis.reports` -- table/series rendering for benches.
+"""
+
+from .affected import ParallelismFactors, measure_program, measure_trace
+from .measurements import (
+    DynamicStatistics,
+    StaticStatistics,
+    measure_dynamic,
+    measure_static,
+)
+from .reports import render_csv, render_series, render_table
+from .spectrum import (
+    SpectrumPoint,
+    SpectrumReport,
+    measure_spectrum,
+    measure_spectrum_live,
+)
+from .statesaving import (
+    CostModelParameters,
+    EmpiricalComparison,
+    breakeven_turnover,
+    compare_matchers,
+    non_state_saving_cost,
+    state_saving_advantage,
+    state_saving_cost,
+    turnover,
+)
+
+__all__ = [
+    "CostModelParameters",
+    "DynamicStatistics",
+    "EmpiricalComparison",
+    "ParallelismFactors",
+    "SpectrumPoint",
+    "StaticStatistics",
+    "SpectrumReport",
+    "breakeven_turnover",
+    "compare_matchers",
+    "measure_dynamic",
+    "measure_program",
+    "measure_spectrum",
+    "measure_spectrum_live",
+    "measure_static",
+    "measure_trace",
+    "non_state_saving_cost",
+    "render_csv",
+    "render_series",
+    "render_table",
+    "state_saving_advantage",
+    "state_saving_cost",
+    "turnover",
+]

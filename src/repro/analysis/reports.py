@@ -1,0 +1,79 @@
+"""Plain-text table rendering for benches and examples.
+
+Keeps the benchmark harness output in the shape of the paper's tables
+and figure series without pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Monospace table: auto-sized columns, numbers right-aligned."""
+    columns = len(headers)
+    texts = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in texts)) if texts else len(headers[i])
+        for i in range(columns)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(headers[i].ljust(widths[i]) for i in range(columns)).rstrip()
+    )
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row, raw in zip(texts, rows):
+        cells = []
+        for i in range(columns):
+            if isinstance(raw[i], (int, float)) and not isinstance(raw[i], bool):
+                cells.append(row[i].rjust(widths[i]))
+            else:
+                cells.append(row[i].ljust(widths[i]))
+        lines.append("  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """A figure rendered as one row per x value, one column per curve."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [round(series[name][i], precision) for name in series])
+    return render_table(headers, rows, title)
+
+
+def render_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """The same table as comma-separated values (for replotting).
+
+    Minimal quoting: fields containing commas or quotes are quoted with
+    doubled inner quotes, per RFC 4180.
+    """
+
+    def field(cell: Any) -> str:
+        text = str(cell)
+        if any(ch in text for ch in ',"\n'):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(field(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(field(cell) for cell in row))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:,.2f}"
+    if isinstance(cell, int) and not isinstance(cell, bool):
+        return f"{cell:,}"
+    return str(cell)

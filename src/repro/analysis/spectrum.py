@@ -1,0 +1,168 @@
+"""Section 3.2: the state-storing spectrum -- TREAT, Rete, all-pairs.
+
+Three points on the spectrum of how much match state an algorithm
+stores:
+
+* **TREAT** (low end): WMEs matching individual condition elements
+  (alpha state) only;
+* **Rete** (middle): alpha state plus tokens for one *fixed* chain of
+  CE prefixes per production;
+* **Oflazer's scheme** (high end): tokens for *all* combinations of
+  condition elements.
+
+:func:`measure_spectrum` loads the same program + working memory into
+all three and reports the live state volumes.  The all-combinations
+scheme is computed analytically: for every production and every
+non-empty subset of its positive condition elements, the number of WME
+tuples satisfying the subset with consistent bindings.  Rete's stored
+prefixes are a subset of those combinations, so the ordering
+TREAT <= Rete <= all-combinations holds by construction -- the paper's
+spectrum.  (Negated CEs are excluded from the combination count, making
+it still slightly conservative.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..ops5.condition import Bindings
+from ..ops5.engine import ProductionSystem
+from ..ops5.production import Production
+from ..ops5.wme import WME
+from ..rete.network import ReteNetwork
+from ..treat.matcher import TreatMatcher
+
+
+@dataclass(frozen=True)
+class SpectrumPoint:
+    """State volume of one algorithm on one snapshot."""
+
+    algorithm: str
+    alpha_state: int
+    beta_state: int
+
+    @property
+    def total(self) -> int:
+        return self.alpha_state + self.beta_state
+
+
+@dataclass
+class SpectrumReport:
+    """The three spectrum points for one program snapshot."""
+
+    program: str
+    treat: SpectrumPoint
+    rete: SpectrumPoint
+    all_pairs: SpectrumPoint
+
+    def ordered(self) -> list[SpectrumPoint]:
+        """Low to high, the paper's spectrum ordering."""
+        return [self.treat, self.rete, self.all_pairs]
+
+
+def _count_matches(
+    ces: Sequence, memory: Sequence[WME], index: int, bindings: Bindings
+) -> int:
+    """Tuples of WMEs satisfying ``ces[index:]`` under *bindings*."""
+    if index == len(ces):
+        return 1
+    total = 0
+    for wme in memory:
+        extended = ces[index].match(wme, bindings)
+        if extended is not None:
+            total += _count_matches(ces, memory, index + 1, extended)
+    return total
+
+
+def _combination_state(
+    productions: Sequence[Production], memory: Sequence[WME], max_subset: int = 6
+) -> int:
+    """Token count of the all-combinations scheme (Oflazer, Section 3.2).
+
+    Counts, for every production and every non-empty subset of its
+    positive CEs (of size >= 2; singletons are reported separately), the
+    consistent WME tuples.  ``max_subset`` caps the subset size to keep
+    the enumeration tractable on big LHSs.
+    """
+    total = 0
+    for production in productions:
+        positive = [ce for ce in production.conditions if not ce.negated]
+        for size in range(2, min(len(positive), max_subset) + 1):
+            for subset in itertools.combinations(positive, size):
+                total += _count_matches(subset, memory, 0, {})
+    return total
+
+
+def _singleton_state(productions: Sequence[Production], memory: Sequence[WME]) -> int:
+    """WMEs matching individual CEs, counted per (production, CE)."""
+    empty: Bindings = {}
+    total = 0
+    for production in productions:
+        for ce in production.conditions:
+            for wme in memory:
+                if ce.match(wme, dict(empty)) is not None:
+                    total += 1
+    return total
+
+
+def measure_spectrum(
+    build: Callable[..., ProductionSystem], name: str, max_cycles: int | None = 20
+) -> SpectrumReport:
+    """Run a program under Rete and TREAT; report all three state sizes.
+
+    The snapshot is taken after ``max_cycles`` firings (or at halt), so
+    the state reflects a mid-run working memory rather than the initial
+    load.
+    """
+    rete_system = build(matcher=ReteNetwork())
+    rete_system.run(max_cycles)
+    rete_sizes = rete_system.matcher.state_size()
+
+    treat_system = build(matcher=TreatMatcher())
+    treat_system.run(max_cycles)
+    treat_sizes = treat_system.matcher.state_size()
+
+    productions = list(rete_system.matcher.productions)
+    memory = rete_system.memory.snapshot()
+    singles = _singleton_state(productions, memory)
+    combinations = _combination_state(productions, memory)
+
+    return SpectrumReport(
+        program=name,
+        treat=SpectrumPoint("treat", treat_sizes["alpha_wmes"], 0),
+        rete=SpectrumPoint("rete", rete_sizes["alpha_wmes"], rete_sizes["beta_tokens"]),
+        all_pairs=SpectrumPoint("all-combinations", singles, combinations),
+    )
+
+
+def measure_spectrum_live(
+    build: Callable[..., ProductionSystem], name: str, max_cycles: int | None = 20
+) -> SpectrumReport:
+    """Like :func:`measure_spectrum`, but the high end is *measured*.
+
+    Runs the program under all three state-saving matchers -- TREAT,
+    Rete, and the all-combinations :class:`CombinationMatcher`
+    (:mod:`repro.oflazer`) -- and reads each one's live
+    ``state_size()``.  The analytic variant stays useful for LHSs too
+    wide to enumerate; this one is ground truth.
+    """
+    from ..oflazer.matcher import CombinationMatcher  # heavy; import on demand
+
+    points: dict[str, SpectrumPoint] = {}
+    for label, matcher_factory in (
+        ("treat", TreatMatcher),
+        ("rete", ReteNetwork),
+        ("all-combinations", CombinationMatcher),
+    ):
+        system = build(matcher=matcher_factory())
+        system.run(max_cycles)
+        sizes = system.matcher.state_size()
+        points[label] = SpectrumPoint(label, sizes["alpha_wmes"], sizes["beta_tokens"])
+    return SpectrumReport(
+        program=name,
+        treat=points["treat"],
+        rete=points["rete"],
+        all_pairs=points["all-combinations"],
+    )

@@ -1,0 +1,334 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run FILE``
+    Execute an OPS5 program file (optionally with ``--wmes`` initial
+    memory) and print its output and run statistics.
+``demo NAME``
+    Run one of the bundled programs (``hanoi``, ``blocks``, ``monkey``,
+    ``eight-puzzle``, ``closure``).
+``simulate``
+    Generate a calibrated system workload (or capture one from a
+    program file) and replay it on a configurable PSM.
+``measure``
+    Print Gupta-Forgy-style static and dynamic measurement tables for a
+    program file or bundled demo.
+``figures``
+    Print the Figure 6-1 / 6-2 series for the six paper systems.
+``compare``
+    Print the Section 7 architecture comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import render_series, render_table
+from .naive import NaiveMatcher
+from .oflazer import CombinationMatcher
+from .ops5 import Ops5Error, ProductionSystem, parse_wme_specs
+from .psim import MachineConfig, simulate as run_simulation, sweep_processors
+from .rete import ReteNetwork, collect_stats
+from .trace import capture_trace, load_trace, save_trace
+from .treat import TreatMatcher
+from .workloads import PAPER_SYSTEMS, generate_trace, profile_named
+from .workloads.programs import ALL_PROGRAMS
+
+_MATCHERS = {
+    "rete": ReteNetwork,
+    "rete-indexed": lambda: ReteNetwork(indexed=True),
+    "treat": TreatMatcher,
+    "naive": NaiveMatcher,
+    "oflazer": CombinationMatcher,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OPS5 engine + parallel Rete multiprocessor simulator "
+        "(reproduction of Gupta et al., ISCA 1986)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute an OPS5 program file")
+    run.add_argument("file", help="OPS5 source file")
+    run.add_argument("--wmes", help="file of initial (class ^attr value ...) elements")
+    run.add_argument("--matcher", choices=sorted(_MATCHERS), default="rete")
+    run.add_argument("--strategy", choices=["lex", "mea"], default="lex")
+    run.add_argument("--max-cycles", type=int, default=None)
+    run.add_argument("--stats", action="store_true", help="print match statistics")
+    run.add_argument(
+        "--verify", action="store_true",
+        help="audit the Rete network's internal state after the run "
+             "(rete matchers only)",
+    )
+
+    demo = sub.add_parser("demo", help="run a bundled example program")
+    demo.add_argument("name", choices=sorted(ALL_PROGRAMS))
+    demo.add_argument("--matcher", choices=sorted(_MATCHERS), default="rete")
+
+    sim = sub.add_parser("simulate", help="replay a workload on the PSM model")
+    source = sim.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--system", choices=[p.name for p in PAPER_SYSTEMS],
+        help="one of the paper's calibrated systems",
+    )
+    source.add_argument("--file", help="capture a trace from an OPS5 program file")
+    source.add_argument("--trace", help="replay a saved trace (JSON, see 'trace')")
+    sim.add_argument("--wmes", help="initial memory for --file runs")
+    sim.add_argument("--processors", type=int, default=32)
+    sim.add_argument("--mips", type=float, default=2.0)
+    sim.add_argument("--scheduler", choices=["hardware", "software"], default="hardware")
+    sim.add_argument(
+        "--granularity", choices=["node", "intra-node", "production"],
+        default="intra-node",
+    )
+    sim.add_argument("--firing-batch", type=int, default=1)
+    sim.add_argument("--firings", type=int, default=60, help="synthetic run length")
+    sim.add_argument("--seed", type=int, default=42)
+    sim.add_argument(
+        "--gantt", action="store_true",
+        help="render the schedule as a per-processor timeline",
+    )
+
+    measure = sub.add_parser(
+        "measure", help="print measurement tables for a program"
+    )
+    measure_source = measure.add_mutually_exclusive_group(required=True)
+    measure_source.add_argument("--file", help="OPS5 program file")
+    measure_source.add_argument("--demo", choices=sorted(ALL_PROGRAMS))
+    measure.add_argument("--wmes", help="initial memory for --file runs")
+    measure.add_argument("--max-cycles", type=int, default=None)
+
+    trace_cmd = sub.add_parser("trace", help="capture a run's trace to JSON")
+    trace_source = trace_cmd.add_mutually_exclusive_group(required=True)
+    trace_source.add_argument("--file", help="OPS5 program file")
+    trace_source.add_argument(
+        "--system", choices=[p.name for p in PAPER_SYSTEMS],
+        help="generate a calibrated synthetic trace instead",
+    )
+    trace_cmd.add_argument("--wmes", help="initial memory for --file runs")
+    trace_cmd.add_argument("--out", required=True, help="output JSON path")
+    trace_cmd.add_argument("--firings", type=int, default=60)
+    trace_cmd.add_argument("--seed", type=int, default=42)
+    trace_cmd.add_argument("--max-cycles", type=int, default=None)
+
+    figures = sub.add_parser("figures", help="print the Figure 6-1/6-2 series")
+    figures.add_argument("--firings", type=int, default=40)
+    figures.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("compare", help="print the Section 7 architecture table")
+    return parser
+
+
+def _load_system(args) -> ProductionSystem:
+    with open(args.file) as handle:
+        source = handle.read()
+    system = ProductionSystem(
+        source,
+        matcher=_MATCHERS[args.matcher](),
+        strategy=getattr(args, "strategy", "lex"),
+    )
+    if args.wmes:
+        with open(args.wmes) as handle:
+            system.load_memory(parse_wme_specs(handle.read()))
+    return system
+
+
+def _cmd_run(args) -> int:
+    system = _load_system(args)
+    result = system.run(args.max_cycles)
+    for line in result.output:
+        print(line)
+    print(
+        f"-- fired {result.fired} productions; {result.halt_reason}; "
+        f"{len(system.memory)} elements in working memory"
+    )
+    if args.stats:
+        stats = system.matcher.stats
+        print(
+            f"-- {stats.total_changes} wme-changes, "
+            f"mean affected productions {stats.mean_affected_productions:.2f}, "
+            f"{stats.total_comparisons} comparisons"
+        )
+        if isinstance(system.matcher, ReteNetwork):
+            network = collect_stats(system.matcher)
+            print(
+                f"-- rete: {network.total_nodes} nodes, "
+                f"sharing ratio {network.sharing_ratio:.2f}"
+            )
+    if args.verify:
+        if not isinstance(system.matcher, ReteNetwork):
+            print("error: --verify requires a rete matcher", file=sys.stderr)
+            return 2
+        from .rete import check_network
+
+        problems = check_network(system.matcher)
+        if problems:
+            for problem in problems:
+                print(f"INCONSISTENT: {problem}", file=sys.stderr)
+            return 1
+        print("-- network state verified consistent")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    module = ALL_PROGRAMS[args.name]
+    result = module.run(matcher=_MATCHERS[args.matcher]())
+    for line in result.output:
+        print(line)
+    print(f"-- fired {result.fired} productions; {result.halt_reason}")
+    return 0
+
+
+def _machine_from(args) -> MachineConfig:
+    return MachineConfig(
+        processors=args.processors,
+        mips=args.mips,
+        scheduler=args.scheduler,
+        granularity=args.granularity,
+        firing_batch=args.firing_batch,
+    )
+
+
+def _cmd_simulate(args) -> int:
+    if args.system:
+        trace = generate_trace(
+            profile_named(args.system), seed=args.seed, firings=args.firings
+        )
+    elif args.trace:
+        trace = load_trace(args.trace)
+    else:
+        with open(args.file) as handle:
+            source = handle.read()
+        setup = []
+        if args.wmes:
+            with open(args.wmes) as handle:
+                setup = parse_wme_specs(handle.read())
+        trace, _, _ = capture_trace(source, setup, name=args.file)
+    result = run_simulation(
+        trace, _machine_from(args), record_placements=args.gantt
+    )
+    print(result.summary())
+    if args.gantt:
+        from .psim import render_gantt
+
+        print(render_gantt(result))
+    print(
+        f"   work: serial {result.serial_cost:,.0f} instr, executed "
+        f"{result.executed_work:,.0f} (inflation {result.work_inflation:.2f}); "
+        f"overheads: scheduling {result.scheduling_fraction:.1%}, "
+        f"sync {result.sync_fraction:.1%}"
+    )
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    from .analysis import measure_dynamic, measure_static
+    from .ops5 import parse_program
+
+    if args.demo:
+        module = ALL_PROGRAMS[args.demo]
+        name = args.demo
+        productions = parse_program(module.PROGRAM).productions
+        builder = module.build
+    else:
+        with open(args.file) as handle:
+            source = handle.read()
+        name = args.file
+        program = parse_program(source)
+        productions = program.productions
+        setup = []
+        if args.wmes:
+            with open(args.wmes) as handle:
+                setup = parse_wme_specs(handle.read())
+
+        def builder(**kwargs):
+            system = ProductionSystem(source, **kwargs)
+            system.load_memory(setup)
+            return system
+
+    static = measure_static(productions, name)
+    dynamic = measure_dynamic(builder, name, max_cycles=args.max_cycles)
+    print(render_table(["static measurement", "value"], static.rows(), title=name))
+    print()
+    print(render_table(["dynamic measurement", "value"], dynamic.rows()))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    if args.system:
+        trace = generate_trace(
+            profile_named(args.system), seed=args.seed, firings=args.firings
+        )
+    else:
+        with open(args.file) as handle:
+            source = handle.read()
+        setup = []
+        if args.wmes:
+            with open(args.wmes) as handle:
+                setup = parse_wme_specs(handle.read())
+        trace, result, _ = capture_trace(
+            source, setup, name=args.file, max_cycles=args.max_cycles
+        )
+        print(f"captured {result.fired} firings")
+    save_trace(trace, args.out)
+    print(
+        f"wrote {args.out}: {trace.total_changes} changes, "
+        f"{trace.total_tasks} tasks, serial cost {trace.serial_cost:,} instr"
+    )
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    counts = [1, 2, 4, 8, 16, 32, 48, 64]
+    concurrency: dict[str, list[float]] = {}
+    speed: dict[str, list[float]] = {}
+    for profile in PAPER_SYSTEMS:
+        trace = generate_trace(profile, seed=args.seed, firings=args.firings)
+        results = sweep_processors(trace, MachineConfig(), counts)
+        concurrency[profile.name] = [r.concurrency for r in results]
+        speed[profile.name] = [r.wme_changes_per_second for r in results]
+    print(render_series("procs", counts, concurrency,
+                        title="Figure 6-1: concurrency"))
+    print()
+    print(render_series("procs", counts, speed,
+                        title="Figure 6-2: wme-changes/sec", precision=0))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .machines import render_table as render_machines
+
+    print(render_machines())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "demo": _cmd_demo,
+        "simulate": _cmd_simulate,
+        "measure": _cmd_measure,
+        "trace": _cmd_trace,
+        "figures": _cmd_figures,
+        "compare": _cmd_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except Ops5Error as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Architecture models for the paper's Section 7 comparison."""
+
+from .base import MachineModel
+from .comparison import (
+    ALL_MACHINES,
+    ComparisonRow,
+    comparison_table,
+    render_table,
+    speed_ratios,
+)
+from .dado import DADO_RETE, DADO_TREAT
+from .nonvon import NONVON
+from .oflazer import OFLAZER, OFLAZER_SPEED_RANGE
+from .pesa import PESA1
+from .psm import PSM, measured_results, measured_speed
+from .treesim import (
+    DADO_TREE,
+    NONVON_TREE,
+    TreeMachineConfig,
+    TreeSimulationResult,
+    simulate_tree,
+)
+
+__all__ = [
+    "ALL_MACHINES",
+    "ComparisonRow",
+    "DADO_RETE",
+    "DADO_TREE",
+    "DADO_TREAT",
+    "MachineModel",
+    "NONVON",
+    "NONVON_TREE",
+    "OFLAZER",
+    "OFLAZER_SPEED_RANGE",
+    "PESA1",
+    "PSM",
+    "TreeMachineConfig",
+    "TreeSimulationResult",
+    "comparison_table",
+    "measured_results",
+    "measured_speed",
+    "render_table",
+    "simulate_tree",
+    "speed_ratios",
+]

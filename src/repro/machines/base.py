@@ -1,0 +1,76 @@
+"""The common throughput model for production-system machines.
+
+Section 7 of the paper compares *predicted* throughputs quoted from the
+machines' own papers.  To reproduce the comparison rather than just the
+quotes, every machine here is described by one uniform analytic model::
+
+    speed [wme-changes/sec] =
+        exploitable_parallelism * processor_mips * 1e6
+        / (serial_instructions_per_change * implementation_penalty)
+
+* ``exploitable_parallelism`` -- the effective speed-up the architecture
+  extracts from the workload's intrinsic parallelism.  It is bounded by
+  the small number of affected productions (~30) and their processing
+  variance, which is why tens of thousands of processors do not help
+  (the paper's Section 7.5 argument (1)).
+* ``implementation_penalty`` -- the work inflation of running the match
+  on that hardware relative to an ideal serial Rete on a wide-datapath
+  processor: 8-bit datapaths on symbolic data, interpretation overhead,
+  tree communication, MSIMD lockstep, garbage collection of oversized
+  state, etc.  (argument (2): weak processing elements).
+
+``serial_instructions_per_change`` defaults to the paper's c1 = 1800.
+The per-machine parameter values are calibrated so the model reproduces
+each cited prediction; the calibration is part of each machine module's
+documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..trace.costmodel import C1_INSTRUCTIONS_PER_INSERT
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """An architecture entry for the Section 7 comparison."""
+
+    name: str
+    #: Match algorithm the machine runs ("rete", "treat", "all-pairs",
+    #: "dataflow-rete").
+    algorithm: str
+    #: Number of processing elements doing match work.
+    processors: int
+    #: Speed of one processing element, MIPS.
+    processor_mips: float
+    #: Datapath width of the match processors, bits.
+    processor_bits: int
+    #: Interconnect topology ("shared-bus", "tree", "dataflow").
+    topology: str
+    #: Effective parallel speed-up extracted from the workload.
+    exploitable_parallelism: float
+    #: Work-inflation factor relative to ideal serial Rete.
+    implementation_penalty: float
+    #: The throughput the machine's own paper predicts (wme-changes/sec);
+    #: None when the source published no number (PESA-1).
+    published_speed: float | None = None
+    #: One-line provenance/assumption notes.
+    notes: str = ""
+
+    def predicted_speed(
+        self, serial_instructions_per_change: float = C1_INSTRUCTIONS_PER_INSERT
+    ) -> float:
+        """Model throughput in wme-changes/sec."""
+        return (
+            self.exploitable_parallelism
+            * self.processor_mips
+            * 1e6
+            / (serial_instructions_per_change * self.implementation_penalty)
+        )
+
+    def calibration_error(self) -> float | None:
+        """Relative error of the model against the published prediction."""
+        if self.published_speed is None:
+            return None
+        return abs(self.predicted_speed() - self.published_speed) / self.published_speed

@@ -1,0 +1,108 @@
+"""The Section 7 comparison: five architectures, one table.
+
+Reproduces the paper's cross-machine throughput comparison:
+
+==================  ==========================  ==================
+machine             configuration               wme-changes/sec
+==================  ==========================  ==================
+DADO (Rete)         16K x 0.5 MIPS 8-bit, tree  175
+DADO (TREAT)        16K x 0.5 MIPS 8-bit, tree  215
+NON-VON             32 LPE + 16K SPE, 3 MIPS    2000
+Oflazer's machine   512 x 5-10 MIPS, tree       4500-7000
+PSM (this paper)    32 x 2 MIPS, shared bus     9400
+PESA-1              dataflow                    (not published)
+==================  ==========================  ==================
+
+The qualitative conclusions the numbers support (Section 7.5): the
+small-processor-count machines beat the massively parallel trees,
+because intrinsic parallelism is small and thousands of weak processors
+cannot individually be made fast; and the state-storing strategy
+matters little on the highly parallel machines (DADO's Rete and TREAT
+land within ~20% of each other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import MachineModel
+from .dado import DADO_RETE, DADO_TREAT
+from .nonvon import NONVON
+from .oflazer import OFLAZER, OFLAZER_SPEED_RANGE
+from .pesa import PESA1
+from .psm import PSM
+
+#: All Section 7 entries, slowest to fastest published prediction.
+ALL_MACHINES: tuple[MachineModel, ...] = (
+    DADO_RETE,
+    DADO_TREAT,
+    NONVON,
+    OFLAZER,
+    PSM,
+    PESA1,
+)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One line of the Section 7 table."""
+
+    machine: str
+    algorithm: str
+    processors: int
+    processor_mips: float
+    topology: str
+    model_speed: float
+    published_speed: float | None
+
+    @property
+    def published_label(self) -> str:
+        if self.published_speed is None:
+            return "not published"
+        if self.machine.startswith("Oflazer"):
+            low, high = OFLAZER_SPEED_RANGE
+            return f"{low:.0f}-{high:.0f}"
+        return f"{self.published_speed:.0f}"
+
+
+def comparison_table(
+    machines: tuple[MachineModel, ...] = ALL_MACHINES,
+    serial_instructions_per_change: float = 1800.0,
+) -> list[ComparisonRow]:
+    """Model speeds next to the published predictions, paper order."""
+    return [
+        ComparisonRow(
+            machine=m.name,
+            algorithm=m.algorithm,
+            processors=m.processors,
+            processor_mips=m.processor_mips,
+            topology=m.topology,
+            model_speed=m.predicted_speed(serial_instructions_per_change),
+            published_speed=m.published_speed,
+        )
+        for m in machines
+    ]
+
+
+def render_table(rows: list[ComparisonRow] | None = None) -> str:
+    """A printable Section 7 table."""
+    rows = rows if rows is not None else comparison_table()
+    header = (
+        f"{'machine':<20} {'alg':<13} {'procs':>7} {'MIPS':>5} "
+        f"{'topology':<11} {'model':>8} {'published':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.machine:<20} {row.algorithm:<13} {row.processors:>7} "
+            f"{row.processor_mips:>5.1f} {row.topology:<11} "
+            f"{row.model_speed:>8.0f} {row.published_label:>12}"
+        )
+    return "\n".join(lines)
+
+
+def speed_ratios(rows: list[ComparisonRow] | None = None) -> dict[str, float]:
+    """Each machine's model speed relative to the PSM (who-wins shape)."""
+    rows = rows if rows is not None else comparison_table()
+    psm = next(r for r in rows if r.machine.startswith("PSM"))
+    return {r.machine: r.model_speed / psm.model_speed for r in rows}

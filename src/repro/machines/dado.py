@@ -1,0 +1,54 @@
+"""DADO (Columbia): a tree of sixteen thousand 8-bit processors.
+
+Paper Section 7.1.  The prototype: Intel 8751-based processing elements
+(4K EPROM, 256 B on-chip RAM, 8 KB external RAM) at ~0.5 MIPS, joined by
+a custom binary-tree switch.  The production system is split into 16-32
+partitions; each partition's Rete network runs on a PM-level element
+whose WM-subtree performs associative matching below it.
+
+Published predictions the models reproduce: **175 wme-changes/sec** with
+the parallel Rete algorithm and **215 wme-changes/sec** with TREAT.
+
+Calibration of the uniform model (see :mod:`repro.machines.base`):
+
+* ``exploitable_parallelism = 2.5`` -- partition-level parallelism is a
+  weak form of production parallelism; with ~30 affected productions
+  spread unevenly over 16-32 partitions and high processing variance,
+  the effective speed-up is small (the paper's Section 7.5 argument 1).
+* ``implementation_penalty ~ 4.0 / 3.2`` -- 8-bit datapaths on symbolic
+  data, interpreted node programs in 4K EPROM, and up-tree result
+  funnelling (argument 2).  TREAT's penalty is lower: no beta-memory
+  maintenance and dynamically re-ordered joins compensate for the
+  recomputation, which is the paper's observation that on DADO the two
+  algorithms perform about the same.
+"""
+
+from __future__ import annotations
+
+from .base import MachineModel
+
+DADO_RETE = MachineModel(
+    name="DADO (Rete)",
+    algorithm="rete",
+    processors=16_000,
+    processor_mips=0.5,
+    processor_bits=8,
+    topology="tree",
+    exploitable_parallelism=2.5,
+    implementation_penalty=3.97,
+    published_speed=175.0,
+    notes="16-32 partitions, PM-level + WM-subtree associative match",
+)
+
+DADO_TREAT = MachineModel(
+    name="DADO (TREAT)",
+    algorithm="treat",
+    processors=16_000,
+    processor_mips=0.5,
+    processor_bits=8,
+    topology="tree",
+    exploitable_parallelism=2.5,
+    implementation_penalty=3.23,
+    published_speed=215.0,
+    notes="alpha-only state; WM-subtree recomputes joins with dynamic ordering",
+)

@@ -1,0 +1,36 @@
+"""NON-VON (Columbia): a massively parallel tree with LPEs and SPEs.
+
+Paper Section 7.2.  16,000+ small processing elements (SPEs, 32-256
+bytes of memory each) form the tree; near the root each SPE is paired
+with a large processing element (LPE) with real memory and a disk
+interface.  LPEs can drive their SPE subtrees in multiple-SIMD mode.
+Both PE classes run at ~3 MIPS.  The proposed OPS5 implementation is a
+DADO-style partitioned Rete adapted to the tiny SPE memories.
+
+Published prediction the model reproduces: **2000 wme-changes/sec**
+(thirty-two 32-bit LPEs + sixteen thousand 8-bit SPEs at 3 MIPS).  The
+paper attributes NON-VON's advantage over DADO partly to PEs being six
+times faster.
+
+Calibration: ``exploitable_parallelism = 4.0`` (the LPE/MSIMD
+organisation extracts a bit more of the production-level parallelism
+than DADO's static partitioning) and ``implementation_penalty = 3.33``
+(8-bit SPEs, state squeezed into 32-256 byte memories, MSIMD lockstep).
+"""
+
+from __future__ import annotations
+
+from .base import MachineModel
+
+NONVON = MachineModel(
+    name="NON-VON",
+    algorithm="rete",
+    processors=16_032,
+    processor_mips=3.0,
+    processor_bits=8,
+    topology="tree",
+    exploitable_parallelism=4.0,
+    implementation_penalty=3.33,
+    published_speed=2000.0,
+    notes="32 LPEs + 16K SPEs, MSIMD; Rete state packed into 32-256 B SPEs",
+)

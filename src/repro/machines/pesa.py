@@ -1,0 +1,33 @@
+"""PESA-1 (Honeywell): a tagged dataflow processor for OPS5.
+
+Paper Section 7.4.  Maps the Rete dataflow graph directly onto a
+dataflow machine, with buses in known low-traffic areas and direct
+paths elsewhere.  The paper could not obtain performance estimates
+("at the time of this writing, accurate performance estimates ... are
+not available") but speculates PESA-1 "should be able to achieve
+similar performance levels" to the PSM, being the closest effort in
+spirit.
+
+The model therefore carries **no published speed**; ``predicted_speed``
+uses parameters set to the paper's speculation (PSM-like effectiveness
+on a dataflow substrate) and must be read as that speculation, not a
+measurement -- ``published_speed`` stays ``None`` and the comparison
+table marks the row accordingly.
+"""
+
+from __future__ import annotations
+
+from .base import MachineModel
+
+PESA1 = MachineModel(
+    name="PESA-1",
+    algorithm="dataflow-rete",
+    processors=64,
+    processor_mips=2.0,
+    processor_bits=32,
+    topology="dataflow",
+    exploitable_parallelism=15.0,
+    implementation_penalty=1.93,
+    published_speed=None,
+    notes="no published estimate; parameters encode the paper's 'similar to PSM' speculation",
+)

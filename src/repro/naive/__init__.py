@@ -1,0 +1,11 @@
+"""The non-state-saving matcher (Section 3.1 baseline).
+
+Re-matches the complete working memory against every production on each
+change.  Hopeless for performance -- which is the paper's point -- but
+its directness makes it the reference semantics that Rete and TREAT are
+differentially tested against.
+"""
+
+from .matcher import NaiveMatcher
+
+__all__ = ["NaiveMatcher"]

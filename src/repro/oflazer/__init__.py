@@ -1,0 +1,12 @@
+"""Oflazer's all-combinations match algorithm (paper Sections 3.2, 7.3).
+
+The high end of the state-saving spectrum: tokens are stored for *all*
+combinations of a production's condition elements, so each change's
+interaction with old state can be computed independently.  The paper
+flags its two risks -- state volume and wasted state maintenance --
+which this implementation lets you measure directly.
+"""
+
+from .matcher import CombinationMatcher
+
+__all__ = ["CombinationMatcher"]

@@ -1,0 +1,326 @@
+"""The recognize--act interpreter.
+
+:class:`ProductionSystem` ties together a working memory, a matcher, and
+a conflict-resolution strategy, and runs the OPS5 three-phase cycle:
+
+1. **Match** -- performed incrementally: every working-memory change is
+   routed through the matcher, so by the time a cycle "starts" the
+   conflict set is already current.
+2. **Conflict resolution** -- the strategy picks one un-fired
+   instantiation; if none exists the interpreter halts.
+3. **Act** -- the selected production's actions run in order.  ``modify``
+   is executed as *remove + make* with a fresh timetag, exactly as in
+   OPS5, and each change takes effect immediately (later actions in the
+   same RHS see it).
+
+The engine exposes an :class:`EngineListener` hook so the trace module
+can observe cycles and changes without the engine knowing about traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .actions import Bind, Halt, Make, Modify, Remove, Write
+from .conflict import Strategy, strategy_named
+from .errors import ExecutionError, DuplicateProductionError
+from .matcher import Matcher
+from .parser import Program, parse_program
+from .production import Instantiation, Production
+from .wme import Value, WME, WorkingMemory
+
+
+class EngineListener:
+    """Observer hooks for the recognize--act loop.
+
+    Subclass and override what you need; all methods default to no-ops.
+    The trace generator (:mod:`repro.trace.generate`) is the main client.
+    """
+
+    def on_cycle(self, cycle: int, fired: Instantiation) -> None:
+        """Called after conflict resolution, before the RHS runs."""
+
+    def on_change(self, cycle: int, kind: str, wme: WME) -> None:
+        """Called for every working-memory change ('add' or 'remove')."""
+
+    def on_halt(self, cycle: int, reason: str) -> None:
+        """Called once when the run stops."""
+
+
+@dataclass
+class CycleRecord:
+    """What happened on one recognize--act cycle."""
+
+    cycle: int
+    production: str
+    timetags: tuple[int, ...]
+    adds: int = 0
+    removes: int = 0
+
+    @property
+    def changes(self) -> int:
+        return self.adds + self.removes
+
+
+@dataclass
+class RunResult:
+    """Summary of a :meth:`ProductionSystem.run` call."""
+
+    fired: int
+    halted: bool
+    halt_reason: str
+    cycles: list[CycleRecord] = field(default_factory=list)
+    output: list[str] = field(default_factory=list)
+
+    @property
+    def total_changes(self) -> int:
+        return sum(c.changes for c in self.cycles)
+
+    @property
+    def mean_changes_per_firing(self) -> float:
+        """Average WME changes per production firing (paper: ~2.5)."""
+        if not self.cycles:
+            return 0.0
+        return self.total_changes / len(self.cycles)
+
+
+class ProductionSystem:
+    """An OPS5 interpreter over a pluggable matcher.
+
+    Parameters
+    ----------
+    productions:
+        A :class:`~repro.ops5.parser.Program`, OPS5 source text, or an
+        iterable of :class:`Production` objects.
+    matcher:
+        A :class:`Matcher` instance.  Defaults to a fresh Rete network
+        (imported lazily to keep the package layering one-way).
+    strategy:
+        "lex" (default), "mea", or a :class:`Strategy` instance.
+    listener:
+        Optional :class:`EngineListener`.
+    """
+
+    def __init__(
+        self,
+        productions: Program | str | Iterable[Production] = (),
+        matcher: Matcher | None = None,
+        strategy: Strategy | str = "lex",
+        listener: EngineListener | None = None,
+    ) -> None:
+        if matcher is None:
+            from ..rete.network import ReteNetwork  # layering: engine may use any matcher
+
+            matcher = ReteNetwork()
+        self.matcher = matcher
+        self.strategy = strategy_named(strategy) if isinstance(strategy, str) else strategy
+        self.listener = listener or EngineListener()
+        self.memory = WorkingMemory()
+        self.output: list[str] = []
+        self._fired_keys: set[tuple] = set()
+        self._halted = False
+        self.cycle = 0
+        self.cycles: list[CycleRecord] = []
+
+        #: ``literalize`` declarations from the loaded program; WMEs of a
+        #: declared class are checked against them on insertion.
+        self.literalizations: dict[str, tuple[str, ...]] = {}
+        if isinstance(productions, str):
+            productions = parse_program(productions)
+        if isinstance(productions, Program):
+            self.literalizations = dict(productions.literalizations)
+            productions = productions.productions
+        for production in productions:
+            self.add_production(production)
+
+    # -- program and memory management ------------------------------------
+
+    def add_production(self, production: Production) -> None:
+        """Add a rule; it is matched against current working memory."""
+        if production.name in self.matcher.production_names():
+            raise DuplicateProductionError(production.name)
+        self.matcher.add_production(production)
+
+    def remove_production(self, name: str) -> None:
+        """Unregister the named rule and retract its instantiations."""
+        self.matcher.remove_production(name)
+
+    def add(self, cls: str, /, **attributes: Value) -> WME:
+        """Create and insert a WME: ``ps.add("block", color="red")``."""
+        return self.add_wme(WME(cls, attributes))
+
+    def add_wme(self, wme: WME) -> WME:
+        """Insert a prepared WME into working memory and the matcher.
+
+        If the WME's class was ``literalize``d, its attributes must all
+        be declared (the OPS5 interpreter's element check).
+        """
+        declared = self.literalizations.get(wme.cls)
+        if declared is not None:
+            unknown = set(wme.attributes) - set(declared)
+            if unknown:
+                raise ExecutionError(
+                    f"WME of class {wme.cls!r} uses undeclared attribute(s) "
+                    f"{sorted(unknown)}; literalized: {list(declared)}"
+                )
+        self.memory.add(wme)
+        self.matcher.add_wme(wme)
+        self.listener.on_change(self.cycle, "add", wme)
+        return wme
+
+    def remove_wme(self, wme: WME) -> None:
+        """Delete a WME from working memory and the matcher."""
+        self.memory.remove(wme)
+        self.matcher.remove_wme(wme)
+        self.listener.on_change(self.cycle, "remove", wme)
+
+    def load_memory(self, specs: Sequence[tuple[str, dict[str, Value]]]) -> list[WME]:
+        """Bulk-insert (class, attributes) pairs (see ``parse_wme_specs``)."""
+        return [self.add_wme(WME(cls, attrs)) for cls, attrs in specs]
+
+    def reset(self) -> None:
+        """Clear working memory, refraction memory, and run state.
+
+        The compiled match network (the expensive part) is kept, so one
+        engine can run many scenarios: ``reset()``, load new memory,
+        ``run()`` again.  Timetags keep increasing across resets -- they
+        are never reused.
+        """
+        for wme in self.memory.snapshot():
+            self.remove_wme(wme)
+        self._fired_keys.clear()
+        self._halted = False
+        self._halt_reason = "running"
+        self.cycle = 0
+        self.cycles = []
+        self.output = []
+
+    # -- the recognize--act loop -------------------------------------------
+
+    @property
+    def conflict_set(self):
+        """The matcher's live conflict set (satisfied instantiations)."""
+        return self.matcher.conflict_set
+
+    @property
+    def halted(self) -> bool:
+        """True once a halt action ran or no production was satisfied."""
+        return self._halted
+
+    def step(self) -> Optional[Instantiation]:
+        """Run one recognize--act cycle; return the fired instantiation.
+
+        Returns None (and marks the engine halted) when the conflict set
+        holds no un-fired instantiation, or after a ``halt`` action.
+        """
+        if self._halted:
+            return None
+        selected = self.strategy.select(self.conflict_set, self._fired_keys.__contains__)
+        if selected is None:
+            self._halted = True
+            self._halt_reason = "no satisfied production"
+            self.listener.on_halt(self.cycle, "no satisfied production")
+            return None
+        self.cycle += 1
+        self._fired_keys.add(selected.key)
+        if len(self._fired_keys) >= self._refraction_gc_threshold:
+            self._prune_refraction_memory()
+        record = CycleRecord(self.cycle, selected.production.name, selected.timetags)
+        self.cycles.append(record)
+        self.listener.on_cycle(self.cycle, selected)
+        self._execute(selected, record)
+        if self._halted:
+            self.listener.on_halt(self.cycle, "halt action")
+        return selected
+
+    def run(self, max_cycles: Optional[int] = None) -> RunResult:
+        """Run until halt (or *max_cycles* firings); return a summary."""
+        start = len(self.cycles)
+        fired = 0
+        while not self._halted and (max_cycles is None or fired < max_cycles):
+            if self.step() is None:
+                break
+            fired += 1
+        reason = self._halt_reason if self._halted else "cycle limit"
+        return RunResult(
+            fired=fired,
+            halted=self._halted,
+            halt_reason=reason,
+            cycles=self.cycles[start:],
+            output=list(self.output),
+        )
+
+    # -- refraction memory ---------------------------------------------------
+
+    #: Prune the fired-instantiation set once it reaches this size.
+    _refraction_gc_threshold = 512
+
+    def _prune_refraction_memory(self) -> None:
+        """Drop fired keys that can never match again.
+
+        Refraction must remember every fired instantiation -- but an
+        instantiation whose WMEs include a timetag no longer in working
+        memory can never re-enter the conflict set (timetags are never
+        reused), so its key is dead weight.  Long-running systems would
+        otherwise leak memory proportional to total firings.
+        """
+        live = {wme.timetag for wme in self.memory}
+        self._fired_keys = {
+            key
+            for key in self._fired_keys
+            if all(tag in live for tag in key[1])
+        }
+        # Avoid thrashing when most keys are still live: next GC only
+        # after the set grows substantially again.
+        self._refraction_gc_threshold = max(512, 2 * len(self._fired_keys))
+
+    # -- RHS execution -------------------------------------------------------
+
+    _halt_reason = "running"
+
+    def _execute(self, instantiation: Instantiation, record: CycleRecord) -> None:
+        production = instantiation.production
+        bindings = dict(instantiation.bindings)
+        # Current WME per positive-CE position; `modify` rebinds, `remove`
+        # clears, so later actions on the same CE see the newest element.
+        current: list[Optional[WME]] = list(instantiation.wmes)
+
+        for action in production.actions:
+            if isinstance(action, Make):
+                self.add_wme(action.build(bindings))
+                record.adds += 1
+            elif isinstance(action, Remove):
+                position = production.ce_position_of(action.ce_index)
+                wme = current[position]
+                if wme is None:
+                    raise ExecutionError(
+                        f"{production.name}: condition element {action.ce_index} "
+                        "was already removed in this firing"
+                    )
+                self.remove_wme(wme)
+                current[position] = None
+                record.removes += 1
+            elif isinstance(action, Modify):
+                position = production.ce_position_of(action.ce_index)
+                wme = current[position]
+                if wme is None:
+                    raise ExecutionError(
+                        f"{production.name}: modify of condition element "
+                        f"{action.ce_index} after its removal"
+                    )
+                replacement = wme.with_updates(action.updates(bindings))
+                self.remove_wme(wme)
+                record.removes += 1
+                self.add_wme(replacement)
+                record.adds += 1
+                current[position] = replacement
+            elif isinstance(action, Write):
+                self.output.append(action.render(bindings))
+            elif isinstance(action, Bind):
+                bindings[action.name] = action.expression.evaluate(bindings)
+            elif isinstance(action, Halt):
+                self._halted = True
+                self._halt_reason = "halt action"
+            else:  # pragma: no cover - exhaustive over Action subclasses
+                raise ExecutionError(f"unknown action {action!r}")

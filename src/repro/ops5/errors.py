@@ -1,0 +1,55 @@
+"""Exception hierarchy for the OPS5 engine.
+
+All errors raised by the :mod:`repro.ops5` package derive from
+:class:`Ops5Error`, so callers can catch one type to handle any
+engine-level failure.
+"""
+
+from __future__ import annotations
+
+
+class Ops5Error(Exception):
+    """Base class for every error raised by the OPS5 engine."""
+
+
+class ParseError(Ops5Error):
+    """Raised when OPS5 source text cannot be parsed.
+
+    Carries the approximate source position to make diagnostics useful.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ValidationError(Ops5Error):
+    """Raised when a production is structurally invalid.
+
+    Examples: a negated first condition element, a ``modify`` action that
+    refers to a negated condition element, or an RHS variable that is never
+    bound on the LHS.
+    """
+
+
+class ExecutionError(Ops5Error):
+    """Raised when an RHS action fails at run time.
+
+    Examples: ``remove 3`` in a production with two condition elements, or
+    ``compute`` applied to non-numeric values.
+    """
+
+
+class WorkingMemoryError(Ops5Error):
+    """Raised on inconsistent working-memory operations.
+
+    Examples: removing a WME that is not present, or re-adding a WME object
+    that already carries a timetag.
+    """
+
+
+class DuplicateProductionError(Ops5Error):
+    """Raised when a production with an existing name is added."""

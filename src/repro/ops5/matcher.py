@@ -1,0 +1,115 @@
+"""The matcher interface shared by Rete, TREAT, and the naive matcher.
+
+A matcher owns the match state for a fixed (but extensible) set of
+productions and keeps a :class:`~repro.ops5.conflict.ConflictSet` up to
+date as WMEs are added and removed.  The engine drives matchers through
+this interface only, so strategies and matchers compose freely and the
+test suite can run the same program through every matcher and compare
+conflict sets cycle by cycle.
+
+Matchers also collect :class:`MatchStats` -- the measurements the paper
+builds its argument on (Sections 3, 4, 8): working-memory changes per
+cycle, *affected productions* per change, and match effort counters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .conflict import ConflictSet
+from .production import Production
+from .wme import WME
+
+
+@dataclass
+class ChangeRecord:
+    """Per-WME-change measurements (one row per add/remove)."""
+
+    kind: str  # "add" or "remove"
+    wme_class: str
+    affected_productions: int = 0
+    node_activations: int = 0
+    comparisons: int = 0
+    tokens_built: int = 0
+
+
+@dataclass
+class MatchStats:
+    """Aggregate measurements over a matcher's lifetime.
+
+    ``affected productions`` follows the paper's definition: a production
+    is affected by a change when the changed WME matches at least one of
+    its condition elements (i.e. passes that CE's alpha tests).
+    """
+
+    changes: list[ChangeRecord] = field(default_factory=list)
+    total_comparisons: int = 0
+    total_tokens_built: int = 0
+
+    def record(self, record: ChangeRecord) -> None:
+        self.changes.append(record)
+        self.total_comparisons += record.comparisons
+        self.total_tokens_built += record.tokens_built
+
+    @property
+    def total_changes(self) -> int:
+        return len(self.changes)
+
+    @property
+    def mean_affected_productions(self) -> float:
+        """Average affected productions per change (paper: ~30)."""
+        if not self.changes:
+            return 0.0
+        return sum(c.affected_productions for c in self.changes) / len(self.changes)
+
+    @property
+    def mean_node_activations(self) -> float:
+        if not self.changes:
+            return 0.0
+        return sum(c.node_activations for c in self.changes) / len(self.changes)
+
+
+class Matcher(ABC):
+    """Abstract base for match algorithms.
+
+    Contract
+    --------
+    * ``add_wme`` / ``remove_wme`` must leave :attr:`conflict_set`
+      containing exactly the instantiations of all satisfied productions,
+      under OPS5 semantics (including negated condition elements).
+    * WMEs must already carry their timetag when passed in (the engine
+      routes every element through
+      :class:`~repro.ops5.wme.WorkingMemory` first).
+    * Productions may be added at any time; the matcher must fold the
+      current working memory into the new production's state.
+    """
+
+    def __init__(self) -> None:
+        self.conflict_set = ConflictSet()
+        self.stats = MatchStats()
+
+    @abstractmethod
+    def add_production(self, production: Production) -> None:
+        """Register *production* and match it against current memory."""
+
+    @abstractmethod
+    def remove_production(self, name: str) -> None:
+        """Unregister the named production and retract its instantiations."""
+
+    @abstractmethod
+    def add_wme(self, wme: WME) -> None:
+        """Process the insertion of *wme* (already timetagged)."""
+
+    @abstractmethod
+    def remove_wme(self, wme: WME) -> None:
+        """Process the deletion of *wme*."""
+
+    @property
+    @abstractmethod
+    def productions(self) -> Iterable[Production]:
+        """The productions currently registered."""
+
+    def production_names(self) -> set[str]:
+        return {p.name for p in self.productions}

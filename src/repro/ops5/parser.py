@@ -1,0 +1,430 @@
+"""Parser for OPS5 source text.
+
+The accepted language is the attribute--value subset of OPS5 used
+throughout the paper::
+
+    (literalize block id color selected)
+
+    (p find-colored-blk
+      (goal ^type find-blk ^color <c>)
+      (block ^id <i> ^color <c> ^selected no)
+      -->
+      (modify 2 ^selected yes))
+
+Supported LHS forms: constants, variables ``<x>``, predicates
+``= <> < <= > >= <=>`` applied to a constant or variable, conjunctive
+tests ``{ ... }``, disjunctive tests ``<< a b c >>``, and negated
+condition elements (a ``-`` before the pattern).
+
+Supported RHS actions: ``make``, ``remove`` (one or more CE indices),
+``modify``, ``write``, ``bind``, ``halt``.  Value positions accept
+constants, variables, and ``(compute ...)`` arithmetic.
+
+Element classes may be declared with ``literalize``; declarations are
+recorded (and attribute names are checked against them when present) but
+are not required -- undeclared classes are accepted with free-form
+attributes, which keeps small examples terse.
+
+Comments run from ``;`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .actions import (
+    Action,
+    Bind,
+    Compute,
+    Constant,
+    Expression,
+    Halt,
+    Make,
+    Modify,
+    Remove,
+    VariableRef,
+    Write,
+)
+from .condition import (
+    ConditionElement,
+    ConjunctiveTest,
+    ConstantTest,
+    DisjunctiveTest,
+    Predicate,
+    PredicateTest,
+    Test,
+    VariableTest,
+)
+from .errors import ParseError
+from .production import Production
+from .wme import Value
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for diagnostics)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>;[^\n]*)
+  | (?P<arrow>-->)
+  | (?P<ldisj><<)
+  | (?P<rdisj>>>)
+  | (?P<var><[A-Za-z_][A-Za-z0-9_?*-]*>)
+  | (?P<pred><=>|<=|<>|>=|<|>|=)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<attr>\^[A-Za-z_][A-Za-z0-9_?*-]*)
+  | (?P<number>-?\d+(?:\.\d+)?(?=[\s(){}^;]|$))
+  | (?P<symbol>[A-Za-z0-9_*+/!?.$%&\\-][A-Za-z0-9_*+/!?.$%&\\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split OPS5 source into tokens, raising :class:`ParseError` on junk."""
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(f"unexpected character {text[pos]!r}", line, column)
+        kind = match.lastgroup or ""
+        lexeme = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, lexeme, line, match.start() - line_start + 1))
+        newlines = lexeme.count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + lexeme.rfind("\n") + 1
+        pos = match.end()
+    return tokens
+
+
+def _to_value(token: Token) -> Value:
+    """Convert a number/symbol token to a :data:`Value`."""
+    if token.kind == "number":
+        text = token.text
+        return float(text) if "." in text else int(text)
+    return token.text
+
+
+@dataclass
+class Program:
+    """A parsed OPS5 program: productions plus literalize declarations."""
+
+    productions: list[Production] = field(default_factory=list)
+    literalizations: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def production_named(self, name: str) -> Production:
+        for production in self.productions:
+            if production.name == name:
+                return production
+        raise KeyError(name)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token-stream primitives ------------------------------------------
+
+    def _peek(self) -> Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            last = self._tokens[-1] if self._tokens else Token("", "", 1, 1)
+            raise ParseError("unexpected end of input", last.line, last.column)
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def _at(self, kind: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == kind
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek() or Token("", "", 0, 0)
+        return ParseError(message, token.line, token.column)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self._peek() is not None:
+            self._expect("lparen")
+            head = self._next()
+            if head.kind == "symbol" and head.text == "literalize":
+                name, attributes = self._parse_literalize()
+                program.literalizations[name] = attributes
+            elif head.kind == "symbol" and head.text == "p":
+                program.productions.append(self._parse_production(program))
+            else:
+                raise ParseError(
+                    f"expected 'p' or 'literalize', found {head.text!r}",
+                    head.line,
+                    head.column,
+                )
+        return program
+
+    def _parse_literalize(self) -> tuple[str, tuple[str, ...]]:
+        name = self._expect("symbol").text
+        attributes: list[str] = []
+        while not self._at("rparen"):
+            attributes.append(self._expect("symbol").text)
+        self._expect("rparen")
+        return name, tuple(attributes)
+
+    def _parse_production(self, program: Program) -> Production:
+        name_token = self._next()
+        if name_token.kind not in ("symbol", "number"):
+            raise ParseError(
+                f"expected production name, found {name_token.text!r}",
+                name_token.line,
+                name_token.column,
+            )
+        name = name_token.text
+        conditions: list[ConditionElement] = []
+        while not self._at("arrow"):
+            conditions.append(self._parse_condition(program))
+        self._expect("arrow")
+        actions: list[Action] = []
+        while not self._at("rparen"):
+            actions.extend(self._parse_action())
+        self._expect("rparen")
+        return Production(name, conditions, actions)
+
+    def _parse_condition(self, program: Program) -> ConditionElement:
+        negated = False
+        token = self._peek()
+        if token is not None and token.kind == "symbol" and token.text == "-":
+            self._next()
+            negated = True
+        self._expect("lparen")
+        cls_token = self._expect("symbol")
+        cls = cls_token.text
+        declared = program.literalizations.get(cls)
+        tests: dict[str, Test] = {}
+        while not self._at("rparen"):
+            attr_token = self._expect("attr")
+            attribute = attr_token.text[1:]
+            if declared is not None and attribute not in declared:
+                raise ParseError(
+                    f"attribute ^{attribute} is not literalized for class {cls}",
+                    attr_token.line,
+                    attr_token.column,
+                )
+            if attribute in tests:
+                raise ParseError(
+                    f"attribute ^{attribute} tested twice in one condition element "
+                    f"(use a conjunctive test {{ ... }})",
+                    attr_token.line,
+                    attr_token.column,
+                )
+            tests[attribute] = self._parse_value_test()
+        self._expect("rparen")
+        return ConditionElement(cls, tests, negated)
+
+    def _parse_value_test(self) -> Test:
+        if self._at("lbrace"):
+            self._next()
+            inner: list[Test] = []
+            while not self._at("rbrace"):
+                inner.append(self._parse_simple_test())
+            self._expect("rbrace")
+            if not inner:
+                raise self._error("empty conjunctive test { }")
+            return ConjunctiveTest(tuple(inner))
+        if self._at("ldisj"):
+            self._next()
+            values: list[Value] = []
+            while not self._at("rdisj"):
+                token = self._next()
+                if token.kind not in ("symbol", "number"):
+                    raise ParseError(
+                        f"disjunctive tests hold constants only, found {token.text!r}",
+                        token.line,
+                        token.column,
+                    )
+                values.append(_to_value(token))
+            self._expect("rdisj")
+            if not values:
+                raise self._error("empty disjunctive test << >>")
+            return DisjunctiveTest(tuple(values))
+        return self._parse_simple_test()
+
+    def _parse_simple_test(self) -> Test:
+        token = self._next()
+        if token.kind == "pred":
+            predicate = Predicate(token.text)
+            operand_token = self._next()
+            if operand_token.kind == "var":
+                operand: ConstantTest | VariableTest = VariableTest(operand_token.text[1:-1])
+            elif operand_token.kind in ("symbol", "number"):
+                operand = ConstantTest(_to_value(operand_token))
+            else:
+                raise ParseError(
+                    f"predicate operand must be a constant or variable, "
+                    f"found {operand_token.text!r}",
+                    operand_token.line,
+                    operand_token.column,
+                )
+            if predicate is Predicate.EQ and isinstance(operand, ConstantTest):
+                return operand  # "= c" is just the constant test
+            return PredicateTest(predicate, operand)
+        if token.kind == "var":
+            return VariableTest(token.text[1:-1])
+        if token.kind in ("symbol", "number"):
+            return ConstantTest(_to_value(token))
+        raise ParseError(f"expected a test, found {token.text!r}", token.line, token.column)
+
+    # -- RHS ------------------------------------------------------------------
+
+    def _parse_action(self) -> list[Action]:
+        self._expect("lparen")
+        head = self._expect("symbol")
+        name = head.text
+        if name == "make":
+            cls = self._expect("symbol").text
+            attributes = self._parse_attribute_expressions()
+            self._expect("rparen")
+            return [Make(cls, attributes)]
+        if name == "remove":
+            indices: list[int] = []
+            while not self._at("rparen"):
+                token = self._expect("number")
+                indices.append(int(token.text))
+            self._expect("rparen")
+            if not indices:
+                raise self._error("remove needs at least one condition-element index")
+            return [Remove(i) for i in indices]
+        if name == "modify":
+            index = int(self._expect("number").text)
+            attributes = self._parse_attribute_expressions()
+            self._expect("rparen")
+            return [Modify(index, attributes)]
+        if name == "write":
+            values: list[Expression] = []
+            while not self._at("rparen"):
+                values.append(self._parse_expression())
+            self._expect("rparen")
+            return [Write(tuple(values))]
+        if name == "bind":
+            var_token = self._expect("var")
+            expression = self._parse_expression()
+            self._expect("rparen")
+            return [Bind(var_token.text[1:-1], expression)]
+        if name == "halt":
+            self._expect("rparen")
+            return [Halt()]
+        raise ParseError(f"unknown action {name!r}", head.line, head.column)
+
+    def _parse_attribute_expressions(self) -> tuple[tuple[str, Expression], ...]:
+        pairs: list[tuple[str, Expression]] = []
+        while not self._at("rparen"):
+            attr_token = self._expect("attr")
+            pairs.append((attr_token.text[1:], self._parse_expression()))
+        return tuple(pairs)
+
+    def _parse_expression(self) -> Expression:
+        token = self._next()
+        if token.kind == "var":
+            return VariableRef(token.text[1:-1])
+        if token.kind in ("symbol", "number"):
+            return Constant(_to_value(token))
+        if token.kind == "lparen":
+            head = self._expect("symbol")
+            if head.text != "compute":
+                raise ParseError(
+                    f"only (compute ...) is callable in value position, "
+                    f"found {head.text!r}",
+                    head.line,
+                    head.column,
+                )
+            operands: list[Expression] = [self._parse_expression()]
+            operators: list[str] = []
+            while not self._at("rparen"):
+                op_token = self._next()
+                if op_token.kind not in ("symbol", "pred"):
+                    raise ParseError(
+                        f"expected a compute operator, found {op_token.text!r}",
+                        op_token.line,
+                        op_token.column,
+                    )
+                operators.append(op_token.text)
+                operands.append(self._parse_expression())
+            self._expect("rparen")
+            return Compute(tuple(operands), tuple(operators))
+        raise ParseError(
+            f"expected a value expression, found {token.text!r}", token.line, token.column
+        )
+
+
+def parse_program(text: str) -> Program:
+    """Parse OPS5 source text into a :class:`Program`."""
+    return _Parser(tokenize(text)).parse_program()
+
+
+def parse_production(text: str) -> Production:
+    """Parse source containing exactly one production."""
+    program = parse_program(text)
+    if len(program.productions) != 1:
+        raise ParseError(
+            f"expected exactly one production, found {len(program.productions)}"
+        )
+    return program.productions[0]
+
+
+def parse_wme_specs(text: str) -> list[tuple[str, dict[str, Value]]]:
+    """Parse ``(class ^attr value ...)`` element specs (for test setup).
+
+    Returns (class, attributes) pairs ready to construct
+    :class:`~repro.ops5.wme.WME` objects.
+    """
+    tokens = tokenize(text)
+    parser = _Parser(tokens)
+    specs: list[tuple[str, dict[str, Value]]] = []
+    while parser._peek() is not None:
+        parser._expect("lparen")
+        cls = parser._expect("symbol").text
+        attributes: dict[str, Value] = {}
+        while not parser._at("rparen"):
+            attr = parser._expect("attr").text[1:]
+            value_token = parser._next()
+            if value_token.kind not in ("symbol", "number"):
+                raise ParseError(
+                    f"WME values must be constants, found {value_token.text!r}",
+                    value_token.line,
+                    value_token.column,
+                )
+            attributes[attr] = _to_value(value_token)
+        parser._expect("rparen")
+        specs.append((cls, attributes))
+    return specs

@@ -1,0 +1,130 @@
+"""Rendering parsed structures back to OPS5 source.
+
+The inverse of :mod:`repro.ops5.parser`: productions, condition
+elements, tests, and actions render to source text that parses back to
+structurally equal objects (property-tested).  Useful for program
+transformation tools, debugging dumps, and persisting generated rules.
+
+Symbols are emitted verbatim, so they must be lexable (no whitespace or
+parentheses inside a symbol) -- which holds for anything the parser
+produced in the first place.
+"""
+
+from __future__ import annotations
+
+from .actions import (
+    Action,
+    Bind,
+    Compute,
+    Constant,
+    Expression,
+    Halt,
+    Make,
+    Modify,
+    Remove,
+    VariableRef,
+    Write,
+)
+from .condition import (
+    ConditionElement,
+    ConjunctiveTest,
+    ConstantTest,
+    DisjunctiveTest,
+    PredicateTest,
+    Test,
+    VariableTest,
+)
+from .parser import Program
+from .production import Production
+from .wme import Value
+
+
+def unparse_value(value: Value) -> str:
+    """A constant as source text (symbols verbatim, numbers as written)."""
+    return str(value)
+
+
+def unparse_test(test: Test) -> str:
+    """One attribute test as source text."""
+    if isinstance(test, ConstantTest):
+        return unparse_value(test.value)
+    if isinstance(test, VariableTest):
+        return f"<{test.name}>"
+    if isinstance(test, PredicateTest):
+        return f"{test.predicate.value} {unparse_test(test.operand)}"
+    if isinstance(test, ConjunctiveTest):
+        inner = " ".join(unparse_test(t) for t in test.tests)
+        return f"{{ {inner} }}"
+    if isinstance(test, DisjunctiveTest):
+        inner = " ".join(unparse_value(v) for v in test.values)
+        return f"<< {inner} >>"
+    raise TypeError(f"cannot unparse test {test!r}")
+
+
+def unparse_condition(ce: ConditionElement) -> str:
+    """A condition element, attributes in sorted (canonical) order."""
+    parts = [ce.cls]
+    for attribute in sorted(ce.tests):
+        parts.append(f"^{attribute} {unparse_test(ce.tests[attribute])}")
+    body = f"({' '.join(parts)})"
+    return f"- {body}" if ce.negated else body
+
+
+def unparse_expression(expression: Expression) -> str:
+    """An RHS value expression."""
+    if isinstance(expression, Constant):
+        return unparse_value(expression.value)
+    if isinstance(expression, VariableRef):
+        return f"<{expression.name}>"
+    if isinstance(expression, Compute):
+        parts = [unparse_expression(expression.operands[0])]
+        for op, operand in zip(expression.operators, expression.operands[1:]):
+            parts.append(op)
+            parts.append(unparse_expression(operand))
+        return f"(compute {' '.join(parts)})"
+    raise TypeError(f"cannot unparse expression {expression!r}")
+
+
+def unparse_action(action: Action) -> str:
+    """One RHS action."""
+    if isinstance(action, Make):
+        parts = [action.cls] + [
+            f"^{attr} {unparse_expression(expr)}" for attr, expr in action.attributes
+        ]
+        return f"(make {' '.join(parts)})"
+    if isinstance(action, Remove):
+        return f"(remove {action.ce_index})"
+    if isinstance(action, Modify):
+        parts = [str(action.ce_index)] + [
+            f"^{attr} {unparse_expression(expr)}" for attr, expr in action.attributes
+        ]
+        return f"(modify {' '.join(parts)})"
+    if isinstance(action, Write):
+        values = " ".join(unparse_expression(v) for v in action.values)
+        return f"(write {values})"
+    if isinstance(action, Bind):
+        return f"(bind <{action.name}> {unparse_expression(action.expression)})"
+    if isinstance(action, Halt):
+        return "(halt)"
+    raise TypeError(f"cannot unparse action {action!r}")
+
+
+def unparse_production(production: Production) -> str:
+    """A whole production, one CE/action per line."""
+    lines = [f"(p {production.name}"]
+    for ce in production.conditions:
+        lines.append(f"  {unparse_condition(ce)}")
+    lines.append("  -->")
+    for action in production.actions:
+        lines.append(f"  {unparse_action(action)}")
+    return "\n".join(lines) + ")"
+
+
+def unparse_program(program: Program) -> str:
+    """A whole program: literalize declarations, then productions."""
+    chunks = [
+        f"(literalize {cls} {' '.join(attributes)})"
+        for cls, attributes in program.literalizations.items()
+    ]
+    chunks.extend(unparse_production(p) for p in program.productions)
+    return "\n\n".join(chunks)

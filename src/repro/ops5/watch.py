@@ -1,0 +1,69 @@
+"""The OPS5 ``watch`` facility: run tracing at selectable detail.
+
+Classic OPS5 interpreters let users set a watch level:
+
+* level 0 -- silent;
+* level 1 -- print each production firing with its matched timetags;
+* level 2 -- additionally print every working-memory change.
+
+:class:`WatchListener` implements those levels as an
+:class:`~repro.ops5.engine.EngineListener`; :class:`CompositeListener`
+fans engine events out to several listeners (e.g. a watch and a trace
+capture at once).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Sequence
+
+from .engine import EngineListener
+from .production import Instantiation
+from .wme import WME
+
+SILENT = 0
+FIRINGS = 1
+CHANGES = 2
+
+
+class WatchListener(EngineListener):
+    """Prints recognize--act activity at the given watch level."""
+
+    def __init__(self, level: int = FIRINGS, stream: IO[str] | None = None) -> None:
+        if level not in (SILENT, FIRINGS, CHANGES):
+            raise ValueError(f"watch level must be 0, 1, or 2, got {level}")
+        self.level = level
+        self.stream = stream if stream is not None else sys.stdout
+
+    def on_cycle(self, cycle: int, fired: Instantiation) -> None:
+        if self.level >= FIRINGS:
+            tags = " ".join(str(t) for t in fired.timetags)
+            print(f"{cycle}. {fired.production.name} [{tags}]", file=self.stream)
+
+    def on_change(self, cycle: int, kind: str, wme: WME) -> None:
+        if self.level >= CHANGES:
+            sign = "=>" if kind == "add" else "<="
+            print(f"    {sign} {wme!r}", file=self.stream)
+
+    def on_halt(self, cycle: int, reason: str) -> None:
+        if self.level >= FIRINGS:
+            print(f"-- halted after {cycle} cycles: {reason}", file=self.stream)
+
+
+class CompositeListener(EngineListener):
+    """Fans every engine event out to several listeners, in order."""
+
+    def __init__(self, listeners: Sequence[EngineListener]) -> None:
+        self.listeners = list(listeners)
+
+    def on_cycle(self, cycle: int, fired: Instantiation) -> None:
+        for listener in self.listeners:
+            listener.on_cycle(cycle, fired)
+
+    def on_change(self, cycle: int, kind: str, wme: WME) -> None:
+        for listener in self.listeners:
+            listener.on_change(cycle, kind, wme)
+
+    def on_halt(self, cycle: int, reason: str) -> None:
+        for listener in self.listeners:
+            listener.on_halt(cycle, reason)

@@ -1,0 +1,108 @@
+"""Analytic makespan bounds: a cross-check on the simulator.
+
+List-scheduling theory gives hard envelopes for any greedy schedule:
+
+* **lower bound** per batch: no schedule can beat
+  ``max(work / processors, critical path, heaviest lock chain)`` --
+  the machine cannot do work faster than all processors combined, than
+  the longest dependency chain, or than the serialisation forced by the
+  most contended node memory;
+* **upper bound** per batch: a greedy list scheduler never exceeds
+  ``total work + total dispatch occupancy`` -- whenever a processor is
+  idle with ready unblocked tasks, some other processor (or the
+  dispatch channel) is making progress.
+
+:func:`schedule_bounds` computes both envelopes from the same schedule
+the simulator runs; the property-based tests assert every simulated
+makespan falls inside.  The bounds are also useful on their own: the
+lower bound is the best conceivable speed-up of a workload on a
+machine, before running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.events import Trace
+from .granularity import Batch, build_schedule
+from .machine import GRANULARITY_INTRA_NODE, MachineConfig
+
+
+@dataclass(frozen=True)
+class MakespanBounds:
+    """Hard analytic envelope for one workload on one machine."""
+
+    lower: float
+    upper: float
+    #: Decomposition of the binding lower-bound terms, summed over
+    #: batches: how often each constraint was the binding one.
+    bound_by_work: int
+    bound_by_span: int
+    bound_by_locks: int
+
+    def speedup_ceiling(self, serial_cost: float) -> float:
+        """Best conceivable true speed-up: serial cost / lower bound."""
+        return serial_cost / self.lower if self.lower else 0.0
+
+
+def _effective_cost(task, config: MachineConfig) -> float:
+    """Processor occupancy of one task, excluding queue waits."""
+    sync = config.sync_cost_per_task if task.lock_key is not None else 0.0
+    return task.cost * config.work_inflation + sync + config.dispatch_cost
+
+
+def _batch_bounds(
+    batch: Batch, config: MachineConfig
+) -> tuple[float, float, str]:
+    costs = {t.uid: _effective_cost(t, config) for t in batch.tasks}
+
+    work = sum(costs.values())
+
+    finish: dict[int, float] = {}
+    for task in batch.tasks:  # tasks are topologically ordered by uid
+        start = max((finish[d] for d in task.deps), default=0.0)
+        finish[task.uid] = start + costs[task.uid]
+    span = max(finish.values(), default=0.0)
+
+    ways = config.intra_node_ways if config.granularity == GRANULARITY_INTRA_NODE else 1
+    lock_load: dict[int, float] = {}
+    for task in batch.tasks:
+        if task.lock_key is not None:
+            lock_load[task.lock_key] = lock_load.get(task.lock_key, 0.0) + costs[task.uid]
+    heaviest_lock = max(lock_load.values(), default=0.0) / ways
+
+    candidates = {
+        "work": work / config.processors,
+        "span": span,
+        "locks": heaviest_lock,
+    }
+    binding = max(candidates, key=candidates.get)
+    return candidates[binding], work, binding
+
+
+def schedule_bounds(trace: Trace, config: MachineConfig) -> MakespanBounds:
+    """Lower/upper makespan envelope for *trace* on *config*.
+
+    The bus-contention stretch is intentionally excluded (it only makes
+    real schedules slower, so the lower bound stays valid; the upper
+    bound accounts for it by using unstretched work times the maximum
+    slowdown factor).
+    """
+    schedule = build_schedule(trace, config)
+    lower = 0.0
+    upper = 0.0
+    by = {"work": 0, "span": 0, "locks": 0}
+    worst_stretch = config.bus_slowdown(config.processors)
+    for batch in schedule.batches:
+        batch_lower, batch_work, binding = _batch_bounds(batch, config)
+        cr = config.conflict_resolution_cost * len({t.firing for t in batch.tasks})
+        lower += batch_lower + cr
+        upper += batch_work * worst_stretch + cr
+        by[binding] += 1
+    return MakespanBounds(
+        lower=lower,
+        upper=upper,
+        bound_by_work=by["work"],
+        bound_by_span=by["span"],
+        bound_by_locks=by["locks"],
+    )

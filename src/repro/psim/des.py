@@ -1,0 +1,113 @@
+"""A minimal discrete-event core: event queue and resource helpers.
+
+The simulator needs three primitives:
+
+* :class:`EventQueue` -- a time-ordered queue with deterministic
+  tie-breaking (insertion order), so simulations are exactly
+  reproducible;
+* :class:`Semaphore` -- a k-way resource tracking the earliest time a
+  new holder can start (the lock model for memory nodes);
+* :class:`ChannelPool` -- n serial channels, each usable by one
+  occupant at a time, granting the earliest available slot (the model
+  for dispatch queues and, if desired, buses).
+
+Everything works in abstract time (the simulator uses instruction
+units).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterator, Optional
+
+
+class EventQueue:
+    """A priority queue of (time, payload) with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, payload: Any) -> None:
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        heapq.heappush(self._heap, (time, next(self._counter), payload))
+
+    def pop(self) -> tuple[float, Any]:
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[tuple[float, Any]]:
+        while self._heap:
+            yield self.pop()
+
+
+class Semaphore:
+    """A k-way resource: at most *ways* concurrent holders.
+
+    Tracks holders' release times; :meth:`earliest_start` reports when a
+    new holder could begin given a desired time, and :meth:`acquire`
+    commits a hold.  Used for per-node memory locks (1-way under node
+    granularity, k-way under intra-node parallelism).
+    """
+
+    def __init__(self, ways: int) -> None:
+        if ways < 1:
+            raise ValueError("a semaphore needs at least one way")
+        self.ways = ways
+        self._releases: list[float] = []  # heap of current holders' end times
+
+    def _prune(self, now: float) -> None:
+        while self._releases and self._releases[0] <= now:
+            heapq.heappop(self._releases)
+
+    def earliest_start(self, desired: float) -> float:
+        """Earliest time >= desired at which a slot is free."""
+        self._prune(desired)
+        if len(self._releases) < self.ways:
+            return desired
+        # All ways busy: must wait for the soonest release.
+        return self._releases[0]
+
+    def available_at(self, time: float) -> bool:
+        self._prune(time)
+        return len(self._releases) < self.ways
+
+    def acquire(self, start: float, end: float) -> None:
+        self._prune(start)
+        if len(self._releases) >= self.ways:
+            raise RuntimeError("semaphore acquired while full")
+        heapq.heappush(self._releases, end)
+
+
+class ChannelPool:
+    """n serial channels; grants the earliest-available one.
+
+    Each grant occupies a channel for a fixed span starting no earlier
+    than the requested time.  Returns the (start, end) actually granted.
+    """
+
+    def __init__(self, channels: int) -> None:
+        if channels < 1:
+            raise ValueError("a channel pool needs at least one channel")
+        self._free_at = [0.0] * channels
+
+    def grant(self, desired: float, duration: float) -> tuple[float, float]:
+        index = min(range(len(self._free_at)), key=lambda i: self._free_at[i])
+        start = max(desired, self._free_at[index])
+        end = start + duration
+        self._free_at[index] = end
+        return start, end
+
+    def earliest(self) -> float:
+        return min(self._free_at)

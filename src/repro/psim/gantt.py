@@ -1,0 +1,81 @@
+"""ASCII Gantt rendering of simulated schedules.
+
+Turns a placement-recorded :class:`SimulationResult` into a per-
+processor timeline, making scheduling behaviour -- barriers between
+firings, lock serialisation, idle processors past the saturation point
+-- visible at a glance::
+
+    p0 |rrjjjjjj..jjjj|
+    p1 |..jjjj....tt..|
+    p2 |..............|
+
+Each column is a time slice; the letter is the task kind that occupied
+most of the slice (r=root, a=amem, b=bmem, j=join, n=neg, t=term,
+p=production); ``.`` is idle.
+"""
+
+from __future__ import annotations
+
+from .metrics import SimulationResult
+
+_KIND_LETTERS = {
+    "root": "r",
+    "amem": "a",
+    "bmem": "b",
+    "join": "j",
+    "neg": "n",
+    "term": "t",
+    "production": "p",
+}
+
+
+def render_gantt(result: SimulationResult, width: int = 72) -> str:
+    """Render the recorded schedule as a per-processor timeline.
+
+    Requires the simulation to have been run with
+    ``record_placements=True``; raises ``ValueError`` otherwise.
+    """
+    if result.placements is None:
+        raise ValueError(
+            "no placements recorded; run simulate(..., record_placements=True)"
+        )
+    if result.makespan <= 0 or not result.placements:
+        return "(empty schedule)"
+    if width < 4:
+        raise ValueError("width must leave room for at least a few slices")
+
+    processors = result.config.processors
+    scale = result.makespan / width
+    # occupancy[p][column] -> {letter: covered time}
+    rows: list[str] = []
+    grid: list[list[dict[str, float]]] = [
+        [dict() for _ in range(width)] for _ in range(processors)
+    ]
+    for placement in result.placements:
+        letter = _KIND_LETTERS.get(placement.kind, "?")
+        first = min(int(placement.start / scale), width - 1)
+        last = min(int(placement.end / scale), width - 1)
+        for column in range(first, last + 1):
+            slice_start = column * scale
+            slice_end = slice_start + scale
+            covered = min(placement.end, slice_end) - max(placement.start, slice_start)
+            if covered > 0:
+                cell = grid[placement.processor][column]
+                cell[letter] = cell.get(letter, 0.0) + covered
+
+    label_width = len(f"p{processors - 1}")
+    for processor in range(processors):
+        cells = []
+        for column in range(width):
+            cell = grid[processor][column]
+            if not cell:
+                cells.append(".")
+            else:
+                cells.append(max(cell, key=cell.get))
+        rows.append(f"p{processor:<{label_width - 1}} |{''.join(cells)}|")
+    header = (
+        f"{result.trace_name}: makespan {result.makespan:,.0f} instr, "
+        f"concurrency {result.concurrency:.2f} "
+        f"(each column ~ {scale:,.0f} instr; r/a/b/j/n/t/p by node kind)"
+    )
+    return "\n".join([header] + rows)

@@ -1,0 +1,244 @@
+"""Re-granularising traces for the simulator (Section 4's comparison).
+
+The paper contrasts three ways of carving match work into schedulable
+tasks:
+
+* **node parallelism** -- each node activation is a task; activations of
+  the *same* node serialise on its memory (1-way lock);
+* **intra-node parallelism** -- the proposed refinement: multiple
+  activations of one node may run concurrently (k-way lock, modelling
+  hash-partitioned node memories), at some synchronisation cost;
+* **production parallelism** -- the rejected coarse alternative: all
+  match work of one affected production is a single serial task, and
+  work on nodes shared between productions is *replicated* into every
+  using production (sharing cannot survive distribution).
+
+:func:`build_schedule` converts a :class:`~repro.trace.events.Trace`
+into batches of :class:`SimTask` under a machine configuration,
+encoding:
+
+* intra-change dependencies (the activation DAG),
+* change sequencing (parallel when ``wme_level_parallelism``, else each
+  change waits for the previous change of its firing),
+* firing batching (``firing_batch`` consecutive firings per barrier --
+  the "parallel firings" curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..trace.events import ChangeTrace, Trace
+from .machine import (
+    GRANULARITY_PRODUCTION,
+    MachineConfig,
+)
+
+#: Lock key of the shared conflict set (terminal activations).
+CONFLICT_SET_LOCK = -1
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One schedulable unit for the simulator.
+
+    ``pin`` restricts execution to one processor index (static
+    partitioning -- the compile-time assignment the paper's shared-memory
+    argument is against).  ``cluster`` restricts execution to one cluster
+    of processors (the hierarchical-multiprocessor extension of
+    Section 5).  Both default to None: any processor may run the task,
+    which is the run-time assignment shared memory enables.
+    """
+
+    uid: int
+    cost: float
+    deps: tuple[int, ...]
+    lock_key: int | None
+    kind: str
+    firing: int
+    change: int
+    pin: int | None = None
+    cluster: int | None = None
+    #: Production name, set on production-granularity tasks only (used
+    #: by the static partitioner to pin work).
+    production: str = ""
+
+
+@dataclass
+class Batch:
+    """Tasks between two synchronisation barriers."""
+
+    index: int
+    tasks: list[SimTask] = field(default_factory=list)
+
+
+@dataclass
+class Schedule:
+    """The simulator's workload: barrier-separated task batches."""
+
+    batches: list[Batch]
+    total_changes: int
+    total_firings: int
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(len(b.tasks) for b in self.batches)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(t.cost for b in self.batches for t in b.tasks)
+
+
+class _UidAllocator:
+    def __init__(self) -> None:
+        self._next = 0
+
+    def take(self) -> int:
+        uid = self._next
+        self._next += 1
+        return uid
+
+
+def _node_tasks(
+    change: ChangeTrace,
+    uids: _UidAllocator,
+    extra_deps: tuple[int, ...],
+    firing: int,
+    change_index: int,
+) -> list[SimTask]:
+    """Node-granularity tasks for one change (lock = the node's memory)."""
+    out: list[SimTask] = []
+    local_uid: dict[int, int] = {}
+    for task in change.tasks:
+        uid = uids.take()
+        local_uid[task.index] = uid
+        deps = tuple(local_uid[d] for d in task.deps)
+        if not deps:
+            deps = extra_deps
+        if task.kind == "term":
+            lock: int | None = CONFLICT_SET_LOCK
+        elif task.kind in ("amem", "bmem", "join", "neg"):
+            lock = task.node_id
+        else:
+            lock = None
+        out.append(
+            SimTask(
+                uid=uid,
+                cost=float(task.cost),
+                deps=deps,
+                lock_key=lock,
+                kind=task.kind,
+                firing=firing,
+                change=change_index,
+            )
+        )
+    return out
+
+
+#: Registry that maps production names to stable synthetic lock keys,
+#: disjoint from node ids (which are positive) and the conflict set (-1).
+class _ProductionLocks:
+    def __init__(self) -> None:
+        self._keys: dict[str, int] = {}
+
+    def key(self, production: str) -> int:
+        if production not in self._keys:
+            self._keys[production] = -2 - len(self._keys)
+        return self._keys[production]
+
+
+def _production_tasks(
+    change: ChangeTrace,
+    uids: _UidAllocator,
+    extra_deps: tuple[int, ...],
+    firing: int,
+    change_index: int,
+    locks: _ProductionLocks,
+) -> list[SimTask]:
+    """Production-granularity tasks: one serial lump per affected rule.
+
+    Work on shared nodes is charged to *every* production using them
+    (loss of sharing), and unattributed work (the alpha root) is
+    likewise replicated, since each production's matcher must examine
+    the change itself.
+    """
+    costs: dict[str, float] = {}
+    shared_overhead = 0.0
+    for task in change.tasks:
+        if task.productions:
+            for production in task.productions:
+                costs[production] = costs.get(production, 0.0) + task.cost
+        else:
+            shared_overhead += task.cost
+    out: list[SimTask] = []
+    if not costs:
+        # Nobody affected: the change still pays its alpha pass.
+        uid = uids.take()
+        out.append(
+            SimTask(
+                uid=uid,
+                cost=max(shared_overhead, 1.0),
+                deps=extra_deps,
+                lock_key=None,
+                kind="production",
+                firing=firing,
+                change=change_index,
+            )
+        )
+        return out
+    for production in sorted(costs):
+        uid = uids.take()
+        out.append(
+            SimTask(
+                uid=uid,
+                cost=costs[production] + shared_overhead,
+                deps=extra_deps,
+                lock_key=locks.key(production),
+                kind="production",
+                firing=firing,
+                change=change_index,
+                production=production,
+            )
+        )
+    return out
+
+
+def build_schedule(trace: Trace, config: MachineConfig) -> Schedule:
+    """Compile *trace* into simulator batches under *config*'s policy."""
+    uids = _UidAllocator()
+    production_locks = _ProductionLocks()
+    batches: list[Batch] = []
+    firing_count = len(trace.firings)
+    change_counter = 0
+
+    for batch_start in range(0, firing_count, config.firing_batch):
+        batch = Batch(index=len(batches))
+        group = trace.firings[batch_start : batch_start + config.firing_batch]
+        for offset, firing in enumerate(group):
+            firing_index = batch_start + offset
+            previous_change_uids: tuple[int, ...] = ()
+            for change_index, change in enumerate(firing.changes):
+                extra = () if config.wme_level_parallelism else previous_change_uids
+                if config.granularity == GRANULARITY_PRODUCTION:
+                    tasks = _production_tasks(
+                        change, uids, extra, firing_index, change_index, production_locks
+                    )
+                else:
+                    tasks = _node_tasks(change, uids, extra, firing_index, change_index)
+                if config.clusters > 1:
+                    # Hierarchical machine: the whole change stays in one
+                    # cluster (its node state lives there); changes are
+                    # spread round-robin across clusters.
+                    cluster = change_counter % config.clusters
+                    tasks = [replace(t, cluster=cluster) for t in tasks]
+                change_counter += 1
+                batch.tasks.extend(tasks)
+                previous_change_uids = tuple(t.uid for t in tasks)
+        if batch.tasks:
+            batches.append(batch)
+
+    return Schedule(
+        batches=batches,
+        total_changes=trace.total_changes,
+        total_firings=firing_count,
+    )

@@ -1,0 +1,201 @@
+"""The production-system machine (PSM) model: Section 5 in parameters.
+
+:class:`MachineConfig` captures every architectural choice the paper
+discusses, with defaults matching the proposed machine:
+
+* a bus-based shared-memory multiprocessor with 32 processors of 2 MIPS
+  each (Section 5, requirements 1-3);
+* a hardware task scheduler costing about one bus cycle per scheduling
+  operation (requirement 4) -- the ``software`` alternative models the
+  serial critical-section cost the paper warns about;
+* a single shared bus whose capacity comfortably carries ~32 processors
+  at reasonable cache-hit ratios (Section 5: "a single high-speed bus
+  should be able to handle the load put on it by about 32 processors");
+* fine-grain *node* parallelism, optionally relaxed to *intra-node*
+  parallelism (multiple activations of the same node in parallel,
+  Section 4) or restricted to coarse *production* parallelism (the
+  rejected alternative);
+* parallel processing of the multiple working-memory changes of a
+  firing (``wme_level_parallelism``), and of several firings at once
+  (``firing_batch`` > 1 -- the figures' "parallel firings" curves);
+* a work-inflation factor for the parallel implementation's loss of
+  node sharing, and a per-task synchronisation cost -- two of the three
+  components of the paper's 1.93 lost factor (the third, scheduling
+  overhead, comes from the dispatch model).
+
+Time is measured in *instruction units*: the time one processor needs
+for one instruction.  Seconds follow from the MIPS rating at reporting
+time only, so one simulation serves any processor speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Granularity levels (Section 4's comparison).
+GRANULARITY_NODE = "node"
+GRANULARITY_INTRA_NODE = "intra-node"
+GRANULARITY_PRODUCTION = "production"
+
+SCHEDULER_HARDWARE = "hardware"
+SCHEDULER_SOFTWARE = "software"
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A parametric multiprocessor for the trace simulator."""
+
+    #: Number of processors (paper: 32-64).
+    processors: int = 32
+    #: Per-processor speed, used only to convert to seconds (paper: 2).
+    mips: float = 2.0
+
+    # -- task scheduler ------------------------------------------------------
+    #: "hardware" (one bus cycle per dispatch) or "software" (a serial
+    #: critical section per dispatch).
+    scheduler: str = SCHEDULER_HARDWARE
+    #: Dispatch cost in instruction units for the hardware scheduler
+    #: ("the time to schedule an activation ... one bus cycle").
+    hardware_dispatch_cost: float = 1.0
+    #: Dispatch critical-section cost for a software task queue.
+    software_dispatch_cost: float = 60.0
+    #: Number of independent software task queues (1 = the bottleneck
+    #: case; more queues relieve contention at some balance cost).
+    software_queues: int = 1
+
+    # -- memory system ----------------------------------------------------------
+    #: Shared buses between processors and memory.
+    buses: int = 1
+    #: Fraction of memory references served by the per-processor cache.
+    cache_hit_ratio: float = 0.85
+    #: Memory references issued per instruction.
+    refs_per_instruction: float = 0.30
+    #: Bus operations one bus completes per instruction unit.
+    bus_ops_per_instruction_time: float = 1.6
+
+    # -- parallelism policy -------------------------------------------------------
+    #: "node", "intra-node", or "production".
+    granularity: str = GRANULARITY_INTRA_NODE
+    #: Max concurrent activations of one node under intra-node
+    #: parallelism (hash-partitioned memory banks).
+    intra_node_ways: int = 4
+    #: Process the several WME changes of one firing in parallel.
+    wme_level_parallelism: bool = True
+    #: Number of consecutive firings whose changes are processed
+    #: together (>1 reproduces the "parallel firings" curves).
+    firing_batch: int = 1
+    #: Hierarchical-multiprocessor extension (Section 5: "in case it
+    #: does become necessary to use a larger number of processors
+    #: (100-1000) ... the use of hierarchical multiprocessors is
+    #: proposed").  Processors split into this many clusters; each
+    #: working-memory change is handled entirely inside one cluster, so
+    #: shared state stays cluster-local.  1 = flat machine.
+    clusters: int = 1
+
+    # -- parallel-implementation overheads -------------------------------------------
+    #: Work inflation of the parallel Rete relative to the shared serial
+    #: network (loss of sharing, per-task bookkeeping).
+    sharing_loss_factor: float = 1.48
+    #: Lock acquire/release instructions per task.
+    sync_cost_per_task: float = 12.0
+    #: Serial conflict-resolution + act overhead per production firing,
+    #: in instruction units.  The paper ignores these phases ("match ...
+    #: takes about 90% of the total time" and the others parallelise
+    #: easily); a non-zero value models them as an Amdahl term at the
+    #: recognize--act barrier.
+    conflict_resolution_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        if self.scheduler not in (SCHEDULER_HARDWARE, SCHEDULER_SOFTWARE):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.granularity not in (
+            GRANULARITY_NODE,
+            GRANULARITY_INTRA_NODE,
+            GRANULARITY_PRODUCTION,
+        ):
+            raise ValueError(f"unknown granularity {self.granularity!r}")
+        if not 0.0 <= self.cache_hit_ratio <= 1.0:
+            raise ValueError("cache_hit_ratio must be in [0, 1]")
+        if self.software_queues < 1 or self.intra_node_ways < 1 or self.firing_batch < 1:
+            raise ValueError("counts must be >= 1")
+        if self.buses < 1:
+            raise ValueError("need at least one bus")
+        if self.clusters < 1 or self.clusters > self.processors:
+            raise ValueError("clusters must be between 1 and the processor count")
+
+    # -- derived quantities ----------------------------------------------------------
+
+    @property
+    def cluster_size(self) -> int:
+        """Processors per cluster (the last cluster takes any remainder)."""
+        return self.processors // self.clusters
+
+    def cluster_of(self, processor: int) -> int:
+        """Which cluster a processor index belongs to."""
+        return min(processor // self.cluster_size, self.clusters - 1)
+
+    @property
+    def dispatch_cost(self) -> float:
+        """Instruction units one dispatch occupies its queue for."""
+        if self.scheduler == SCHEDULER_HARDWARE:
+            return self.hardware_dispatch_cost
+        return self.software_dispatch_cost
+
+    @property
+    def dispatch_queues(self) -> int:
+        """Parallel dispatch channels (hardware scheduler has one fast one)."""
+        if self.scheduler == SCHEDULER_HARDWARE:
+            return 1
+        return self.software_queues
+
+    @property
+    def per_processor_bus_demand(self) -> float:
+        """Bus operations per instruction unit one running processor makes."""
+        return self.refs_per_instruction * (1.0 - self.cache_hit_ratio)
+
+    @property
+    def bus_capacity(self) -> float:
+        """Total bus operations per instruction unit across all buses."""
+        return self.buses * self.bus_ops_per_instruction_time
+
+    def bus_slowdown(self, running: int) -> float:
+        """Execution stretch when *running* processors execute at once.
+
+        A linear saturation model: below capacity the bus is invisible;
+        above it, everyone slows by demand/capacity.  The paper's claim
+        that one bus carries ~32 processors holds at the defaults:
+        32 x 0.045 = 1.44 < 1.6.
+        """
+        demand = running * self.per_processor_bus_demand
+        if demand <= self.bus_capacity:
+            return 1.0
+        return demand / self.bus_capacity
+
+    @property
+    def work_inflation(self) -> float:
+        """Cost multiplier vs. the shared serial network.
+
+        Production granularity replicates shared work explicitly during
+        trace regranularisation, so no additional inflation applies.
+        """
+        if self.granularity == GRANULARITY_PRODUCTION:
+            return 1.0
+        return self.sharing_loss_factor
+
+    def seconds(self, instruction_units: float) -> float:
+        """Convert simulated instruction units to wall-clock seconds."""
+        return instruction_units / (self.mips * 1e6)
+
+    def with_processors(self, processors: int) -> "MachineConfig":
+        """A copy with a different processor count (for sweeps)."""
+        return replace(self, processors=processors)
+
+
+#: The machine of the paper's headline numbers: 32 x 2 MIPS, hardware
+#: scheduler, intra-node + wme-level parallelism.
+PAPER_PSM = MachineConfig()
+
+#: The same machine restricted to coarse production parallelism.
+PRODUCTION_PARALLEL_PSM = MachineConfig(granularity=GRANULARITY_PRODUCTION)

@@ -1,0 +1,269 @@
+"""The trace-driven multiprocessor simulator (the paper's Section 6 tool).
+
+A deterministic discrete-event list scheduler:
+
+* tasks become ready when their dependencies complete (and their batch
+  has started -- recognize--act cycles impose barriers);
+* ready tasks are dispatched to idle processors through the scheduler
+  model (hardware: ~one bus cycle; software: a serial critical section
+  per dispatch, through one or more queues);
+* a task whose target node memory is locked is *not* dispatched -- the
+  paper's hardware scheduler "is expected to ensure that multiple node
+  activations assigned to be processed in parallel cannot interfere
+  with each other" -- it stays queued until a completion frees the lock;
+* execution time is the task cost, inflated by the sharing-loss factor
+  and stretched by bus contention at the moment of dispatch.
+
+Determinism: ready tasks are considered in uid order and all tie-breaks
+are FIFO, so equal inputs give bit-equal outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..trace.events import Trace
+from .des import ChannelPool, EventQueue, Semaphore
+from .granularity import Batch, Schedule, SimTask, build_schedule
+from .machine import GRANULARITY_INTRA_NODE, MachineConfig
+from .metrics import SimulationResult
+
+
+class _Totals:
+    """Mutable accumulators shared across batches of one run."""
+
+    def __init__(self, record_placements: bool = False) -> None:
+        self.busy_time = 0.0
+        self.executed_work = 0.0
+        self.dispatch_work = 0.0
+        self.sync_work = 0.0
+        self.queue_wait = 0.0
+        self.peak = 0
+        self.placements: list | None = [] if record_placements else None
+
+
+def simulate(
+    trace: Trace, config: MachineConfig, record_placements: bool = False
+) -> SimulationResult:
+    """Execute *trace* on the machine described by *config*.
+
+    With ``record_placements``, the result carries every task's
+    (processor, start, end) span -- feed it to
+    :func:`repro.psim.gantt.render_gantt`.
+    """
+    schedule = build_schedule(trace, config)
+    return simulate_schedule(
+        schedule,
+        config,
+        trace_name=trace.name,
+        serial_cost=float(trace.serial_cost),
+        record_placements=record_placements,
+    )
+
+
+def simulate_schedule(
+    schedule: Schedule,
+    config: MachineConfig,
+    trace_name: str = "trace",
+    serial_cost: float = 0.0,
+    record_placements: bool = False,
+) -> SimulationResult:
+    """Run a prepared :class:`Schedule` (the lower-level entry point)."""
+    totals = _Totals(record_placements)
+    dispatch = ChannelPool(config.dispatch_queues)
+    locks: dict[int, Semaphore] = {}
+    ways = config.intra_node_ways if config.granularity == GRANULARITY_INTRA_NODE else 1
+
+    time = 0.0
+    critical_path = 0.0
+    for batch in schedule.batches:
+        time = _run_batch(batch, config, totals, dispatch, locks, ways, start=time)
+        critical_path += _batch_critical_path(batch)
+        if config.conflict_resolution_cost:
+            # Conflict resolution and act are serial per firing, at the
+            # recognize--act barrier (an Amdahl term the paper sets to 0).
+            firings_in_batch = len({task.firing for task in batch.tasks})
+            time += config.conflict_resolution_cost * firings_in_batch
+
+    if serial_cost <= 0.0:
+        serial_cost = schedule.total_cost
+
+    return SimulationResult(
+        config=config,
+        trace_name=trace_name,
+        makespan=time,
+        busy_time=totals.busy_time,
+        executed_work=totals.executed_work,
+        serial_cost=serial_cost,
+        dispatch_work=totals.dispatch_work,
+        sync_work=totals.sync_work,
+        queue_wait=totals.queue_wait,
+        total_tasks=schedule.total_tasks,
+        total_changes=schedule.total_changes,
+        total_firings=schedule.total_firings,
+        peak_concurrency=totals.peak,
+        critical_path=critical_path,
+        placements=totals.placements,
+    )
+
+
+def _batch_critical_path(batch: Batch) -> float:
+    finish: dict[int, float] = {}
+    for task in batch.tasks:
+        start = max((finish[d] for d in task.deps), default=0.0)
+        finish[task.uid] = start + task.cost
+    return max(finish.values(), default=0.0)
+
+
+def _run_batch(
+    batch: Batch,
+    config: MachineConfig,
+    totals: _Totals,
+    dispatch: ChannelPool,
+    locks: dict[int, Semaphore],
+    lock_ways: int,
+    start: float,
+) -> float:
+    """Simulate one barrier-separated batch; return its finish time."""
+    tasks = {t.uid: t for t in batch.tasks}
+    pending_deps = {t.uid: len(t.deps) for t in batch.tasks}
+    dependents: dict[int, list[int]] = {}
+    for task in batch.tasks:
+        for dep in task.deps:
+            dependents.setdefault(dep, []).append(task.uid)
+
+    ready: list[int] = sorted(uid for uid, n in pending_deps.items() if n == 0)
+    completions = EventQueue()
+    free = set(range(config.processors))
+    now = start
+    finished = 0
+    total = len(batch.tasks)
+
+    while finished < total:
+        # Dispatch as many ready tasks as possible at `now`.
+        still_blocked: list[int] = []
+        for pos, uid in enumerate(ready):
+            if not free:
+                still_blocked.extend(ready[pos:])
+                break
+            task = tasks[uid]
+            processor = _eligible_processor(task, free, config)
+            if processor is None:
+                still_blocked.append(uid)
+                continue
+            lock = None
+            if task.lock_key is not None:
+                lock = locks.get(task.lock_key)
+                if lock is None:
+                    lock = locks[task.lock_key] = Semaphore(lock_ways)
+                if not lock.available_at(now):
+                    still_blocked.append(uid)
+                    continue
+            running = config.processors - len(free)
+            _start_task(
+                task, config, totals, dispatch, lock, now, running, processor,
+                completions,
+            )
+            free.discard(processor)
+            totals.peak = max(totals.peak, config.processors - len(free))
+        ready = still_blocked
+
+        if finished + len(ready) > total:  # pragma: no cover - sanity
+            raise RuntimeError("scheduler bookkeeping corrupted")
+
+        # Advance to the next completion.
+        if not completions:
+            if ready:  # pragma: no cover - deadlock guard
+                raise RuntimeError(
+                    "no running tasks but ready tasks remain; lock model deadlock"
+                )
+            break
+        now, (uid, processor) = completions.pop()
+        free.add(processor)
+        finished += 1
+        for dependent in dependents.get(uid, ()):
+            pending_deps[dependent] -= 1
+            if pending_deps[dependent] == 0:
+                ready.append(dependent)
+        # Drain any completions at the same instant before redispatching.
+        while completions and completions.peek_time() == now:
+            _, (uid2, processor2) = completions.pop()
+            free.add(processor2)
+            finished += 1
+            for dependent in dependents.get(uid2, ()):
+                pending_deps[dependent] -= 1
+                if pending_deps[dependent] == 0:
+                    ready.append(dependent)
+        ready.sort()
+
+    return now
+
+
+def _eligible_processor(task: SimTask, free: set[int], config: MachineConfig):
+    """The lowest free processor this task may run on, or None.
+
+    Pinned tasks (static partitioning) only run on their processor;
+    cluster-bound tasks (hierarchical machine) on their cluster's
+    processors; everything else anywhere -- the run-time assignment a
+    shared-memory machine permits.
+    """
+    if task.pin is not None:
+        return task.pin if task.pin in free else None
+    if task.cluster is not None:
+        size = config.cluster_size
+        low = task.cluster * size
+        high = config.processors if task.cluster == config.clusters - 1 else low + size
+        eligible = [p for p in free if low <= p < high]
+        return min(eligible) if eligible else None
+    return min(free)
+
+
+def _start_task(
+    task: SimTask,
+    config: MachineConfig,
+    totals: _Totals,
+    dispatch: ChannelPool,
+    lock: Semaphore | None,
+    now: float,
+    running: int,
+    processor: int,
+    completions: EventQueue,
+) -> None:
+    """Commit one task to a processor; push its completion event."""
+    dispatch_start, dispatch_end = dispatch.grant(now, config.dispatch_cost)
+    sync = config.sync_cost_per_task if lock is not None else 0.0
+    exec_start = dispatch_end + sync
+    duration = task.cost * config.work_inflation * config.bus_slowdown(running + 1)
+    end = exec_start + duration
+    if lock is not None:
+        lock.acquire(exec_start, end)
+
+    totals.queue_wait += dispatch_start - now
+    totals.dispatch_work += config.dispatch_cost
+    totals.sync_work += sync
+    totals.executed_work += duration
+    totals.busy_time += end - now
+    if totals.placements is not None:
+        from .metrics import TaskPlacement
+
+        totals.placements.append(
+            TaskPlacement(
+                uid=task.uid, kind=task.kind, processor=processor,
+                start=now, end=end,
+            )
+        )
+    completions.push(end, (task.uid, processor))
+
+
+def sweep_processors(
+    trace: Trace, config: MachineConfig, processor_counts: Iterable[int]
+) -> list[SimulationResult]:
+    """Simulate *trace* at each processor count (the figures' x-axis)."""
+    return [simulate(trace, config.with_processors(n)) for n in processor_counts]
+
+
+def simulate_many(
+    traces: Sequence[Trace], config: MachineConfig
+) -> list[SimulationResult]:
+    """Simulate several systems under one machine (for paper averages)."""
+    return [simulate(trace, config) for trace in traces]

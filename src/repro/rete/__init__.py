@@ -1,0 +1,43 @@
+"""The Rete match algorithm (the paper's Section 2.2), instrumented.
+
+Public surface:
+
+* :class:`ReteNetwork` -- the matcher; plug into
+  :class:`~repro.ops5.engine.ProductionSystem` (it is the default).
+* :class:`RecordingListener` / :class:`ActivationEvent` -- capture the
+  node-activation trace that drives the multiprocessor simulator.
+* :func:`collect_stats` / :class:`NetworkStats` -- structure & sharing
+  measurements.
+"""
+
+from .instrument import ActivationEvent, NetworkListener, RecordingListener
+from .network import ReteNetwork
+from .nodes import (
+    AlphaMemory,
+    AlphaTestNode,
+    BetaMemory,
+    JoinNode,
+    NegativeNode,
+    TerminalNode,
+)
+from .stats import NetworkStats, collect_stats
+from .token import Token
+from .verify import assert_network_consistent, check_network
+
+__all__ = [
+    "ActivationEvent",
+    "AlphaMemory",
+    "AlphaTestNode",
+    "BetaMemory",
+    "JoinNode",
+    "NegativeNode",
+    "NetworkListener",
+    "NetworkStats",
+    "RecordingListener",
+    "ReteNetwork",
+    "TerminalNode",
+    "Token",
+    "assert_network_consistent",
+    "check_network",
+    "collect_stats",
+]

@@ -1,0 +1,99 @@
+"""Node-activation instrumentation.
+
+The paper's evaluation pipeline is *trace-driven*: an instrumented Rete
+interpreter records every node activation together with the activation
+that caused it, and a multiprocessor simulator replays the resulting
+task graph (Section 6: "the inputs to the simulator consist of a
+detailed trace of node activations from an actual run...").
+
+:class:`ActivationEvent` is one record of that trace.  Events form a
+forest per working-memory change: the root event is the change itself;
+an alpha-memory activation is a child of the change; a join activation
+caused by that alpha memory is a child of the alpha event, and so on.
+The ``parent`` link is exactly the data dependency the simulator must
+respect.
+
+Cost-relevant measurements are captured per event:
+
+``comparisons``
+    Number of token-vs-WME consistency checks the activation performed
+    (drives the cost model's per-pair term).
+``outputs``
+    Number of tokens the activation emitted downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ActivationEvent:
+    """One node activation in a Rete run.
+
+    Attributes
+    ----------
+    seq:
+        Unique, increasing id within the run (a valid topological order).
+    parent:
+        ``seq`` of the activation that triggered this one, or None when
+        the trigger is the working-memory change itself.
+    node_id / node_kind:
+        Which network node ran.  Kinds: ``root``, ``const``, ``amem``,
+        ``bmem``, ``join``, ``neg``, ``term``.
+    direction:
+        "add" or "delete" -- whether match state is being built or torn
+        down (costs are symmetric in Rete; the paper sets c1 = c2).
+    side:
+        For two-input nodes, "left" (token arrived) or "right" (WME
+        arrived); empty otherwise.
+    production:
+        For terminal activations, the production affected.
+    """
+
+    seq: int
+    parent: Optional[int]
+    node_id: int
+    node_kind: str
+    direction: str
+    side: str = ""
+    comparisons: int = 0
+    outputs: int = 0
+    production: str = ""
+
+
+class NetworkListener:
+    """Observer of Rete activity.  All methods default to no-ops."""
+
+    def on_change_begin(self, kind: str, wme_timetag: int, wme_class: str) -> None:
+        """A working-memory change is about to flow through the network."""
+
+    def on_activation(self, event: ActivationEvent) -> None:
+        """A node activation completed (counters are final)."""
+
+    def on_change_end(self) -> None:
+        """The change has fully propagated; the network is quiescent."""
+
+
+class RecordingListener(NetworkListener):
+    """Records every event, grouped per working-memory change.
+
+    The trace generator consumes :attr:`changes`: a list of
+    (change kind, wme class, [events]) triples in occurrence order.
+    """
+
+    def __init__(self) -> None:
+        self.changes: list[tuple[str, str, list[ActivationEvent]]] = []
+        self._current: Optional[list[ActivationEvent]] = None
+
+    def on_change_begin(self, kind: str, wme_timetag: int, wme_class: str) -> None:
+        self._current = []
+        self.changes.append((kind, wme_class, self._current))
+
+    def on_activation(self, event: ActivationEvent) -> None:
+        if self._current is not None:
+            self._current.append(event)
+
+    def on_change_end(self) -> None:
+        self._current = None

@@ -1,0 +1,86 @@
+"""Network-level statistics: node counts, sharing, and state volume.
+
+These feed two of the paper's arguments:
+
+* **Sharing** (Sections 2.2, 4): the compiler shares identical nodes, a
+  significant uniprocessor win that production-level parallelism must
+  give up.  ``sharing_ratio`` quantifies it for a loaded network.
+* **State volume** (Section 3.2): Rete's stored state sits between
+  TREAT's (alpha only) and Oflazer's (all CE combinations);
+  ``state_size`` reports the live token/WME counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .network import ReteNetwork
+from .nodes import (
+    AlphaMemory,
+    AlphaTestNode,
+    BetaMemory,
+    JoinNode,
+    NegativeNode,
+    TerminalNode,
+)
+
+
+@dataclass
+class NetworkStats:
+    """A snapshot of one network's structure and stored state."""
+
+    productions: int
+    nodes_by_kind: dict[str, int] = field(default_factory=dict)
+    #: Registry reuse events during compilation (higher = more sharing).
+    shared_hits: int = 0
+    #: Node objects actually created.
+    created: int = 0
+    alpha_wmes: int = 0
+    beta_tokens: int = 0
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.nodes_by_kind.values())
+
+    @property
+    def sharing_ratio(self) -> float:
+        """Fraction of compile-time node demands served by reuse.
+
+        0.0 means no sharing occurred; approaching 1.0 means nearly every
+        requested node already existed.
+        """
+        demands = self.created + self.shared_hits
+        return self.shared_hits / demands if demands else 0.0
+
+    def rows(self) -> list[tuple[str, int]]:
+        """(kind, count) rows for report printing."""
+        return sorted(self.nodes_by_kind.items())
+
+
+def collect_stats(net: ReteNetwork) -> NetworkStats:
+    """Compute a :class:`NetworkStats` snapshot for *net*."""
+    kinds: dict[str, int] = {}
+    alpha_wmes = 0
+    beta_tokens = 0
+    for node in net.share_registry.values():
+        kinds[node.kind] = kinds.get(node.kind, 0) + 1
+        if isinstance(node, AlphaMemory):
+            alpha_wmes += len(node.items)
+        elif isinstance(node, BetaMemory):
+            beta_tokens += len(node.items)
+        elif isinstance(node, NegativeNode):
+            beta_tokens += len(node.stored)
+    # Terminals are not in the share registry (never shared); count them.
+    kinds["term"] = kinds.get("term", 0) + 0
+    for nodes in net._production_nodes.values():
+        for node in nodes:
+            if isinstance(node, TerminalNode):
+                kinds["term"] += 1
+    return NetworkStats(
+        productions=len(list(net.productions)),
+        nodes_by_kind=kinds,
+        shared_hits=net.nodes_shared,
+        created=net.nodes_created,
+        alpha_wmes=alpha_wmes,
+        beta_tokens=beta_tokens,
+    )

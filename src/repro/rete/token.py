@@ -1,0 +1,85 @@
+"""Tokens: partial matches flowing through the Rete network.
+
+A token is a sequence of WMEs matching a *prefix* of a production's
+condition elements.  Tokens are represented as linked lists (parent
+token + one WME), so common prefixes are shared exactly the way shared
+beta subnetworks share partial-match state.
+
+Position ``i`` of a token corresponds to LHS condition element ``i``.
+Negated condition elements contribute a ``None`` entry: they consume no
+WME but still occupy their LHS position, which keeps the join-test
+indexing (``JoinTest.other_ce``) trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..ops5.wme import WME
+
+
+class Token:
+    """A partial match: parent chain plus one WME (or None for a ~CE).
+
+    ``Token.empty()`` is the depth-0 dummy token held by the top node --
+    the left input of every production's first join.
+
+    Tokens are content-identified by the timetags of their WME chain
+    (:attr:`key`).  Memory nodes store tokens keyed that way, which is
+    what makes *rematch-style deletion* work: a delete walks the network
+    exactly like the original add and removes the identical keys.
+    """
+
+    __slots__ = ("parent", "wme", "key", "depth")
+
+    def __init__(self, parent: Optional["Token"], wme: Optional[WME]) -> None:
+        if parent is None:
+            # The dummy top token: matches zero condition elements.
+            if wme is not None:
+                raise ValueError("a root token cannot carry a WME; use Token(dummy, wme)")
+            self.parent = None
+            self.wme = None
+            self.key: tuple = ()
+            self.depth = 0
+            return
+        self.parent = parent
+        self.wme = wme
+        self.key = parent.key + ((wme.timetag if wme is not None else 0),)
+        self.depth = parent.depth + 1
+
+    @classmethod
+    def empty(cls) -> "Token":
+        """The depth-0 dummy token."""
+        return cls(None, None)
+
+    def wmes(self) -> tuple[Optional[WME], ...]:
+        """The full WME chain, index i == LHS condition element i."""
+        out: list[Optional[WME]] = []
+        node: Optional[Token] = self
+        while node is not None and node.depth > 0:
+            out.append(node.wme)
+            node = node.parent
+        out.reverse()
+        return tuple(out)
+
+    def wme_at(self, ce_index: int) -> Optional[WME]:
+        """The WME matched at LHS position *ce_index* (None for ~CEs)."""
+        steps = self.depth - 1 - ce_index
+        if steps < 0 or ce_index < 0:
+            raise IndexError(f"token of depth {self.depth} has no CE {ce_index}")
+        node: Token = self
+        for _ in range(steps):
+            assert node.parent is not None
+            node = node.parent
+        return node.wme
+
+    def positive_wmes(self) -> tuple[WME, ...]:
+        """The non-None WMEs, in LHS order (what instantiations carry)."""
+        return tuple(w for w in self.wmes() if w is not None)
+
+    def __iter__(self) -> Iterator[Optional[WME]]:
+        return iter(self.wmes())
+
+    def __repr__(self) -> str:
+        tags = ",".join(str(t) if t else "~" for t in self.key)
+        return f"Token[{tags}]"

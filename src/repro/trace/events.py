@@ -1,0 +1,205 @@
+"""Trace data structures: the task graphs the simulator replays.
+
+A :class:`Trace` is the bridge between the matcher side of this library
+(real OPS5 runs through the instrumented Rete network, or calibrated
+synthetic workload generators) and the multiprocessor simulator
+(:mod:`repro.psim`).  It mirrors the input of the paper's Section 6
+simulator: node activations with dependencies, grouped into
+working-memory changes, grouped into production firings.
+
+Hierarchy::
+
+    Trace
+      firings: [FiringTrace]          # one per recognize-act cycle
+        changes: [ChangeTrace]        # WME changes made by that firing
+          tasks: [Task]               # node activations, DAG via deps
+
+Task ``deps`` are indices *within the same change* (the activation
+forest of one change).  Cross-change and cross-firing ordering is policy
+(sequential changes vs. the paper's "multiple changes in parallel";
+single vs. "parallel firings") and is applied by the simulator, not
+baked into the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node activation: the simulator's unit of scheduling.
+
+    Attributes
+    ----------
+    index:
+        Position within the owning change (dep targets use these).
+    kind:
+        Node kind ("root", "amem", "bmem", "join", "neg", "term").
+    cost:
+        Instructions to execute (from the cost model).
+    deps:
+        Indices of tasks in the same change that must finish first.
+    node_id:
+        The network node activated; tasks on the same node contend for
+        its memory (the simulator's lock model).
+    productions:
+        Names of productions whose compilation uses the node -- used to
+        re-granularise the trace for production-level parallelism, where
+        shared work is replicated per production.
+    """
+
+    index: int
+    kind: str
+    cost: int
+    deps: tuple[int, ...]
+    node_id: int
+    productions: tuple[str, ...] = ()
+
+
+@dataclass
+class ChangeTrace:
+    """The activation DAG of one working-memory change."""
+
+    kind: str  # "add" or "remove"
+    wme_class: str
+    tasks: list[Task] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> int:
+        return sum(t.cost for t in self.tasks)
+
+    @property
+    def critical_path(self) -> int:
+        """Longest dependency chain, in instructions (infinite-processor
+        lower bound on this change's completion time)."""
+        finish: list[int] = []
+        for task in self.tasks:
+            start = max((finish[d] for d in task.deps), default=0)
+            finish.append(start + task.cost)
+        return max(finish, default=0)
+
+    def affected_productions(self) -> set[str]:
+        out: set[str] = set()
+        for task in self.tasks:
+            out.update(task.productions)
+        return out
+
+
+@dataclass
+class FiringTrace:
+    """All changes made by one production firing (one act phase)."""
+
+    production: str
+    changes: list[ChangeTrace] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> int:
+        return sum(c.total_cost for c in self.changes)
+
+
+@dataclass
+class Trace:
+    """A full run: the simulator's workload.
+
+    ``serial_cost`` is the reference cost of the best serial
+    implementation -- the shared, serial Rete (the paper's baseline for
+    *true* speed-up).  For traces captured from the real network it is
+    simply the sum of task costs; synthetic generators set it from their
+    calibration.
+    """
+
+    name: str
+    firings: list[FiringTrace] = field(default_factory=list)
+    serial_cost: int = 0
+
+    def __post_init__(self) -> None:
+        if self.serial_cost == 0:
+            self.serial_cost = sum(f.total_cost for f in self.firings)
+
+    @property
+    def total_changes(self) -> int:
+        return sum(len(f.changes) for f in self.firings)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(len(c.tasks) for f in self.firings for c in f.changes)
+
+    @property
+    def total_cost(self) -> int:
+        return sum(f.total_cost for f in self.firings)
+
+    def iter_changes(self) -> Iterator[ChangeTrace]:
+        for firing in self.firings:
+            yield from firing.changes
+
+    def mean_changes_per_firing(self) -> float:
+        return self.total_changes / len(self.firings) if self.firings else 0.0
+
+    def mean_affected_productions(self) -> float:
+        """Average affected productions per change (the paper's ~30)."""
+        counts = [len(c.affected_productions()) for c in self.iter_changes()]
+        return sum(counts) / len(counts) if counts else 0.0
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ValueError on corruption.
+
+        Invariants: task indices are dense and ordered, deps point
+        backwards (the DAG is topologically ordered), costs positive.
+        """
+        for change in self.iter_changes():
+            for position, task in enumerate(change.tasks):
+                if task.index != position:
+                    raise ValueError(
+                        f"{self.name}: task index {task.index} at position {position}"
+                    )
+                if task.cost <= 0:
+                    raise ValueError(f"{self.name}: non-positive cost on {task}")
+                for dep in task.deps:
+                    if not 0 <= dep < position:
+                        raise ValueError(
+                            f"{self.name}: dep {dep} of task {position} not earlier"
+                        )
+
+
+def merge_traces(traces: list["Trace"], name: str = "merged") -> "Trace":
+    """Application-level parallelism: interleave several rule threads.
+
+    The paper's Section 8 notes one legitimate way to raise the
+    working-memory turnover per cycle: "if a system has multiple
+    threads, each one could be performing only the usual small number
+    of working memory changes per cycle, but since there would be
+    several threads, the total number of changes per cycle would be
+    several times higher."
+
+    This models exactly that: cycle *i* of the merged trace carries the
+    changes of cycle *i* of **every** input thread (threads synchronise
+    on the recognize--act barrier, the conservative semantics).  Shorter
+    threads simply finish early.  Node identities collide only if the
+    input traces share them -- pass traces from distinct generators (or
+    distinct seeds) for independent rule sets.
+    """
+    if not traces:
+        raise ValueError("merge_traces needs at least one trace")
+    depth = max(len(trace.firings) for trace in traces)
+    merged: list[FiringTrace] = []
+    for cycle in range(depth):
+        firing = FiringTrace(
+            production="+".join(
+                trace.firings[cycle].production
+                for trace in traces
+                if cycle < len(trace.firings)
+            )
+        )
+        for trace in traces:
+            if cycle < len(trace.firings):
+                firing.changes.extend(trace.firings[cycle].changes)
+        merged.append(firing)
+    result = Trace(
+        name=name,
+        firings=merged,
+        serial_cost=sum(trace.serial_cost for trace in traces),
+    )
+    result.validate()
+    return result

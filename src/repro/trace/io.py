@@ -1,0 +1,95 @@
+"""Trace serialisation: save and reload task graphs as JSON.
+
+A trace-driven toolchain wants traces as artifacts: capture once (the
+expensive OPS5 run), replay many times under different machine models.
+The format is a direct JSON rendering of the
+:class:`~repro.trace.events.Trace` hierarchy, versioned for forward
+compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .events import ChangeTrace, FiringTrace, Task, Trace
+
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    """A JSON-ready dictionary for *trace*."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "serial_cost": trace.serial_cost,
+        "firings": [
+            {
+                "production": firing.production,
+                "changes": [
+                    {
+                        "kind": change.kind,
+                        "wme_class": change.wme_class,
+                        "tasks": [
+                            {
+                                "index": task.index,
+                                "kind": task.kind,
+                                "cost": task.cost,
+                                "deps": list(task.deps),
+                                "node_id": task.node_id,
+                                "productions": list(task.productions),
+                            }
+                            for task in change.tasks
+                        ],
+                    }
+                    for change in firing.changes
+                ],
+            }
+            for firing in trace.firings
+        ],
+    }
+
+
+def trace_from_dict(data: dict[str, Any]) -> Trace:
+    """Rebuild a :class:`Trace` from :func:`trace_to_dict` output.
+
+    Raises ``ValueError`` on version mismatch or structural corruption
+    (the rebuilt trace is validated before it is returned).
+    """
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    firings = []
+    for firing_data in data["firings"]:
+        firing = FiringTrace(production=firing_data["production"])
+        for change_data in firing_data["changes"]:
+            change = ChangeTrace(change_data["kind"], change_data["wme_class"])
+            for task_data in change_data["tasks"]:
+                change.tasks.append(
+                    Task(
+                        index=task_data["index"],
+                        kind=task_data["kind"],
+                        cost=task_data["cost"],
+                        deps=tuple(task_data["deps"]),
+                        node_id=task_data["node_id"],
+                        productions=tuple(task_data.get("productions", ())),
+                    )
+                )
+            firing.changes.append(change)
+        firings.append(firing)
+    trace = Trace(
+        name=data["name"], firings=firings, serial_cost=data.get("serial_cost", 0)
+    )
+    trace.validate()
+    return trace
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write *trace* to *path* as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,141 @@
+"""Trace statistics: the workload characteristics the paper quantifies.
+
+Summarises a :class:`~repro.trace.events.Trace` along the paper's axes:
+
+* task-size distribution -- Section 4's "average duration of a task is
+  only 50-100 machine instructions";
+* activations per change -- "not significantly larger than the number
+  of affected productions";
+* per-change parallelism profile -- work over critical path, the
+  intrinsic ceiling of Figure 6-1;
+* change-kind and node-kind mixes.
+
+Use :func:`summarize` for the numbers and
+:meth:`TraceStatistics.rows` for a printable table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .events import Trace
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Summary statistics of one measured quantity."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p90: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: list[float]) -> "Distribution":
+        """Compute the summary for *values* (empty -> all zeros)."""
+        if not values:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(values)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        variance = sum((v - mean) ** 2 for v in ordered) / n
+        return cls(
+            count=n,
+            mean=mean,
+            stdev=math.sqrt(variance),
+            minimum=ordered[0],
+            p50=ordered[n // 2],
+            p90=ordered[min(n - 1, (9 * n) // 10)],
+            maximum=ordered[-1],
+        )
+
+    def describe(self) -> str:
+        return (
+            f"mean {self.mean:.1f} (sd {self.stdev:.1f}), "
+            f"p50 {self.p50:.0f}, p90 {self.p90:.0f}, "
+            f"range {self.minimum:.0f}-{self.maximum:.0f}"
+        )
+
+
+@dataclass
+class TraceStatistics:
+    """Everything :func:`summarize` measures about one trace."""
+
+    name: str
+    firings: int
+    changes: int
+    tasks: int
+    serial_cost: int
+    task_cost: Distribution
+    two_input_task_cost: Distribution
+    tasks_per_change: Distribution
+    affected_per_change: Distribution
+    #: Per-change work / critical-path ratio: the change's intrinsic
+    #: parallelism (1.0 = fully serial).
+    change_parallelism: Distribution
+    kind_mix: dict[str, int] = field(default_factory=dict)
+    add_fraction: float = 0.0
+
+    def rows(self) -> list[tuple[str, object]]:
+        return [
+            ("firings / changes / tasks",
+             f"{self.firings} / {self.changes} / {self.tasks}"),
+            ("serial cost (instr)", self.serial_cost),
+            ("serial cost per change",
+             round(self.serial_cost / self.changes, 1) if self.changes else 0),
+            ("task cost", self.task_cost.describe()),
+            ("two-input task cost", self.two_input_task_cost.describe()),
+            ("tasks per change", self.tasks_per_change.describe()),
+            ("affected productions per change", self.affected_per_change.describe()),
+            ("per-change parallelism", self.change_parallelism.describe()),
+            ("adds : removes",
+             f"{self.add_fraction:.0%} : {1 - self.add_fraction:.0%}"),
+            ("node-kind mix",
+             " ".join(f"{k}:{v}" for k, v in sorted(self.kind_mix.items()))),
+        ]
+
+
+def summarize(trace: Trace) -> TraceStatistics:
+    """Measure *trace* along the paper's workload axes."""
+    task_costs: list[float] = []
+    two_input_costs: list[float] = []
+    tasks_per_change: list[float] = []
+    affected: list[float] = []
+    parallelism: list[float] = []
+    kinds: dict[str, int] = {}
+    adds = 0
+    changes = 0
+
+    for change in trace.iter_changes():
+        changes += 1
+        if change.kind == "add":
+            adds += 1
+        tasks_per_change.append(len(change.tasks))
+        affected.append(len(change.affected_productions()))
+        span = change.critical_path
+        if span > 0:
+            parallelism.append(change.total_cost / span)
+        for task in change.tasks:
+            task_costs.append(task.cost)
+            kinds[task.kind] = kinds.get(task.kind, 0) + 1
+            if task.kind in ("join", "neg"):
+                two_input_costs.append(task.cost)
+
+    return TraceStatistics(
+        name=trace.name,
+        firings=len(trace.firings),
+        changes=changes,
+        tasks=len(task_costs),
+        serial_cost=trace.serial_cost,
+        task_cost=Distribution.of(task_costs),
+        two_input_task_cost=Distribution.of(two_input_costs),
+        tasks_per_change=Distribution.of(tasks_per_change),
+        affected_per_change=Distribution.of(affected),
+        change_parallelism=Distribution.of(parallelism),
+        kind_mix=kinds,
+        add_fraction=adds / changes if changes else 0.0,
+    )

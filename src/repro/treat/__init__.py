@@ -1,0 +1,11 @@
+"""The TREAT match algorithm -- the low end of the state-saving spectrum.
+
+TREAT (developed for the DADO machine; paper Sections 3.2 and 7.1)
+stores only alpha memories and recomputes cross-condition joins on every
+change, seeded by the changed WME, with a dynamic join ordering.
+"""
+
+from .matcher import TreatMatcher
+from .seed import hard_dependencies, order_positions
+
+__all__ = ["TreatMatcher", "hard_dependencies", "order_positions"]

@@ -1,0 +1,73 @@
+"""Condition-ordering heuristics for TREAT's per-change seed joins.
+
+TREAT recomputes cross-CE joins on every change.  Because it keeps no
+beta state, it is free to pick the join order per change -- the paper
+(Section 7.1) notes this as TREAT's compensating advantage: "it is now
+possible to dynamically change the evaluation order of multiple
+condition element satisfaction".
+
+The order must respect one hard constraint: a condition element whose
+join tests include a *predicate* (non-equality) referencing a variable
+must be evaluated after the condition element that binds that variable.
+Equality (shared-variable) tests carry no such constraint: the matcher's
+binding environment enforces consistency in either direction.
+
+:func:`order_positions` performs a greedy topological sort preferring
+small candidate sets first (the classic seed-ordering heuristic; the
+seeded position has a single candidate, so it naturally sorts early).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..ops5.condition import CEAnalysis, Predicate
+
+
+def hard_dependencies(analyses: Sequence[CEAnalysis]) -> dict[int, set[int]]:
+    """Map each positive CE index to the CE indices it must follow.
+
+    Only non-equality join predicates create dependencies; their operand
+    must already be bound when the test runs.  Dependencies on negated
+    CEs cannot occur (negated CEs never export bindings), and intra-CE
+    predicates (``other_ce == index``) are self-satisfied.
+    """
+    deps: dict[int, set[int]] = {a.index: set() for a in analyses if not a.ce.negated}
+    for analysis in analyses:
+        if analysis.ce.negated:
+            continue
+        for test in analysis.join_tests:
+            if test.predicate is Predicate.EQ:
+                continue
+            if test.other_ce != analysis.index:
+                deps[analysis.index].add(test.other_ce)
+    return deps
+
+
+def order_positions(
+    analyses: Sequence[CEAnalysis],
+    candidate_count: Callable[[int], int],
+) -> list[int]:
+    """Choose an evaluation order over the positive CE indices.
+
+    Greedy: among CEs whose hard dependencies are already placed, take
+    the one with the fewest current candidates.  The LHS is validated so
+    that LHS order always satisfies the dependencies; therefore the
+    greedy loop can never deadlock (the lowest-index remaining CE is
+    always eligible eventually), but we keep a defensive fallback.
+    """
+    deps = hard_dependencies(analyses)
+    remaining = set(deps)
+    order: list[int] = []
+    placed: set[int] = set()
+    while remaining:
+        ready = [i for i in remaining if deps[i] <= placed]
+        if not ready:  # pragma: no cover - unreachable on validated LHS
+            order.extend(sorted(remaining))
+            break
+        ready.sort(key=lambda i: (candidate_count(i), i))
+        chosen = ready[0]
+        order.append(chosen)
+        placed.add(chosen)
+        remaining.discard(chosen)
+    return order

@@ -1,0 +1,43 @@
+"""Workloads: calibrated synthetic system profiles and real OPS5 programs.
+
+Two sources of match work drive the evaluation:
+
+* :mod:`repro.workloads.profiles` / :mod:`repro.workloads.synthetic` --
+  synthetic trace generators calibrated to the published statistics of
+  the paper's six systems (VT, ILOG, MUD, DAA, R1-Soar, EP-Soar), whose
+  original traces are CMU-internal;
+* :mod:`repro.workloads.programs` -- real OPS5 programs (Tower of
+  Hanoi, blocks world, monkey & bananas, eight puzzle, transitive
+  closure) run through the instrumented Rete network.
+"""
+
+from .profiles import (
+    DAA,
+    EP_SOAR,
+    ILOG,
+    MUD,
+    PAPER_SYSTEMS,
+    PARALLEL_FIRING_SYSTEMS,
+    R1_SOAR,
+    SystemProfile,
+    VT,
+    profile_named,
+)
+from .synthetic import SyntheticGenerator, generate_trace
+from .programs import ALL_PROGRAMS
+
+__all__ = [
+    "ALL_PROGRAMS",
+    "DAA",
+    "EP_SOAR",
+    "ILOG",
+    "MUD",
+    "PAPER_SYSTEMS",
+    "PARALLEL_FIRING_SYSTEMS",
+    "R1_SOAR",
+    "SyntheticGenerator",
+    "SystemProfile",
+    "VT",
+    "generate_trace",
+    "profile_named",
+]

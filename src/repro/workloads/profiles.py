@@ -1,0 +1,163 @@
+"""Measured characteristics of the paper's six production systems.
+
+The paper evaluates VT, ILOG, MUD, DAA, R1-Soar, and Eight-Puzzle-Soar
+(Section 6).  Their traces are CMU-internal and were never published, so
+this reproduction substitutes *calibrated synthetic workloads*: a
+:class:`SystemProfile` captures the statistics the paper (and the
+companion measurement reports it cites) publishes --
+
+* ~30 productions affected per working-memory change, with large
+  per-system variation (Section 4);
+* most affected productions need a single two-input activation, a few
+  need many (the processing-variance argument, Sections 4 and 8);
+* ~2.5 working-memory changes per production firing (implied by the
+  9400 wme-changes/sec vs. 3800 firings/sec pair in Section 6);
+* node-activation task sizes of 50-100 instructions (Section 4);
+* a serial cost near c1 = 1800 instructions per change (Section 3.1).
+
+The per-system numbers below are calibrated so that the simulated
+Figure 6-1 / 6-2 curves reproduce the paper's shape: saturation by
+32-64 processors, per-system plateaus spanning roughly 6x, an average
+concurrency near 16 at 32 processors, and higher plateaus for the
+"parallel firings" variants of R1-Soar and EP-Soar.
+
+Each profile's docstring-free fields are knobs of the synthetic
+generator (:mod:`repro.workloads.synthetic`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Generator parameters for one production system's workload."""
+
+    name: str
+    #: Recognize--act cycles to generate.
+    firings: int = 150
+    #: Mean working-memory changes per firing (paper: ~2.5).
+    changes_per_firing: float = 2.5
+    #: Mean productions affected per change (paper: ~30 overall).
+    affected_mean: float = 28.0
+    #: Dispersion of the affected count (geometric-like tail).
+    affected_spread: float = 0.5
+    #: Fraction of affected productions with heavy (multi-activation)
+    #: processing -- the variance source.
+    heavy_fraction: float = 0.12
+    #: Mean fan-out of a heavy production's expensive join (number of
+    #: parallel successor activations).
+    heavy_fanout: float = 6.0
+    #: Serial chain depth of a heavy production's beta path.
+    heavy_depth: int = 3
+    #: Fraction of a heavy production's work that is irreducibly serial
+    #: (deep chain rather than fan-out): drives the plateau down.
+    heavy_serial_bias: float = 0.35
+    #: Fraction of affected productions whose match reaches the conflict
+    #: set (terminal activation).
+    terminal_fraction: float = 0.15
+    #: Number of distinct productions in the (synthetic) program; node
+    #: identities cycle through them, creating realistic lock reuse.
+    program_productions: int = 120
+    #: Alpha-memory sharing: mean productions sharing one alpha memory.
+    alpha_sharing: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.firings < 1:
+            raise ValueError("firings must be >= 1")
+        if self.changes_per_firing < 1.0:
+            raise ValueError("changes_per_firing must be >= 1")
+        if not 0.0 <= self.heavy_fraction <= 1.0:
+            raise ValueError("heavy_fraction must be a fraction")
+        if not 0.0 <= self.terminal_fraction <= 1.0:
+            raise ValueError("terminal_fraction must be a fraction")
+
+
+# ---------------------------------------------------------------------------
+# The six paper systems.
+#
+# Plateau concurrency rises with affected_mean and heavy_fanout and falls
+# with heavy_serial_bias.  The orderings follow the paper's Figure 6-1:
+# R1-Soar highest, then DAA/VT/MUD/EP-Soar mid-field, ILOG lowest.
+# ---------------------------------------------------------------------------
+
+R1_SOAR = SystemProfile(
+    name="r1-soar",
+    changes_per_firing=3.2,
+    affected_mean=36.0,
+    heavy_fraction=0.10,
+    heavy_fanout=7.0,
+    heavy_depth=2,
+    heavy_serial_bias=0.22,
+    program_productions=260,
+)
+
+EP_SOAR = SystemProfile(
+    name="ep-soar",
+    changes_per_firing=2.6,
+    affected_mean=19.0,
+    heavy_fraction=0.08,
+    heavy_fanout=5.0,
+    heavy_depth=2,
+    heavy_serial_bias=0.50,
+    program_productions=100,
+)
+
+DAA = SystemProfile(
+    name="daa",
+    changes_per_firing=2.4,
+    affected_mean=30.0,
+    heavy_fraction=0.09,
+    heavy_fanout=7.0,
+    heavy_depth=2,
+    heavy_serial_bias=0.30,
+    program_productions=130,
+)
+
+VT = SystemProfile(
+    name="vt",
+    changes_per_firing=2.3,
+    affected_mean=26.0,
+    heavy_fraction=0.08,
+    heavy_fanout=6.0,
+    heavy_depth=2,
+    heavy_serial_bias=0.38,
+    program_productions=170,
+)
+
+MUD = SystemProfile(
+    name="mud",
+    changes_per_firing=2.2,
+    affected_mean=22.0,
+    heavy_fraction=0.08,
+    heavy_fanout=5.0,
+    heavy_depth=2,
+    heavy_serial_bias=0.45,
+    program_productions=150,
+)
+
+ILOG = SystemProfile(
+    name="ilog",
+    changes_per_firing=1.8,
+    affected_mean=13.0,
+    heavy_fraction=0.09,
+    heavy_fanout=3.0,
+    heavy_depth=3,
+    heavy_serial_bias=0.65,
+    program_productions=110,
+)
+
+#: All six systems, in the paper's Figure 6-1 legend order.
+PAPER_SYSTEMS: tuple[SystemProfile, ...] = (R1_SOAR, EP_SOAR, ILOG, MUD, DAA, VT)
+
+#: The systems whose "parallel firings" variants the figures plot.
+PARALLEL_FIRING_SYSTEMS: tuple[SystemProfile, ...] = (R1_SOAR, EP_SOAR)
+
+
+def profile_named(name: str) -> SystemProfile:
+    """Look up a paper system profile by name."""
+    for profile in PAPER_SYSTEMS:
+        if profile.name == name:
+            return profile
+    raise KeyError(name)

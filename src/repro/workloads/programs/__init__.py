@@ -1,0 +1,29 @@
+"""Real, runnable OPS5 programs used as trace workloads and examples.
+
+Each module exposes ``PROGRAM`` (OPS5 source), ``setup(...)`` (initial
+WMEs), ``build(...)`` (a loaded :class:`ProductionSystem`), and
+``run(...)``.
+"""
+
+from . import blocks, closure, eight_puzzle, elevator, hanoi, monkey, router
+
+ALL_PROGRAMS = {
+    "hanoi": hanoi,
+    "blocks": blocks,
+    "monkey": monkey,
+    "eight-puzzle": eight_puzzle,
+    "closure": closure,
+    "router": router,
+    "elevator": elevator,
+}
+
+__all__ = [
+    "ALL_PROGRAMS",
+    "blocks",
+    "closure",
+    "eight_puzzle",
+    "elevator",
+    "hanoi",
+    "monkey",
+    "router",
+]

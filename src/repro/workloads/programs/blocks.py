@@ -1,0 +1,114 @@
+"""Blocks world in OPS5: goal-ordered stacking with automatic clearing.
+
+Working memory holds ``on`` relations and ``clear`` markers; numbered
+``goal`` elements describe the target stack bottom-up, and a ``step``
+counter walks them in order.  A blocked goal first fires the clearing
+rule (move the obstructing block to the table), then the stacking rule.
+
+Exercises negated condition elements and multi-way joins on a real
+planning task.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...ops5.engine import ProductionSystem, RunResult
+from ...ops5.wme import WME
+
+PROGRAM = """
+(literalize on top bottom)
+(literalize clear block)
+(literalize goal seq put onto)
+(literalize step n)
+
+; The current goal's target or the block itself may be buried:
+; move whatever sits on the involved block to the table.
+(p clear-put-block
+  (step ^n <k>)
+  (goal ^seq <k> ^put <x>)
+  (on ^top <o> ^bottom <x>)
+  (clear ^block <o>)
+  -->
+  (modify 3 ^bottom table)
+  (make clear ^block <x>)
+  (write cleared <x> by moving <o> to table))
+
+(p clear-target-block
+  (step ^n <k>)
+  (goal ^seq <k> ^put <x> ^onto { <y> <> table })
+  (on ^top <o> ^bottom <y>)
+  (clear ^block <o>)
+  -->
+  (modify 3 ^bottom table)
+  (make clear ^block <y>)
+  (write cleared <y> by moving <o> to table))
+
+(p stack-onto-block
+  (step ^n <k>)
+  (goal ^seq <k> ^put <x> ^onto { <y> <> table })
+  (clear ^block <x>)
+  (clear ^block <y>)
+  (on ^top <x> ^bottom <w>)
+  -->
+  (modify 5 ^bottom <y>)
+  (remove 4)
+  (remove 2)
+  (make clear ^block <w>)
+  (modify 1 ^n (compute <k> + 1))
+  (write stacked <x> onto <y>))
+
+(p put-on-table
+  (step ^n <k>)
+  (goal ^seq <k> ^put <x> ^onto table)
+  (clear ^block <x>)
+  (on ^top <x> ^bottom <w>)
+  -->
+  (modify 4 ^bottom table)
+  (remove 2)
+  (make clear ^block <w>)
+  (modify 1 ^n (compute <k> + 1))
+  (write placed <x> on table))
+
+(p all-goals-done
+  (step ^n <k>)
+  - (goal ^seq <k>)
+  -->
+  (remove 1)
+  (halt))
+"""
+
+
+def setup(
+    stacks: Sequence[Sequence[str]] = (("a", "b", "c"), ("d", "e")),
+    goals: Sequence[tuple[str, str]] = (("e", "b"), ("c", "e"), ("d", "c")),
+) -> list[WME]:
+    """Initial scene and goal list.
+
+    *stacks* lists the towers bottom-up (so ``("a","b","c")`` means c is
+    on b is on a); *goals* are processed in order, each "put X onto Y".
+    """
+    wmes: list[WME] = []
+    for stack in stacks:
+        below = "table"
+        for block in stack:
+            wmes.append(WME("on", {"top": block, "bottom": below}))
+            below = block
+        wmes.append(WME("clear", {"block": stack[-1]}))
+    for seq, (block, target) in enumerate(goals, start=1):
+        wmes.append(WME("goal", {"seq": seq, "put": block, "onto": target}))
+    wmes.append(WME("step", {"n": 1}))
+    return wmes
+
+
+def build(**kwargs) -> ProductionSystem:
+    """A ready-to-run engine with the default scene loaded."""
+    system = ProductionSystem(PROGRAM, **kwargs)
+    for wme in setup():
+        system.add_wme(wme)
+    return system
+
+
+def run(**kwargs) -> RunResult:
+    """Rebuild the default towers into the goal configuration."""
+    return build(**kwargs).run(max_cycles=200)

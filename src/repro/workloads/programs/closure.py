@@ -1,0 +1,80 @@
+"""Transitive closure in OPS5: a join-heavy, beta-state-heavy workload.
+
+Derives the ``ancestor`` relation from ``parent`` facts.  Every derived
+fact re-enters the match, so beta memories and join activity grow with
+the relation -- the opposite profile to the goal-chaining workloads and
+a good stress test for negated-CE duplicate suppression (the rules
+guard against re-deriving known facts).
+
+The run halts naturally when the closure is complete (no satisfied
+production remains).
+"""
+
+from __future__ import annotations
+
+from ...ops5.engine import ProductionSystem, RunResult
+from ...ops5.wme import WME
+
+PROGRAM = """
+(literalize parent from to)
+(literalize ancestor from to)
+
+(p ancestor-base
+  (parent ^from <x> ^to <y>)
+  - (ancestor ^from <x> ^to <y>)
+  -->
+  (make ancestor ^from <x> ^to <y>))
+
+(p ancestor-step
+  (ancestor ^from <x> ^to <y>)
+  (parent ^from <y> ^to <z>)
+  - (ancestor ^from <x> ^to <z>)
+  -->
+  (make ancestor ^from <x> ^to <z>))
+"""
+
+
+def chain(length: int) -> list[WME]:
+    """A single descent line: n0 -> n1 -> ... (closure has n(n+1)/2 pairs
+    for length+1 people ... precisely length*(length+1)/2 ancestor facts)."""
+    return [
+        WME("parent", {"from": f"n{i}", "to": f"n{i + 1}"}) for i in range(length)
+    ]
+
+
+def tree(depth: int, fanout: int = 2) -> list[WME]:
+    """A complete tree of the given depth and fan-out."""
+    wmes: list[WME] = []
+    frontier = ["r"]
+    for level in range(depth):
+        next_frontier: list[str] = []
+        for node in frontier:
+            for child in range(fanout):
+                name = f"{node}.{child}"
+                wmes.append(WME("parent", {"from": node, "to": name}))
+                next_frontier.append(name)
+        frontier = next_frontier
+    return wmes
+
+
+def expected_chain_facts(length: int) -> int:
+    """Ancestor pairs of a chain with *length* parent edges."""
+    return length * (length + 1) // 2
+
+
+def build(facts: list[WME] | None = None, **kwargs) -> ProductionSystem:
+    """A ready-to-run engine loaded with *facts* (default: chain(6))."""
+    system = ProductionSystem(PROGRAM, **kwargs)
+    for wme in facts if facts is not None else chain(6):
+        system.add_wme(wme)
+    return system
+
+
+def run(facts: list[WME] | None = None, **kwargs) -> RunResult:
+    """Compute the closure; halts when no new fact can be derived."""
+    return build(facts, **kwargs).run(max_cycles=5000)
+
+
+def derived_facts(system: ProductionSystem) -> int:
+    """Number of ancestor WMEs currently in working memory."""
+    return len(system.memory.of_class("ancestor"))

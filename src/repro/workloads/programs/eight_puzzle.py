@@ -1,0 +1,105 @@
+"""The eight puzzle in OPS5: greedy tile-homing.
+
+The paper's workload list includes Eight-Puzzle-Soar; this is the
+classic OPS5 rendition of the domain: tiles on a 3x3 board, a blank,
+and slide moves.  The strategy is deliberately simple -- slide a tile
+into the blank whenever that square is the tile's home -- so runs are
+deterministic and terminate for instances whose greedy solution exists
+(the provided instances are chosen that way).  A fallback rule slides
+any adjacent tile, letting recency explore when no homing move exists;
+``run`` therefore takes a cycle cap.
+
+Board cells are numbered 1-9 row-major; ``adjacent`` facts encode the
+sliding topology.
+"""
+
+from __future__ import annotations
+
+from ...ops5.engine import ProductionSystem, RunResult
+from ...ops5.wme import WME
+
+PROGRAM = """
+(literalize tile value pos home)
+(literalize blank pos)
+(literalize adjacent a b)
+
+(p solved
+  (blank ^pos 9)
+  - (tile ^home <q> ^pos <> <q>)
+  -->
+  (write solved)
+  (halt))
+
+(p move-tile-home
+  (blank ^pos <b>)
+  (tile ^value <v> ^pos <p> ^home <b>)
+  (adjacent ^a <p> ^b <b>)
+  -->
+  (modify 1 ^pos <p>)
+  (modify 2 ^pos <b>)
+  (write slide <v> home to <b>))
+"""
+
+#: PROGRAM plus a fallback that slides any adjacent tile.  Recency then
+#: drives a bounded exploration -- useful as a trace workload, but no
+#: longer guaranteed to terminate, so always run with a cycle cap.
+EXPLORATORY_PROGRAM = PROGRAM + """
+(p slide-any
+  (blank ^pos <b>)
+  (tile ^value <v> ^pos <p>)
+  (adjacent ^a <p> ^b <b>)
+  -->
+  (modify 1 ^pos <p>)
+  (modify 2 ^pos <b>)
+  (write slide <v> to <b>))
+"""
+
+#: Row-major 3x3 adjacency (orthogonal neighbours).
+_ADJACENT: list[tuple[int, int]] = []
+for cell in range(1, 10):
+    row, col = divmod(cell - 1, 3)
+    if col < 2:
+        _ADJACENT.append((cell, cell + 1))
+        _ADJACENT.append((cell + 1, cell))
+    if row < 2:
+        _ADJACENT.append((cell, cell + 3))
+        _ADJACENT.append((cell + 3, cell))
+
+#: The goal layout: tiles 1-8 in cells 1-8, blank in cell 9.
+GOAL_HOME = {value: value for value in range(1, 9)}
+
+#: An instance two greedy moves from the goal.
+EASY = (1, 2, 3, 4, 0, 5, 7, 8, 6)
+#: An instance four greedy moves from the goal.
+MEDIUM = (1, 2, 3, 0, 4, 5, 7, 8, 6)
+
+
+def setup(board: tuple[int, ...] = EASY) -> list[WME]:
+    """WMEs for a board given row-major, 0 = blank."""
+    if sorted(board) != list(range(9)):
+        raise ValueError("board must be a permutation of 0..8")
+    wmes = [WME("adjacent", {"a": a, "b": b}) for a, b in _ADJACENT]
+    for cell, value in enumerate(board, start=1):
+        if value == 0:
+            wmes.append(WME("blank", {"pos": cell}))
+        else:
+            wmes.append(
+                WME("tile", {"value": value, "pos": cell, "home": GOAL_HOME[value]})
+            )
+    return wmes
+
+
+def build(
+    board: tuple[int, ...] = EASY, exploratory: bool = False, **kwargs
+) -> ProductionSystem:
+    """A ready-to-run engine for *board* (greedy or exploratory rules)."""
+    source = EXPLORATORY_PROGRAM if exploratory else PROGRAM
+    system = ProductionSystem(source, **kwargs)
+    for wme in setup(board):
+        system.add_wme(wme)
+    return system
+
+
+def run(board: tuple[int, ...] = EASY, max_cycles: int = 60, **kwargs) -> RunResult:
+    """Slide until solved (or the cycle cap for non-greedy instances)."""
+    return build(board, **kwargs).run(max_cycles=max_cycles)

@@ -1,0 +1,118 @@
+"""An elevator controller in OPS5: reactive control with MEA flavour.
+
+A classic control-style production system (the domain 1980s expert-
+system courses used to teach OPS5): an elevator serves pending calls,
+moving one floor per cycle, opening doors at called floors, and parking
+at the ground floor when idle.  Unlike the planning workloads, this one
+is *reactive*: the rule base encodes a policy, and working memory is a
+small state vector updated every firing.
+
+Deterministic policy: keep moving in the current direction while a call
+remains in that direction (the classic "elevator algorithm" / SCAN),
+reverse when none remains, park at floor 1 when no calls are pending.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...ops5.engine import ProductionSystem, RunResult
+from ...ops5.wme import WME
+
+PROGRAM = """
+(literalize lift floor dir)
+(literalize call floor)
+
+; Serve a call at the current floor: open doors, clear the call.
+(p serve
+  (lift ^floor <f>)
+  (call ^floor <f>)
+  -->
+  (remove 2)
+  (write serve <f>))
+
+; Keep moving up while some call is above.
+(p move-up
+  (lift ^floor <f> ^dir up)
+  - (call ^floor <f>)
+  (call ^floor > <f>)
+  -->
+  (modify 1 ^floor (compute <f> + 1))
+  (write up-to (compute <f> + 1)))
+
+; Keep moving down while some call is below.
+(p move-down
+  (lift ^floor <f> ^dir down)
+  - (call ^floor <f>)
+  (call ^floor < <f>)
+  -->
+  (modify 1 ^floor (compute <f> - 1))
+  (write down-to (compute <f> - 1)))
+
+; No call ahead: reverse direction.
+(p reverse-to-down
+  (lift ^floor <f> ^dir up)
+  - (call ^floor >= <f>)
+  (call)
+  -->
+  (modify 1 ^dir down))
+
+(p reverse-to-up
+  (lift ^floor <f> ^dir down)
+  - (call ^floor <= <f>)
+  (call)
+  -->
+  (modify 1 ^dir up))
+
+; All calls served: park at the ground floor, then rest.
+(p park
+  (lift ^floor { <f> > 1 })
+  - (call)
+  -->
+  (modify 1 ^floor (compute <f> - 1) ^dir down))
+
+(p rest
+  (lift ^floor 1)
+  - (call)
+  -->
+  (write resting)
+  (halt))
+"""
+
+
+def setup(start: int = 1, calls: Sequence[int] = (4, 2, 7)) -> list[WME]:
+    """The lift at *start* heading up, plus pending call floors."""
+    wmes = [WME("lift", {"floor": start, "dir": "up"})]
+    for floor in calls:
+        wmes.append(WME("call", {"floor": floor}))
+    return wmes
+
+
+def build(start: int = 1, calls: Sequence[int] = (4, 2, 7), **kwargs) -> ProductionSystem:
+    """A ready-to-run controller for the given call pattern."""
+    system = ProductionSystem(PROGRAM, **kwargs)
+    for wme in setup(start, calls):
+        system.add_wme(wme)
+    return system
+
+
+def run(start: int = 1, calls: Sequence[int] = (4, 2, 7), **kwargs) -> RunResult:
+    """Serve all calls and park; output logs every movement."""
+    return build(start, calls, **kwargs).run(max_cycles=500)
+
+
+def floors_visited(result: RunResult) -> list[int]:
+    """The floor sequence the lift moved through, from the output log."""
+    floors: list[int] = []
+    for line in result.output:
+        parts = line.split()
+        if parts[0] in ("up-to", "down-to"):
+            floors.append(int(parts[1]))
+    return floors
+
+
+def served_floors(result: RunResult) -> list[int]:
+    """The call floors in service order."""
+    return [
+        int(line.split()[1]) for line in result.output if line.startswith("serve")
+    ]

@@ -1,0 +1,92 @@
+"""Tower of Hanoi in OPS5: recursive goal decomposition.
+
+A classic production-system benchmark: the goal stack lives in working
+memory, and the 2^n - 1 moves emerge from recency-driven depth-first
+goal expansion.  Pegs are numbered 1-3 so the spare peg is computable as
+``6 - from - to``.
+
+Useful as a *real* trace workload: deep goal chaining with modest
+fan-out, the opposite profile to the closure workload.
+"""
+
+from __future__ import annotations
+
+from ...ops5.engine import ProductionSystem, RunResult
+from ...ops5.wme import WME
+
+PROGRAM = """
+(literalize goal id disk from to via status parent phase)
+(literalize disk size peg)
+
+(p expand
+  (goal ^id <g> ^disk { <n> > 1 } ^from <f> ^to <t> ^via <v> ^status active)
+  -->
+  (modify 1 ^status wait1)
+  (make goal ^id (compute <g> * 2) ^disk (compute <n> - 1)
+        ^from <f> ^to <v> ^via <t> ^status active ^parent <g> ^phase 1))
+
+(p base-move
+  (goal ^id <g> ^disk 1 ^from <f> ^to <t> ^status active)
+  (disk ^size 1 ^peg <f>)
+  -->
+  (modify 2 ^peg <t>)
+  (modify 1 ^status done)
+  (write move 1 <f> <t>))
+
+(p after-first-sub
+  (goal ^id <g> ^disk <n> ^from <f> ^to <t> ^via <v> ^status wait1)
+  (goal ^parent <g> ^phase 1 ^status done)
+  (disk ^size <n> ^peg <f>)
+  -->
+  (modify 3 ^peg <t>)
+  (write move <n> <f> <t>)
+  (modify 1 ^status wait2)
+  (remove 2)
+  (make goal ^id (compute <g> * 2 + 1) ^disk (compute <n> - 1)
+        ^from <v> ^to <t> ^via <f> ^status active ^parent <g> ^phase 2))
+
+(p after-second-sub
+  (goal ^id <g> ^status wait2)
+  (goal ^parent <g> ^phase 2 ^status done)
+  -->
+  (modify 1 ^status done)
+  (remove 2))
+
+(p all-done
+  (goal ^id 1 ^status done)
+  -->
+  (remove 1)
+  (halt))
+"""
+
+
+def setup(disks: int = 4) -> list[WME]:
+    """Initial working memory: *disks* disks on peg 1, the root goal."""
+    if disks < 1:
+        raise ValueError("need at least one disk")
+    wmes = [WME("disk", {"size": s, "peg": 1}) for s in range(1, disks + 1)]
+    wmes.append(
+        WME(
+            "goal",
+            {"id": 1, "disk": disks, "from": 1, "to": 3, "via": 2, "status": "active"},
+        )
+    )
+    return wmes
+
+
+def expected_moves(disks: int) -> int:
+    """The well-known optimum: 2^n - 1."""
+    return 2**disks - 1
+
+
+def build(disks: int = 4, **kwargs) -> ProductionSystem:
+    """A ready-to-run engine loaded with the program and initial memory."""
+    system = ProductionSystem(PROGRAM, **kwargs)
+    for wme in setup(disks):
+        system.add_wme(wme)
+    return system
+
+
+def run(disks: int = 4, **kwargs) -> RunResult:
+    """Solve *disks*-disk Hanoi; the output lists the moves."""
+    return build(disks, **kwargs).run()

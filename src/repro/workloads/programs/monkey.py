@@ -1,0 +1,85 @@
+"""Monkey and bananas in OPS5: the classic planning chain.
+
+The monkey must walk to the ladder, push it under the bananas, climb,
+and grab.  A linear chain of firings driven by the state of working
+memory -- small but exercises modify-heavy rules and multi-CE joins.
+"""
+
+from __future__ import annotations
+
+from ...ops5.engine import ProductionSystem, RunResult
+from ...ops5.wme import WME
+
+PROGRAM = """
+(literalize monkey at on holding)
+(literalize object name at weight)
+(literalize goal status)
+
+(p walk-to-ladder
+  (goal ^status hungry)
+  (monkey ^at <m> ^on floor)
+  (object ^name ladder ^at { <l> <> <m> })
+  -->
+  (modify 2 ^at <l>)
+  (write monkey walks to <l>))
+
+(p push-ladder
+  (goal ^status hungry)
+  (object ^name ladder ^at <l>)
+  (monkey ^at <l> ^on floor)
+  (object ^name bananas ^at { <b> <> <l> })
+  -->
+  (modify 2 ^at <b>)
+  (modify 3 ^at <b>)
+  (write monkey pushes ladder to <b>))
+
+(p climb-ladder
+  (goal ^status hungry)
+  (object ^name ladder ^at <l>)
+  (object ^name bananas ^at <l>)
+  (monkey ^at <l> ^on floor)
+  -->
+  (modify 4 ^on ladder)
+  (write monkey climbs))
+
+(p grab-bananas
+  (goal ^status hungry)
+  (monkey ^at <l> ^on ladder ^holding nil)
+  (object ^name bananas ^at <l>)
+  -->
+  (modify 2 ^holding bananas)
+  (modify 1 ^status satisfied)
+  (write monkey grabs bananas))
+
+(p feast
+  (goal ^status satisfied)
+  -->
+  (remove 1)
+  (write burp)
+  (halt))
+"""
+
+
+def setup(
+    monkey_at: str = "door", ladder_at: str = "window", bananas_at: str = "center"
+) -> list[WME]:
+    """Initial scene; defaults put everything in different places."""
+    return [
+        WME("monkey", {"at": monkey_at, "on": "floor"}),
+        WME("object", {"name": "ladder", "at": ladder_at, "weight": "light"}),
+        WME("object", {"name": "bananas", "at": bananas_at, "weight": "light"}),
+        WME("goal", {"status": "hungry"}),
+    ]
+
+
+def build(**kwargs) -> ProductionSystem:
+    """A ready-to-run engine with the default scene loaded."""
+    system = ProductionSystem(PROGRAM, **kwargs)
+    for wme in setup():
+        system.add_wme(wme)
+    return system
+
+
+def run(**kwargs) -> RunResult:
+    """The monkey gets the bananas in five firings."""
+    return build(**kwargs).run()

@@ -1,0 +1,157 @@
+"""A rule-based maze router (the paper's Weaver motivation, miniature).
+
+The paper's opening applications include VLSI routing (Weaver, a
+knowledge-based router).  This program routes one two-pin net on a grid
+with obstacles using the classic Lee algorithm expressed as rules:
+
+1. **wave expansion** -- a ``wave`` element floods outward from the
+   source through free cells, labelling each reached cell with its
+   distance (the negated CE stops re-labelling);
+2. **backtrace** -- once the target is reached, ``trace`` elements walk
+   the distance labels back down to the source, marking ``route`` cells;
+3. **halt** when the trace reaches distance zero.
+
+One OPS5-flavoured caveat: LEX recency makes the serial engine expand
+the *newest* wave first (depth-first), so labels -- and therefore the
+route -- are valid but not necessarily minimal; true Lee routing needs
+breadth-first order, which is exactly the kind of per-layer parallel
+firing the paper's multiprocessor would restore.  Unroutable nets end
+with "no satisfied production" once the wave exhausts.
+
+The wave phase is many independent rule firings over a growing join --
+a realistic, verifiable match workload (see :func:`lee_distance`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ...ops5.engine import ProductionSystem, RunResult
+from ...ops5.wme import WME
+
+PROGRAM = """
+(literalize cell x y state)
+(literalize adj x1 y1 x2 y2)
+(literalize wave x y d)
+(literalize target x y)
+(literalize trace x y d want)
+(literalize route x y)
+(literalize mode phase)
+
+; Phase 1: expand the wavefront into free, unlabelled neighbours.
+(p expand
+  (mode ^phase expand)
+  (wave ^x <x> ^y <y> ^d <d>)
+  (adj ^x1 <x> ^y1 <y> ^x2 <nx> ^y2 <ny>)
+  (cell ^x <nx> ^y <ny> ^state free)
+  - (wave ^x <nx> ^y <ny>)
+  -->
+  (make wave ^x <nx> ^y <ny> ^d (compute <d> + 1)))
+
+; The wave reached the target: switch to backtracing.
+(p reached
+  (mode ^phase expand)
+  (target ^x <tx> ^y <ty>)
+  (wave ^x <tx> ^y <ty> ^d <d>)
+  -->
+  (modify 1 ^phase trace)
+  (make trace ^x <tx> ^y <ty> ^d <d> ^want (compute <d> - 1))
+  (make route ^x <tx> ^y <ty>)
+  (write reached target at distance <d>))
+
+; Phase 2: step down the distance labels toward the source.
+(p backtrace
+  (mode ^phase trace)
+  (trace ^x <x> ^y <y> ^d { <d> > 0 } ^want <w>)
+  (adj ^x1 <x> ^y1 <y> ^x2 <nx> ^y2 <ny>)
+  (wave ^x <nx> ^y <ny> ^d <w>)
+  -->
+  (remove 2)
+  (make trace ^x <nx> ^y <ny> ^d <w> ^want (compute <w> - 1))
+  (make route ^x <nx> ^y <ny>))
+
+(p done
+  (mode ^phase trace)
+  (trace ^d 0)
+  -->
+  (remove 1)
+  (remove 2)
+  (write route complete)
+  (halt))
+"""
+
+
+def setup(
+    width: int = 6,
+    height: int = 6,
+    source: tuple[int, int] = (0, 0),
+    target: tuple[int, int] = (5, 5),
+    obstacles: Sequence[tuple[int, int]] = ((1, 1), (1, 2), (2, 1), (3, 3), (4, 2)),
+) -> list[WME]:
+    """Grid cells, 4-adjacency, the source wave, the target, the mode."""
+    blocked = set(obstacles)
+    if source in blocked or target in blocked:
+        raise ValueError("source/target may not be obstacles")
+    wmes: list[WME] = []
+    for x in range(width):
+        for y in range(height):
+            state = "blocked" if (x, y) in blocked else "free"
+            wmes.append(WME("cell", {"x": x, "y": y, "state": state}))
+    for x in range(width):
+        for y in range(height):
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < width and 0 <= ny < height:
+                    wmes.append(WME("adj", {"x1": x, "y1": y, "x2": nx, "y2": ny}))
+    wmes.append(WME("wave", {"x": source[0], "y": source[1], "d": 0}))
+    wmes.append(WME("target", {"x": target[0], "y": target[1]}))
+    wmes.append(WME("mode", {"phase": "expand"}))
+    return wmes
+
+
+def build(**kwargs) -> ProductionSystem:
+    """A ready-to-run engine; grid options pass through to setup()."""
+    extra = {k: kwargs.pop(k) for k in list(kwargs) if k in (
+        "width", "height", "source", "target", "obstacles")}
+    system = ProductionSystem(PROGRAM, **kwargs)
+    for wme in setup(**extra):
+        system.add_wme(wme)
+    return system
+
+
+def run(max_cycles: int = 2000, **kwargs) -> RunResult:
+    """Route the default net; output reports the Lee distance."""
+    return build(**kwargs).run(max_cycles=max_cycles)
+
+
+def route_cells(system: ProductionSystem) -> list[tuple[int, int]]:
+    """The marked route, unordered."""
+    return [(w.get("x"), w.get("y")) for w in system.memory.of_class("route")]
+
+
+def lee_distance(
+    width: int, height: int,
+    source: tuple[int, int], target: tuple[int, int],
+    obstacles: Iterable[tuple[int, int]],
+) -> int | None:
+    """Reference BFS distance (for verifying the rule-based router)."""
+    from collections import deque
+
+    blocked = set(obstacles)
+    seen = {source}
+    queue = deque([(source, 0)])
+    while queue:
+        (x, y), distance = queue.popleft()
+        if (x, y) == target:
+            return distance
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nxt = (x + dx, y + dy)
+            if (
+                0 <= nxt[0] < width
+                and 0 <= nxt[1] < height
+                and nxt not in blocked
+                and nxt not in seen
+            ):
+                seen.add(nxt)
+                queue.append((nxt, distance + 1))
+    return None

@@ -1,0 +1,254 @@
+"""Calibrated synthetic trace generation.
+
+Builds :class:`~repro.trace.events.Trace` objects with the statistical
+shape of the paper's measured systems (see
+:mod:`repro.workloads.profiles`).  The generated task DAG per
+working-memory change mirrors what the instrumented Rete emits for real
+programs:
+
+* one **root** task (class dispatch + constant tests);
+* per alpha-memory hit, an **amem** task depending on the root; alpha
+  memories are shared by several productions (``alpha_sharing``), so one
+  amem task carries multiple production attributions;
+* per affected production, a beta path hanging off its amem task:
+
+  - *light* productions: one join activation in the 50-100 instruction
+    band, sometimes reaching a terminal;
+  - *heavy* productions: an expensive join whose output fans out into
+    parallel successor activations, plus an irreducibly serial chain
+    segment (``heavy_serial_bias`` splits the work) -- reproducing the
+    processing-variance profile that caps production-level parallelism
+    at ~5x while node-level parallelism goes much higher.
+
+Node identities are drawn from a per-production stable registry, so the
+same logical node recurs across changes and the simulator's lock model
+sees realistic contention.
+
+Determinism: everything derives from ``random.Random(seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Optional
+
+from ..trace.events import ChangeTrace, FiringTrace, Task, Trace
+from .profiles import SystemProfile
+
+_WME_CLASSES = ("goal", "state", "operator", "context", "object", "relation")
+
+
+class _NodeRegistry:
+    """Stable synthetic node identities per (production, role)."""
+
+    def __init__(self) -> None:
+        self._ids: dict[tuple, int] = {}
+        self._next = 1
+
+    def node(self, *key) -> int:
+        if key not in self._ids:
+            self._ids[key] = self._next
+            self._next += 1
+        return self._ids[key]
+
+
+class SyntheticGenerator:
+    """Generates one system's trace from its profile."""
+
+    def __init__(self, profile: SystemProfile, seed: int = 0) -> None:
+        self.profile = profile
+        # zlib.crc32 is stable across processes (str hash() is not).
+        self.rng = random.Random(zlib.crc32(profile.name.encode()) * 65537 + seed)
+        self.nodes = _NodeRegistry()
+        # Pre-assign each production to an alpha-memory cluster, so the
+        # same productions co-activate consistently across the run.
+        cluster_count = max(
+            1, int(profile.program_productions / max(profile.alpha_sharing, 1.0))
+        )
+        self._clusters: dict[int, list[int]] = {c: [] for c in range(cluster_count)}
+        for production in range(profile.program_productions):
+            self._clusters[self.rng.randrange(cluster_count)].append(production)
+        # A per-production heaviness flag: heavy productions are heavy on
+        # every change that affects them (the variance is structural).
+        self._heavy = {
+            production: self.rng.random() < profile.heavy_fraction
+            for production in range(profile.program_productions)
+        }
+
+    # -- distributions ------------------------------------------------------
+
+    def _geometric(self, mean: float) -> int:
+        """A >=1 geometric variate with the given mean."""
+        if mean <= 1.0:
+            return 1
+        p = 1.0 / mean
+        count = 1
+        while self.rng.random() > p and count < mean * 8:
+            count += 1
+        return count
+
+    def _production_name(self, production: int) -> str:
+        return f"{self.profile.name}-p{production:03d}"
+
+    # -- task construction -----------------------------------------------------
+
+    def change(self) -> ChangeTrace:
+        """Generate one working-memory change's activation DAG."""
+        profile = self.profile
+        rng = self.rng
+        change = ChangeTrace(
+            kind="add" if rng.random() < 0.55 else "remove",
+            wme_class=rng.choice(_WME_CLASSES),
+        )
+        tasks = change.tasks
+
+        def add_task(
+            kind: str,
+            cost: int,
+            deps: tuple[int, ...],
+            node_id: int,
+            productions: tuple[str, ...] = (),
+        ) -> int:
+            index = len(tasks)
+            tasks.append(
+                Task(
+                    index=index,
+                    kind=kind,
+                    cost=max(1, cost),
+                    deps=deps,
+                    node_id=node_id,
+                    productions=productions,
+                )
+            )
+            return index
+
+        # Root: class dispatch + constant tests.
+        root = add_task("root", 20 + rng.randrange(5, 20), (), self.nodes.node("root"))
+
+        # Which productions does this change affect?  Draw clusters until
+        # the affected target is met -- co-activation through shared
+        # alpha memories, as in a real network.
+        target = self._geometric(profile.affected_mean)
+        affected: list[int] = []
+        cluster_ids = list(self._clusters)
+        guard = 0
+        while len(affected) < target and guard < 10 * len(cluster_ids):
+            guard += 1
+            cluster = self._clusters[rng.choice(cluster_ids)]
+            if not cluster:
+                continue
+            for production in cluster:
+                if production not in affected:
+                    affected.append(production)
+                if len(affected) >= target:
+                    break
+
+        # Group the affected productions by their alpha cluster to emit
+        # shared amem tasks.
+        by_cluster: dict[int, list[int]] = {}
+        for production in affected:
+            for cluster_id, members in self._clusters.items():
+                if production in members:
+                    by_cluster.setdefault(cluster_id, []).append(production)
+                    break
+
+        for cluster_id, members in sorted(by_cluster.items()):
+            names = tuple(self._production_name(p) for p in sorted(members))
+            amem = add_task(
+                "amem",
+                18,
+                (root,),
+                self.nodes.node("amem", cluster_id),
+                names,
+            )
+            for production in sorted(members):
+                self._production_path(production, amem, add_task)
+        return change
+
+    def _production_path(self, production: int, amem: int, add_task) -> None:
+        """Emit the beta-path tasks of one affected production."""
+        profile = self.profile
+        rng = self.rng
+        name = (self._production_name(production),)
+
+        if not self._heavy[production]:
+            join_cost = rng.randrange(22, 40)
+            join = add_task(
+                "join", join_cost, (amem,), self.nodes.node("join", production, 0), name
+            )
+            if rng.random() < profile.terminal_fraction:
+                bmem = add_task(
+                    "bmem", 20, (join,), self.nodes.node("bmem", production, 0), name
+                )
+                add_task("term", 35, (bmem,), self.nodes.node("term", production), name)
+            return
+
+        # Heavy production: an expensive join fans out, plus a serial
+        # chain segment.  Total work ~ fanout * task + depth * task.
+        fanout = max(1, self._geometric(profile.heavy_fanout))
+        serial_depth = max(
+            1, round(profile.heavy_depth * (0.5 + rng.random()))
+        )
+        big_join = add_task(
+            "join",
+            rng.randrange(50, 75),
+            (amem,),
+            self.nodes.node("join", production, 0),
+            name,
+        )
+        # Parallel part: fanout successor activations on the next level.
+        parallel_heads: list[int] = []
+        for branch in range(fanout):
+            cost = rng.randrange(35, 60)
+            child = add_task(
+                "join",
+                cost,
+                (big_join,),
+                self.nodes.node("join", production, 1 + branch % 4),
+                name,
+            )
+            parallel_heads.append(child)
+        # Serial part: a chain hanging off one branch, sized by bias.
+        chain_len = max(1, round(serial_depth * profile.heavy_serial_bias * 3))
+        previous = parallel_heads[0]
+        for level in range(chain_len):
+            previous = add_task(
+                "join",
+                rng.randrange(40, 65),
+                (previous,),
+                self.nodes.node("chain", production, level),
+                name,
+            )
+        if rng.random() < profile.terminal_fraction:
+            bmem = add_task(
+                "bmem", 20, (previous,), self.nodes.node("bmem", production, 1), name
+            )
+            add_task("term", 40, (bmem,), self.nodes.node("term", production), name)
+
+    # -- whole traces ---------------------------------------------------------------
+
+    def trace(self, firings: Optional[int] = None) -> Trace:
+        """Generate the full run: *firings* recognize--act cycles."""
+        profile = self.profile
+        count = firings if firings is not None else profile.firings
+        firing_list: list[FiringTrace] = []
+        for index in range(count):
+            firing = FiringTrace(
+                production=self._production_name(
+                    self.rng.randrange(profile.program_productions)
+                )
+            )
+            for _ in range(self._geometric(profile.changes_per_firing)):
+                firing.changes.append(self.change())
+            firing_list.append(firing)
+        trace = Trace(name=profile.name, firings=firing_list)
+        trace.validate()
+        return trace
+
+
+def generate_trace(
+    profile: SystemProfile, seed: int = 0, firings: Optional[int] = None
+) -> Trace:
+    """Generate a calibrated synthetic trace for *profile*."""
+    return SyntheticGenerator(profile, seed).trace(firings)

@@ -1,0 +1,76 @@
+"""Static and dynamic program measurements."""
+
+import pytest
+
+from repro.analysis import measure_dynamic, measure_static
+from repro.ops5 import parse_program
+from repro.workloads.programs import blocks, closure, hanoi, monkey
+
+
+class TestStatic:
+    def test_hanoi_structure(self):
+        program = parse_program(hanoi.PROGRAM)
+        stats = measure_static(program.productions, "hanoi")
+        assert stats.productions == 5
+        assert stats.condition_elements == 9
+        assert stats.classes == 2  # goal, disk
+        assert stats.negated_condition_elements == 0
+        assert stats.makes == 2 and stats.modifies == 6 and stats.removes == 3
+
+    def test_negation_share(self):
+        program = parse_program("""
+          (p a (x) - (y) --> (halt))
+          (p b (x) --> (halt))
+        """)
+        stats = measure_static(program.productions)
+        assert stats.negation_share == pytest.approx(1 / 3)
+
+    def test_test_mix_counted(self):
+        program = parse_program(
+            "(p t (c ^a 1 ^b <v> ^d > 2 ^e << x y >> ^f { <w> <> 0 }) --> (halt))"
+        )
+        stats = measure_static(program.productions)
+        assert stats.constant_tests == 1
+        assert stats.variable_tests == 2  # <v> and <w> (in the conjunction)
+        assert stats.predicate_tests == 2  # > 2 and <> 0
+        assert stats.disjunctive_tests == 1
+
+    def test_empty_program(self):
+        stats = measure_static([])
+        assert stats.productions == 0
+        assert stats.mean_ces_per_production == 0.0
+        assert stats.negation_share == 0.0
+
+    def test_rows_render(self):
+        program = parse_program(monkey.PROGRAM)
+        rows = measure_static(program.productions, "monkey").rows()
+        assert any("productions" in str(label) for label, _ in rows)
+
+
+class TestDynamic:
+    def test_hanoi_run_statistics(self):
+        stats = measure_dynamic(hanoi.build, "hanoi")
+        assert stats.firings == 30
+        assert stats.changes == 122
+        assert stats.peak_memory >= stats.mean_memory
+        assert stats.mean_changes_per_firing == pytest.approx(122 / 30, abs=0.2)
+        assert stats.network_nodes > 0
+        assert 0.0 <= stats.sharing_ratio <= 1.0
+
+    def test_cycle_cap(self):
+        stats = measure_dynamic(blocks.build, "blocks", max_cycles=2)
+        assert stats.firings == 2
+
+    def test_turnover_reflects_memory_growth(self):
+        # Closure only adds facts: the working memory grows, so turnover
+        # per cycle shrinks as the run proceeds -- the mean stays small.
+        stats = measure_dynamic(
+            lambda **kw: closure.build(closure.chain(8), **kw), "closure"
+        )
+        assert stats.turnover_percent < 10.0
+
+    def test_rows_render(self):
+        rows = measure_dynamic(monkey.build, "monkey").rows()
+        labels = [label for label, _ in rows]
+        assert "firings" in labels
+        assert "sharing ratio" in labels

@@ -1,0 +1,69 @@
+"""Report rendering."""
+
+from repro.analysis import render_series, render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows_present(self):
+        text = render_table(["name", "value"], [["a", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "a" in text and "22" in text
+
+    def test_title_prepended(self):
+        text = render_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_numbers_right_aligned(self):
+        text = render_table(["name", "value"], [["a", 5], ["bbbb", 12345]])
+        rows = text.splitlines()[-2:]
+        assert rows[0].endswith("5")
+        assert rows[1].endswith("12,345")
+
+    def test_floats_formatted(self):
+        text = render_table(["v"], [[3.14159]])
+        assert "3.14" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_one_column_per_curve(self):
+        text = render_series(
+            "procs", [1, 2], {"fast": [1.0, 2.0], "slow": [0.5, 0.7]}
+        )
+        header = text.splitlines()[0]
+        assert "procs" in header and "fast" in header and "slow" in header
+        assert "2.00" in text
+
+    def test_precision(self):
+        text = render_series("x", [1], {"y": [1234.5678]}, precision=0)
+        assert "1,235" in text or "1235" in text
+
+
+class TestRenderCsv:
+    def test_basic(self):
+        from repro.analysis import render_csv
+
+        out = render_csv(["a", "b"], [[1, "x"], [2, "y"]])
+        assert out.splitlines() == ["a,b", "1,x", "2,y"]
+
+    def test_quoting(self):
+        from repro.analysis import render_csv
+
+        out = render_csv(["v"], [['say "hi", ok']])
+        assert out.splitlines()[1] == '"say ""hi"", ok"'
+
+    def test_round_trips_through_csv_module(self):
+        import csv
+        import io
+
+        from repro.analysis import render_csv
+
+        rows = [[1, "plain"], [2, 'quo"te'], [3, "com,ma"]]
+        text = render_csv(["n", "s"], rows)
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == ["n", "s"]
+        assert parsed[2] == ["2", 'quo"te']

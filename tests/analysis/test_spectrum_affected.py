@@ -1,0 +1,96 @@
+"""Section 3.2 spectrum and Sections 4/8 limiting-factor measurements."""
+
+from repro.analysis import (
+    measure_program,
+    measure_spectrum,
+    measure_trace,
+)
+from repro.workloads import PAPER_SYSTEMS, generate_trace
+from repro.workloads.programs import closure, hanoi
+
+
+#: A three-positive-CE program: Rete stores only the prefix chain
+#: (goal, goal x item, full triples) while the all-combinations scheme
+#: additionally stores the (goal, slot) and (item, slot) pairs -- the
+#: combinatorial surplus the paper warns about.
+_TRIPLE_SRC = """
+(p pick (goal ^t <t>) (item ^t <t> ^v <v>) (slot ^v <v>) --> (halt))
+"""
+
+
+def _triple_build(**kwargs):
+    from repro.ops5 import ProductionSystem
+
+    system = ProductionSystem(_TRIPLE_SRC, **kwargs)
+    for t in range(3):
+        system.add("goal", t=t)
+    for i in range(6):
+        system.add("item", t=i % 3, v=i % 2)
+    for v in range(4):
+        system.add("slot", v=v % 2)
+    return system
+
+
+class TestSpectrum:
+    def test_ordering_on_join_heavy_snapshot(self):
+        """TREAT stores least, all-combinations most (Section 3.2)."""
+        report = measure_spectrum(_triple_build, "triple", max_cycles=0)
+        assert report.treat.beta_state == 0
+        assert report.rete.total > report.treat.total
+        assert report.all_pairs.total > report.rete.total
+
+    def test_alpha_state_identical_between_treat_and_rete(self):
+        report = measure_spectrum(hanoi.build, "hanoi", max_cycles=10)
+        assert report.treat.alpha_state == report.rete.alpha_state
+
+    def test_ordered_returns_low_to_high(self):
+        report = measure_spectrum(_triple_build, "triple", max_cycles=0)
+        totals = [point.total for point in report.ordered()]
+        assert totals == sorted(totals)
+
+    def test_closure_rete_exceeds_treat(self):
+        report = measure_spectrum(
+            lambda **kw: closure.build(closure.chain(8), **kw),
+            "closure",
+            max_cycles=36,
+        )
+        assert report.rete.total > report.treat.total
+
+
+class TestProgramFactors:
+    def test_hanoi_factors(self):
+        factors = measure_program(hanoi.build, "hanoi")
+        assert factors.cycles == 30  # 15 moves + goal bookkeeping
+        assert factors.mean_changes_per_cycle > 1
+        assert factors.mean_affected_per_change >= 1
+        assert factors.max_affected_per_change >= factors.mean_affected_per_change
+
+    def test_cycle_cap_respected(self):
+        factors = measure_program(hanoi.build, "hanoi", max_cycles=5)
+        assert factors.cycles == 5
+
+
+class TestTraceFactors:
+    def test_synthetic_affected_matches_paper_scale(self):
+        """Across the six calibrated systems, affected productions per
+        change average around the paper's ~30 (we accept 10-45)."""
+        means = [
+            measure_trace(generate_trace(p, seed=9, firings=40)).mean_affected_per_change
+            for p in PAPER_SYSTEMS
+        ]
+        overall = sum(means) / len(means)
+        assert 10 <= overall <= 45
+
+    def test_turnover_under_half_percent(self):
+        """With the paper-scale stable memory, per-cycle turnover stays
+        below ~1% (the paper reports < 0.5%)."""
+        trace = generate_trace(PAPER_SYSTEMS[0], seed=9, firings=40)
+        factors = measure_trace(trace, stable_memory_size=1000.0)
+        assert factors.turnover_percent < 1.0
+
+    def test_cost_variation_is_substantial(self):
+        """The variance argument: per-production costs are far from
+        uniform."""
+        trace = generate_trace(PAPER_SYSTEMS[0], seed=9, firings=40)
+        factors = measure_trace(trace)
+        assert factors.cost_variation > 0.5

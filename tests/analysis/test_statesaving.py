@@ -1,0 +1,68 @@
+"""Section 3.1 analysis: model arithmetic and empirical comparison."""
+
+import pytest
+
+from repro.analysis import (
+    CostModelParameters,
+    breakeven_turnover,
+    compare_matchers,
+    non_state_saving_cost,
+    state_saving_advantage,
+    state_saving_cost,
+    turnover,
+)
+from repro.workloads.programs import closure, hanoi
+
+
+class TestAnalyticModel:
+    def test_paper_breakeven_threshold(self):
+        """c3/c1 = 1100/1800 ~ 0.61 (the paper's Section 3.1 result)."""
+        assert breakeven_turnover() == pytest.approx(0.611, abs=0.001)
+
+    def test_costs(self):
+        assert state_saving_cost(inserts=2, deletes=1) == 2 * 1800 + 1 * 1800
+        assert non_state_saving_cost(memory_size=100) == 100 * 1100
+
+    def test_turnover(self):
+        assert turnover(2, 2, 800) == pytest.approx(0.005)
+        with pytest.raises(ValueError):
+            turnover(1, 1, 0)
+
+    def test_paper_factor_of_20(self):
+        """At the measured <0.5% turnover, non-state-saving needs to
+        recover a factor of about 20."""
+        advantage = state_saving_advantage(inserts=2, deletes=2, memory_size=800)
+        assert advantage > 20
+
+    def test_breakeven_is_actually_breakeven(self):
+        threshold = breakeven_turnover()
+        memory = 1000.0
+        changes = threshold * memory / 2  # i = d
+        assert state_saving_advantage(changes, changes, memory) == pytest.approx(1.0)
+
+    def test_custom_parameters(self):
+        params = CostModelParameters(c1=1000, c2=1000, c3=500)
+        assert breakeven_turnover(params) == pytest.approx(0.5)
+
+
+class TestEmpiricalComparison:
+    def test_rete_beats_naive_on_closure(self):
+        """The join-heavy closure workload: naive re-matching must cost
+        far more comparisons than incremental Rete."""
+        comparison = compare_matchers(
+            lambda **kw: closure.build(closure.chain(7), **kw), "closure"
+        )
+        assert comparison.measured_advantage > 3.0
+        assert comparison.cycles > 0
+
+    def test_fields_populated(self):
+        comparison = compare_matchers(hanoi.build, "hanoi")
+        assert comparison.program == "hanoi"
+        assert comparison.mean_memory_size > 0
+        assert comparison.mean_changes_per_cycle > 0
+        assert comparison.rete_comparisons > 0
+        assert comparison.naive_comparisons > 0
+
+    def test_turnover_reported(self):
+        comparison = compare_matchers(hanoi.build, "hanoi")
+        assert 0 < comparison.mean_turnover < 1.5

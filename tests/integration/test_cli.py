@@ -1,0 +1,148 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+(p go (a ^v <x>) --> (write got <x>) (remove 1))
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.ops5"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def wmes_file(tmp_path):
+    path = tmp_path / "mem.wmes"
+    path.write_text("(a ^v 7) (a ^v 9)")
+    return str(path)
+
+
+class TestRun:
+    def test_runs_program(self, capsys, program_file, wmes_file):
+        assert main(["run", program_file, "--wmes", wmes_file]) == 0
+        out = capsys.readouterr().out
+        assert "got 9" in out and "got 7" in out
+        assert "fired 2 productions" in out
+
+    def test_matcher_selection(self, capsys, program_file, wmes_file):
+        for matcher in ("rete", "treat", "naive"):
+            assert main(["run", program_file, "--wmes", wmes_file,
+                         "--matcher", matcher]) == 0
+
+    def test_stats_flag(self, capsys, program_file, wmes_file):
+        main(["run", program_file, "--wmes", wmes_file, "--stats"])
+        out = capsys.readouterr().out
+        assert "mean affected productions" in out
+        assert "rete:" in out
+
+    def test_max_cycles(self, capsys, program_file, wmes_file):
+        assert main(["run", program_file, "--wmes", wmes_file,
+                     "--max-cycles", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fired 1 productions" in out
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["run", "/nonexistent.ops5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_program_is_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.ops5"
+        path.write_text("(p broken")
+        assert main(["run", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDemo:
+    @pytest.mark.parametrize("name", ["monkey", "hanoi", "blocks"])
+    def test_demos_run(self, capsys, name):
+        assert main(["demo", name]) == 0
+        assert "fired" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_synthetic_system(self, capsys):
+        assert main(["simulate", "--system", "ilog", "--processors", "8",
+                     "--firings", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "concurrency" in out and "wme-changes/s" in out
+
+    def test_from_program_file(self, capsys, program_file, wmes_file):
+        assert main(["simulate", "--file", program_file, "--wmes", wmes_file,
+                     "--processors", "4"]) == 0
+        assert "true speed-up" in capsys.readouterr().out
+
+    def test_machine_knobs(self, capsys):
+        assert main(["simulate", "--system", "ilog", "--firings", "5",
+                     "--scheduler", "software",
+                     "--granularity", "production",
+                     "--firing-batch", "2"]) == 0
+
+
+class TestTables:
+    def test_compare(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "PSM" in out and "DADO" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures", "--firings", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6-1" in out and "Figure 6-2" in out
+
+
+class TestMeasure:
+    def test_demo_measurement(self, capsys):
+        from repro.cli import main
+
+        assert main(["measure", "--demo", "monkey"]) == 0
+        out = capsys.readouterr().out
+        assert "static measurement" in out
+        assert "dynamic measurement" in out
+        assert "productions" in out
+
+    def test_file_measurement(self, capsys, tmp_path):
+        from repro.cli import main
+
+        program = tmp_path / "p.ops5"
+        program.write_text("(p go (a ^v <x>) --> (remove 1))")
+        wmes = tmp_path / "m.wmes"
+        wmes.write_text("(a ^v 1)")
+        assert main(["measure", "--file", str(program), "--wmes", str(wmes)]) == 0
+        out = capsys.readouterr().out
+        assert "firings" in out
+
+
+class TestGantt:
+    def test_simulate_gantt_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "--system", "ilog", "--firings", "3",
+                     "--processors", "2", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "p0 |" in out and "p1 |" in out
+
+
+class TestVerifyFlag:
+    def test_verify_passes_on_clean_run(self, capsys, tmp_path):
+        from repro.cli import main
+
+        program = tmp_path / "p.ops5"
+        program.write_text("(p go (a ^v <x>) --> (remove 1))")
+        wmes = tmp_path / "m.wmes"
+        wmes.write_text("(a ^v 1) (a ^v 2)")
+        assert main(["run", str(program), "--wmes", str(wmes), "--verify"]) == 0
+        assert "verified consistent" in capsys.readouterr().out
+
+    def test_verify_rejects_non_rete_matchers(self, capsys, tmp_path):
+        from repro.cli import main
+
+        program = tmp_path / "p.ops5"
+        program.write_text("(p go (a) --> (halt))")
+        assert main(["run", str(program), "--matcher", "treat", "--verify"]) == 2

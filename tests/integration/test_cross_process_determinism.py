@@ -1,0 +1,48 @@
+"""Cross-process determinism: results must not depend on hash seeds.
+
+Python randomises ``hash(str)`` per process; any code path keying
+results off string hashes (set iteration order feeding an RNG, etc.)
+would produce different numbers in different processes.  These tests
+run the pipeline in subprocesses with different ``PYTHONHASHSEED``
+values and demand identical output.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+
+def _run(args, hashseed):
+    env = dict(os.environ, PYTHONHASHSEED=str(hashseed))
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestHashSeedIndependence:
+    def test_synthetic_simulation_identical(self):
+        args = ["simulate", "--system", "vt", "--processors", "16",
+                "--firings", "20"]
+        assert _run(args, 1) == _run(args, 4242)
+
+    def test_figures_identical(self):
+        args = ["figures", "--firings", "5"]
+        assert _run(args, 7) == _run(args, 12345)
+
+    def test_real_program_run_identical(self, tmp_path):
+        program = tmp_path / "p.ops5"
+        program.write_text(
+            "(p pair (n ^v <x>) (n ^v { <y> > <x> }) --> (write pair <x> <y>))"
+        )
+        wmes = tmp_path / "m.wmes"
+        wmes.write_text("(n ^v 1) (n ^v 3) (n ^v 2)")
+        args = ["run", str(program), "--wmes", str(wmes)]
+        assert _run(args, 11) == _run(args, 2222)

@@ -1,0 +1,73 @@
+"""Documentation discipline: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+_MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    # importing __main__ would execute the CLI.
+    if not name.endswith("__main__")
+]
+
+
+@pytest.mark.parametrize("module_name", _MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+def _public_members(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in vars(module) if not n.startswith("_")]
+    for name in names:
+        member = getattr(module, name)
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if getattr(member, "__module__", "").startswith("repro"):
+                yield name, member
+
+
+@pytest.mark.parametrize("module_name", _MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = [
+        name
+        for name, member in _public_members(module)
+        if not (member.__doc__ and member.__doc__.strip())
+    ]
+    assert not undocumented, f"{module_name}: {undocumented}"
+
+
+def test_public_methods_documented_on_core_classes():
+    """Spot-deeper check: the engine/matcher surface is fully documented."""
+    from repro.ops5.engine import ProductionSystem
+    from repro.psim.machine import MachineConfig
+    from repro.rete.network import ReteNetwork
+
+    for cls in (ProductionSystem, ReteNetwork, MachineConfig):
+        undocumented = [
+            name
+            for name, member in vars(cls).items()
+            if not name.startswith("_")
+            and (inspect.isfunction(member) or isinstance(member, property))
+            and not (
+                (member.fget.__doc__ if isinstance(member, property) else member.__doc__)
+                or ""
+            ).strip()
+        ]
+        assert not undocumented, f"{cls.__name__}: {undocumented}"
+
+
+def test_top_level_docs_exist():
+    import pathlib
+
+    root = pathlib.Path(repro.__file__).parent.parent.parent
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+        path = root / name
+        assert path.exists() and path.stat().st_size > 500, name

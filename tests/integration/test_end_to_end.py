@@ -1,0 +1,105 @@
+"""End-to-end: program -> trace -> simulation -> paper-scale metrics."""
+
+import pytest
+
+from repro.machines import measured_results
+from repro.psim import MachineConfig, simulate
+from repro.psim.metrics import (
+    average_concurrency,
+    average_speed,
+    average_true_speedup,
+)
+from repro.trace import capture_trace
+from repro.workloads import PARALLEL_FIRING_SYSTEMS, generate_trace
+from repro.workloads.programs import hanoi
+
+
+class TestRealProgramPipeline:
+    def test_hanoi_trace_to_simulation(self):
+        trace, result, _ = capture_trace(
+            hanoi.PROGRAM, hanoi.setup(4), name="hanoi", max_cycles=None
+        )
+        assert result.fired == 30
+        assert trace.total_changes == result.total_changes
+        simulated = simulate(trace, MachineConfig(processors=8))
+        assert simulated.total_changes == trace.total_changes
+        assert simulated.true_speedup > 0.5
+        assert simulated.concurrency >= 1.0
+
+    def test_parallel_machine_beats_serial_machine(self):
+        trace, _, _ = capture_trace(hanoi.PROGRAM, hanoi.setup(5), name="hanoi")
+        serial = simulate(trace, MachineConfig(processors=1))
+        parallel = simulate(trace, MachineConfig(processors=8))
+        assert parallel.makespan < serial.makespan
+
+
+class TestPaperHeadlineNumbers:
+    """Section 6's aggregates at 32 processors x 2 MIPS.
+
+    We assert bands around the published values: the shape must hold,
+    absolute numbers may drift with the calibrated generators.
+    """
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return measured_results(firings=60)
+
+    def test_mean_concurrency_near_16(self, results):
+        assert 11.0 <= average_concurrency(results) <= 21.0  # paper: 15.92
+
+    def test_mean_speed_near_9400(self, results):
+        assert 5500 <= average_speed(results) <= 12500  # paper: 9400
+
+    def test_mean_true_speedup_near_8(self, results):
+        assert 5.5 <= average_true_speedup(results) <= 11.0  # paper: 8.25
+
+    def test_speedup_under_10x(self, results):
+        """The abstract's claim: true speed-up stays below ~10-fold."""
+        for result in results:
+            assert result.true_speedup < 14.0
+
+    def test_lost_factor_near_2(self, results):
+        factors = [r.lost_factor for r in results]
+        mean = sum(factors) / len(factors)
+        assert 1.6 <= mean <= 2.3  # paper: 1.93
+
+    def test_firing_rate_vs_change_rate(self, results):
+        """~2.5 changes per firing: firings/sec ~ 0.4x wme-changes/sec."""
+        for result in results:
+            ratio = result.wme_changes_per_second / result.firings_per_second
+            assert 1.5 <= ratio <= 4.5
+
+
+class TestParallelFirings:
+    def test_parallel_firings_raise_concurrency(self):
+        for profile in PARALLEL_FIRING_SYSTEMS:
+            trace = generate_trace(profile, seed=42, firings=40)
+            single = simulate(trace, MachineConfig(processors=32))
+            batched = simulate(trace, MachineConfig(processors=32, firing_batch=2))
+            assert batched.concurrency > single.concurrency
+
+
+class TestGranularityOrdering:
+    def test_production_parallelism_capped_near_5x(self):
+        """Section 4: ~5-fold even with unbounded processors."""
+        speedups = []
+        for profile in PARALLEL_FIRING_SYSTEMS:
+            trace = generate_trace(profile, seed=42, firings=40)
+            result = simulate(
+                trace,
+                MachineConfig(processors=512, granularity="production"),
+            )
+            speedups.append(result.true_speedup)
+        mean = sum(speedups) / len(speedups)
+        assert 2.0 <= mean <= 8.0
+
+    def test_node_granularity_beats_production(self):
+        profile = PARALLEL_FIRING_SYSTEMS[0]
+        trace = generate_trace(profile, seed=42, firings=40)
+        production = simulate(
+            trace, MachineConfig(processors=64, granularity="production")
+        )
+        intra = simulate(
+            trace, MachineConfig(processors=64, granularity="intra-node")
+        )
+        assert intra.true_speedup > production.true_speedup

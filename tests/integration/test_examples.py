@@ -1,0 +1,35 @@
+"""Every example script runs clean (they are part of the public surface)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()  # every example prints something
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "configurator",
+        "speedup_study",
+        "architecture_comparison",
+        "real_program_traces",
+        "four_matchers",
+    } <= names

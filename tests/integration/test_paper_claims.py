@@ -1,0 +1,156 @@
+"""The claims ledger: the paper's headline sentences as assertions.
+
+Each test quotes one claim from Gupta, Forgy, Newell & Wedig (ISCA
+1986) and checks it against this reproduction.  The suite is the
+executive summary of EXPERIMENTS.md in runnable form.
+"""
+
+import pytest
+
+from repro.analysis import breakeven_turnover, state_saving_advantage
+from repro.machines import DADO_RETE, DADO_TREAT, NONVON, OFLAZER, PSM
+from repro.psim import MachineConfig, simulate
+from repro.psim.metrics import (
+    average_concurrency,
+    average_speed,
+    average_true_speedup,
+)
+from repro.trace import uniprocessor_ladder
+from repro.workloads import PAPER_SYSTEMS, generate_trace
+
+
+@pytest.fixture(scope="module")
+def at_32():
+    config = MachineConfig(processors=32)
+    return [
+        simulate(generate_trace(profile, seed=42, firings=40), config)
+        for profile in PAPER_SYSTEMS
+    ]
+
+
+class TestAbstract:
+    def test_speedup_from_parallelism_is_quite_limited(self, at_32):
+        """'we show that the speed-up from parallelism is quite limited,
+        less than 10-fold'"""
+        assert average_true_speedup(at_32) < 10.0
+
+    def test_execution_speeds_around_3800_firings_per_sec(self, at_32):
+        """'it is possible to obtain execution speeds of about 3800
+        rule-firings/sec' (we land in the band)"""
+        firing_rate = sum(r.firings_per_second for r in at_32) / len(at_32)
+        assert 2000 <= firing_rate <= 5000
+
+
+class TestSection2:
+    def test_interpreter_ladder(self):
+        """'the Lisp implementation ... around 8 wme-changes/sec ... the
+        Bliss based implementation ... around 40 ... the compiled OPS
+        runs at around 200'"""
+        ladder = uniprocessor_ladder(mips=1.0)
+        assert ladder["lisp-interpreted"] == pytest.approx(8)
+        assert ladder["bliss-interpreted"] == pytest.approx(40)
+        assert ladder["ops83-compiled"] == pytest.approx(200)
+
+
+class TestSection3:
+    def test_breakeven_at_61_percent(self):
+        """'state-saving algorithms are better if the number of
+        insertions plus deletions per cycle is less than 61% of the
+        stable size of the working memory'"""
+        assert breakeven_turnover() == pytest.approx(0.61, abs=0.005)
+
+    def test_factor_of_20_at_measured_turnover(self):
+        """'a non state-saving algorithm will have to recover an
+        inefficiency factor of about 20 before it breaks even'"""
+        # 0.5% turnover, i = d, s = 1000.
+        assert state_saving_advantage(2.5, 2.5, 1000) > 20
+
+
+class TestSection4:
+    def test_affected_productions_about_30(self, at_32):
+        """'the number of productions that are affected per change to
+        working memory is small, about 30'"""
+        means = []
+        for profile in PAPER_SYSTEMS:
+            trace = generate_trace(profile, seed=42, firings=40)
+            means.append(trace.mean_affected_productions())
+        assert 15 <= sum(means) / len(means) <= 40
+
+    def test_production_parallelism_only_about_5_fold(self):
+        """'the actual speed-up that can be obtained using production
+        parallelism (even with an unbounded number of processors) is
+        much smaller, only about 5-fold'"""
+        speedups = []
+        for profile in PAPER_SYSTEMS:
+            trace = generate_trace(profile, seed=42, firings=40)
+            result = simulate(
+                trace, MachineConfig(processors=512, granularity="production")
+            )
+            speedups.append(result.true_speedup)
+        assert 3.0 <= sum(speedups) / len(speedups) <= 7.0
+
+
+class TestSection5:
+    def test_one_bus_handles_32_processors(self):
+        """'a single high-speed bus should be able to handle the load
+        put on it by about 32 processors'"""
+        config = MachineConfig()
+        assert config.bus_slowdown(32) == 1.0
+
+    def test_hardware_scheduler_needed(self, at_32):
+        """'the serial enqueueing and dequeueing of hundreds of
+        fine-grain node activations ... is expected to become a
+        bottleneck'"""
+        trace = generate_trace(PAPER_SYSTEMS[0], seed=42, firings=20)
+        hardware = simulate(trace, MachineConfig(processors=32))
+        software = simulate(
+            trace, MachineConfig(processors=32, scheduler="software")
+        )
+        assert software.true_speedup < 0.5 * hardware.true_speedup
+
+
+class TestSection6:
+    def test_average_concurrency_near_15_92(self, at_32):
+        """'the graphs show that the average concurrency is 15.92'"""
+        assert 11 <= average_concurrency(at_32) <= 21
+
+    def test_average_speed_near_9400(self, at_32):
+        """'the average execution speed is 9400 wme-changes/sec'"""
+        assert 5500 <= average_speed(at_32) <= 12500
+
+    def test_true_speedup_near_8_25_with_lost_factor_1_93(self, at_32):
+        """'the average true speed-up is only 8.25 ... The lost factor
+        of 1.93 (15.92/8.25)'"""
+        speedup = average_true_speedup(at_32)
+        lost = average_concurrency(at_32) / speedup
+        assert 5.5 <= speedup <= 11.0
+        assert 1.6 <= lost <= 2.3
+
+
+class TestSection7:
+    def test_machine_ordering(self):
+        """'the [small-processor-count] architectures do significantly
+        better' -- PSM > Oflazer > NON-VON > DADO"""
+        assert (
+            PSM.predicted_speed()
+            > OFLAZER.predicted_speed()
+            > NONVON.predicted_speed()
+            > DADO_TREAT.predicted_speed()
+            > DADO_RETE.predicted_speed()
+        )
+
+    def test_treat_and_rete_about_the_same_on_dado(self):
+        """'the performance of DADO is quite the same when the TREAT
+        algorithm is used ... and when the Rete algorithm is used'"""
+        ratio = DADO_TREAT.predicted_speed() / DADO_RETE.predicted_speed()
+        assert 1.0 < ratio < 1.35
+
+
+class TestSection8:
+    def test_parallel_firings_raise_concurrency(self):
+        """'application-level parallelism will certainly help when it
+        can be used' (modelled as parallel firings / merged threads)"""
+        trace = generate_trace(PAPER_SYSTEMS[0], seed=42, firings=40)
+        single = simulate(trace, MachineConfig(processors=32))
+        batched = simulate(trace, MachineConfig(processors=32, firing_batch=2))
+        assert batched.concurrency > single.concurrency

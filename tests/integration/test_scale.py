@@ -1,0 +1,69 @@
+"""Scale checks: the library holds up beyond toy sizes."""
+
+import pytest
+
+from repro.psim import MachineConfig, simulate
+from repro.rete import ReteNetwork, assert_network_consistent
+from repro.trace import capture_trace
+from repro.workloads import generate_trace, profile_named
+from repro.workloads.programs import closure, hanoi
+
+
+class TestEngineScale:
+    def test_hanoi_8_disks(self):
+        """255 moves, 510 firings, deep goal stack."""
+        result = hanoi.run(8)
+        moves = [line for line in result.output if line.startswith("move")]
+        assert len(moves) == 255
+
+    def test_closure_chain_20(self):
+        """210 derived facts; beta memories hold thousands of tokens."""
+        system = closure.build(closure.chain(20))
+        system.run(5000)
+        assert closure.derived_facts(system) == 210
+
+    def test_network_consistent_after_big_run(self):
+        net = ReteNetwork()
+        system = closure.build(closure.chain(12), matcher=net)
+        system.run(5000)
+        assert_network_consistent(net)
+
+    def test_thousand_wme_working_memory(self):
+        from repro.ops5 import ProductionSystem
+
+        ps = ProductionSystem(
+            "(p pair (n ^v <x>) (m ^v <x>) --> (halt))"
+        )
+        for v in range(1000):
+            ps.add("n", v=v)
+        for v in range(0, 1000, 10):
+            ps.add("m", v=v)
+        assert len(ps.conflict_set) == 100
+
+
+class TestSimulatorScale:
+    def test_long_synthetic_run(self):
+        """400 firings x ~60 tasks/change ~ 60k tasks through the DES."""
+        trace = generate_trace(profile_named("vt"), seed=5, firings=400)
+        result = simulate(trace, MachineConfig(processors=64))
+        assert result.total_firings == 400
+        assert result.makespan > 0
+        assert result.concurrency <= 64
+
+    def test_capture_scales_with_run_length(self):
+        trace, run_result, _ = capture_trace(
+            hanoi.PROGRAM, hanoi.setup(7), name="hanoi-7"
+        )
+        assert run_result.fired == 254  # 127 moves + goal bookkeeping
+        assert trace.total_tasks > 3000
+        trace.validate()
+
+    def test_many_processor_sweep_is_stable(self):
+        trace = generate_trace(profile_named("mud"), seed=5, firings=60)
+        previous = None
+        for processors in (64, 128, 256):
+            result = simulate(trace, MachineConfig(processors=processors, buses=4))
+            if previous is not None:
+                # Fully saturated: more processors change nothing.
+                assert result.makespan == pytest.approx(previous, rel=0.1)
+            previous = result.makespan

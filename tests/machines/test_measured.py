@@ -1,0 +1,48 @@
+"""The PSM's measured (simulated) numbers and model scaling."""
+
+import pytest
+
+from repro.machines import PSM, measured_results, measured_speed
+from repro.machines.base import MachineModel
+from repro.psim import MachineConfig
+
+
+class TestMeasuredResults:
+    def test_one_result_per_system(self):
+        results = measured_results(firings=20)
+        assert len(results) == 6
+        names = {r.trace_name for r in results}
+        assert "r1-soar" in names and "ilog" in names
+
+    def test_custom_machine_respected(self):
+        slow = measured_speed(MachineConfig(processors=2), firings=20)
+        fast = measured_speed(MachineConfig(processors=32), firings=20)
+        assert fast > 2 * slow
+
+    def test_deterministic(self):
+        assert measured_speed(firings=20) == measured_speed(firings=20)
+
+
+class TestModelScaling:
+    def test_speed_linear_in_mips(self):
+        base = PSM.predicted_speed()
+        doubled = MachineModel(
+            name="x", algorithm="rete", processors=32, processor_mips=4.0,
+            processor_bits=32, topology="shared-bus",
+            exploitable_parallelism=PSM.exploitable_parallelism,
+            implementation_penalty=PSM.implementation_penalty,
+        ).predicted_speed()
+        assert doubled == pytest.approx(2 * base)
+
+    def test_speed_inverse_in_serial_cost(self):
+        fast_program = PSM.predicted_speed(serial_instructions_per_change=900)
+        slow_program = PSM.predicted_speed(serial_instructions_per_change=3600)
+        assert fast_program == pytest.approx(4 * slow_program)
+
+    def test_penalty_hurts(self):
+        lighter = MachineModel(
+            name="x", algorithm="rete", processors=32, processor_mips=2.0,
+            processor_bits=32, topology="shared-bus",
+            exploitable_parallelism=16.3, implementation_penalty=1.0,
+        )
+        assert lighter.predicted_speed() > PSM.predicted_speed()

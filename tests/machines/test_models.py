@@ -1,0 +1,83 @@
+"""Architecture models and the Section 7 comparison."""
+
+import pytest
+
+from repro.machines import (
+    ALL_MACHINES,
+    DADO_RETE,
+    DADO_TREAT,
+    NONVON,
+    OFLAZER,
+    OFLAZER_SPEED_RANGE,
+    PESA1,
+    PSM,
+    comparison_table,
+    measured_speed,
+    render_table,
+    speed_ratios,
+)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize(
+        "machine", [DADO_RETE, DADO_TREAT, NONVON, OFLAZER, PSM]
+    )
+    def test_models_reproduce_published_predictions(self, machine):
+        assert machine.calibration_error() < 0.05
+
+    def test_oflazer_inside_published_range(self):
+        low, high = OFLAZER_SPEED_RANGE
+        assert low <= OFLAZER.predicted_speed() <= high
+
+    def test_pesa_has_no_published_number(self):
+        assert PESA1.published_speed is None
+        assert PESA1.calibration_error() is None
+
+
+class TestShape:
+    def test_who_wins_ordering(self):
+        """The paper's Section 7 ordering: PSM > Oflazer > NON-VON > DADO."""
+        speeds = {m.name: m.predicted_speed() for m in ALL_MACHINES}
+        assert speeds["PSM (this paper)"] > speeds["Oflazer's machine"]
+        assert speeds["Oflazer's machine"] > speeds["NON-VON"]
+        assert speeds["NON-VON"] > speeds["DADO (TREAT)"]
+        assert speeds["DADO (TREAT)"] > speeds["DADO (Rete)"]
+
+    def test_small_machines_beat_massive_trees_by_20x_plus(self):
+        assert PSM.predicted_speed() / DADO_TREAT.predicted_speed() > 20
+        assert PSM.predicted_speed() / NONVON.predicted_speed() > 4
+
+    def test_treat_vs_rete_close_on_dado(self):
+        """Paper: on the massively parallel machines the state-storing
+        strategy matters little."""
+        ratio = DADO_TREAT.predicted_speed() / DADO_RETE.predicted_speed()
+        assert 1.0 < ratio < 1.5
+
+    def test_speed_ratios_normalised_to_psm(self):
+        ratios = speed_ratios()
+        assert ratios["PSM (this paper)"] == pytest.approx(1.0)
+        assert ratios["DADO (Rete)"] < 0.05
+
+
+class TestTable:
+    def test_rows_cover_all_machines(self):
+        rows = comparison_table()
+        assert [r.machine for r in rows] == [m.name for m in ALL_MACHINES]
+
+    def test_published_labels(self):
+        rows = {r.machine: r for r in comparison_table()}
+        assert rows["DADO (Rete)"].published_label == "175"
+        assert rows["Oflazer's machine"].published_label == "4500-7000"
+        assert rows["PESA-1"].published_label == "not published"
+
+    def test_render_contains_every_machine(self):
+        text = render_table()
+        for machine in ALL_MACHINES:
+            assert machine.name in text
+
+
+class TestMeasuredPsm:
+    def test_measured_speed_in_paper_band(self):
+        """The DES-measured PSM average lands near the paper's 9400."""
+        speed = measured_speed(firings=40)
+        assert 5500 <= speed <= 12000

@@ -1,0 +1,105 @@
+"""The partitioned tree-machine simulation (DADO / NON-VON style)."""
+
+import pytest
+
+from repro.machines import (
+    DADO_TREE,
+    NONVON_TREE,
+    TreeMachineConfig,
+    measured_speed,
+    simulate_tree,
+)
+from repro.trace.events import ChangeTrace, FiringTrace, Task, Trace
+from repro.workloads import PAPER_SYSTEMS, generate_trace
+
+
+def _tiny_trace():
+    """One change: root(10) + two productions (100 and 20)."""
+    change = ChangeTrace("add", "c", [
+        Task(index=0, kind="root", cost=10, deps=(), node_id=0),
+        Task(index=1, kind="join", cost=100, deps=(0,), node_id=1,
+             productions=("heavy",)),
+        Task(index=2, kind="join", cost=20, deps=(0,), node_id=2,
+             productions=("light",)),
+    ])
+    return Trace(name="t", firings=[FiringTrace("p", [change])])
+
+
+class TestModelArithmetic:
+    def test_two_partitions_take_the_max(self):
+        config = TreeMachineConfig(
+            partitions=2, pe_mips=1.0, datapath_penalty=1.0,
+            tree_depth=0,
+        )
+        result = simulate_tree(_tiny_trace(), config)
+        # LPT puts heavy and light on different partitions; the shared
+        # root work (10) replicates into both.  Makespan = max(110, 30).
+        assert result.makespan == pytest.approx(110.0)
+        assert result.busy_time == pytest.approx(140.0)
+
+    def test_single_partition_serialises(self):
+        config = TreeMachineConfig(
+            partitions=1, pe_mips=1.0, datapath_penalty=1.0, tree_depth=0
+        )
+        result = simulate_tree(_tiny_trace(), config)
+        assert result.makespan == pytest.approx(130.0)
+
+    def test_penalty_scales_compute(self):
+        base = TreeMachineConfig(partitions=2, pe_mips=1.0,
+                                 datapath_penalty=1.0, tree_depth=0)
+        slow = TreeMachineConfig(partitions=2, pe_mips=1.0,
+                                 datapath_penalty=2.0, tree_depth=0)
+        assert (
+            simulate_tree(_tiny_trace(), slow).makespan
+            == pytest.approx(2 * simulate_tree(_tiny_trace(), base).makespan)
+        )
+
+    def test_communication_adds_per_change(self):
+        near = TreeMachineConfig(partitions=2, pe_mips=1.0,
+                                 datapath_penalty=1.0, tree_depth=0)
+        deep = TreeMachineConfig(partitions=2, pe_mips=1.0,
+                                 datapath_penalty=1.0, tree_depth=10,
+                                 broadcast_cost=5.0, funnel_cost=5.0)
+        delta = (simulate_tree(_tiny_trace(), deep).makespan
+                 - simulate_tree(_tiny_trace(), near).makespan)
+        assert delta == pytest.approx(100.0)  # 10 levels x (5 + 5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TreeMachineConfig(partitions=0)
+        with pytest.raises(ValueError):
+            TreeMachineConfig(datapath_penalty=0.5)
+        with pytest.raises(ValueError):
+            TreeMachineConfig(pe_mips=0)
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def speeds(self):
+        traces = [generate_trace(p, seed=42, firings=40) for p in PAPER_SYSTEMS]
+        return {
+            "dado": [simulate_tree(t, DADO_TREE).wme_changes_per_second for t in traces],
+            "nonvon": [simulate_tree(t, NONVON_TREE).wme_changes_per_second for t in traces],
+        }
+
+    def test_dado_lands_near_cited_band(self, speeds):
+        mean = sum(speeds["dado"]) / len(speeds["dado"])
+        assert 150 <= mean <= 260  # cited: 175 (Rete) - 215 (TREAT)
+
+    def test_nonvon_lands_near_cited_number(self, speeds):
+        mean = sum(speeds["nonvon"]) / len(speeds["nonvon"])
+        assert 1500 <= mean <= 2500  # cited: 2000
+
+    def test_psm_beats_both_by_an_order_of_magnitude(self, speeds):
+        psm = measured_speed(firings=40)
+        dado = sum(speeds["dado"]) / len(speeds["dado"])
+        nonvon = sum(speeds["nonvon"]) / len(speeds["nonvon"])
+        assert psm > 20 * dado
+        assert psm > 3 * nonvon
+
+    def test_partition_utilization_is_low(self, speeds):
+        """The paper's Section 7.5 point (1): the massive machine's
+        processors mostly idle because intrinsic parallelism is small."""
+        trace = generate_trace(PAPER_SYSTEMS[0], seed=42, firings=40)
+        result = simulate_tree(trace, DADO_TREE)
+        assert result.partition_utilization < DADO_TREE.partitions * 0.75

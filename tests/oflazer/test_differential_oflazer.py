@@ -1,0 +1,19 @@
+"""Differential testing: the all-combinations matcher vs the naive oracle.
+
+Reuses the random-program strategies of the Rete differential suite.
+"""
+
+from hypothesis import given, settings
+
+from repro.naive import NaiveMatcher
+from repro.oflazer import CombinationMatcher
+
+from tests.rete.test_differential import _drive, change_scripts, programs
+
+
+@settings(max_examples=100, deadline=None)
+@given(program=programs(), script=change_scripts())
+def test_combination_matcher_matches_naive(program, script):
+    naive = _drive(NaiveMatcher(), program, script)
+    combination = _drive(CombinationMatcher(), program, script)
+    assert combination == naive

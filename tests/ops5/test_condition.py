@@ -1,0 +1,201 @@
+"""Condition-element tests and LHS analysis."""
+
+import pytest
+
+from repro.ops5 import (
+    ConditionElement,
+    ConjunctiveTest,
+    ConstantTest,
+    DisjunctiveTest,
+    Predicate,
+    PredicateTest,
+    ValidationError,
+    VariableTest,
+    analyze_lhs,
+    make_wme,
+    wme_passes_alpha,
+)
+
+
+class TestPredicates:
+    def test_equality_is_numeric_aware(self):
+        assert Predicate.EQ.apply(1, 1.0)
+        assert not Predicate.EQ.apply(1, 2)
+
+    def test_inequality(self):
+        assert Predicate.NE.apply("a", "b")
+        assert not Predicate.NE.apply(3, 3)
+
+    def test_ordering_needs_numbers(self):
+        assert Predicate.LT.apply(1, 2)
+        assert Predicate.GE.apply(2, 2)
+        assert not Predicate.GT.apply("b", "a")  # symbols never ordered
+
+    def test_same_type(self):
+        assert Predicate.SAME_TYPE.apply(1, 99)
+        assert Predicate.SAME_TYPE.apply("x", "y")
+        assert not Predicate.SAME_TYPE.apply(1, "y")
+
+
+class TestElementaryTests:
+    def test_constant(self):
+        assert ConstantTest("red").evaluate("red", {}) == {}
+        assert ConstantTest("red").evaluate("blue", {}) is None
+
+    def test_variable_binds_then_checks(self):
+        test = VariableTest("x")
+        bindings = test.evaluate(5, {})
+        assert bindings == {"x": 5}
+        assert test.evaluate(5, bindings) == {"x": 5}
+        assert test.evaluate(6, bindings) is None
+
+    def test_variable_does_not_mutate_input(self):
+        start = {}
+        VariableTest("x").evaluate(1, start)
+        assert start == {}
+
+    def test_predicate_with_constant(self):
+        test = PredicateTest(Predicate.GT, ConstantTest(5))
+        assert test.evaluate(6, {}) == {}
+        assert test.evaluate(5, {}) is None
+
+    def test_predicate_with_bound_variable(self):
+        test = PredicateTest(Predicate.NE, VariableTest("x"))
+        assert test.evaluate("b", {"x": "a"}) == {"x": "a"}
+        assert test.evaluate("a", {"x": "a"}) is None
+
+    def test_predicate_with_unbound_variable_fails(self):
+        test = PredicateTest(Predicate.NE, VariableTest("x"))
+        assert test.evaluate("a", {}) is None
+
+    def test_conjunction(self):
+        test = ConjunctiveTest(
+            (VariableTest("x"), PredicateTest(Predicate.GT, ConstantTest(2)))
+        )
+        assert test.evaluate(3, {}) == {"x": 3}
+        assert test.evaluate(1, {}) is None
+
+    def test_disjunction(self):
+        test = DisjunctiveTest(("red", "green"))
+        assert test.evaluate("green", {}) == {}
+        assert test.evaluate("blue", {}) is None
+
+
+class TestConditionElementMatch:
+    def test_class_must_match(self):
+        ce = ConditionElement("block", {})
+        assert ce.match(make_wme("goal"), {}) is None
+        assert ce.match(make_wme("block"), {}) == {}
+
+    def test_missing_attribute_reads_nil(self):
+        ce = ConditionElement("block", {"color": ConstantTest("nil")})
+        assert ce.match(make_wme("block"), {}) == {}
+        assert ce.match(make_wme("block", color="red"), {}) is None
+
+    def test_binding_flows_between_attributes(self):
+        ce = ConditionElement(
+            "pair", {"a": VariableTest("x"), "b": VariableTest("x")}
+        )
+        assert ce.match(make_wme("pair", a=1, b=1), {}) == {"x": 1}
+        assert ce.match(make_wme("pair", a=1, b=2), {}) is None
+
+    def test_sorted_attribute_order_for_predicates(self):
+        # 'a' sorts before 'b': the variable binds at ^a, predicate at ^b.
+        ce = ConditionElement(
+            "pair",
+            {"a": VariableTest("x"), "b": PredicateTest(Predicate.GT, VariableTest("x"))},
+        )
+        assert ce.match(make_wme("pair", a=1, b=2), {}) == {"x": 1}
+        assert ce.match(make_wme("pair", a=2, b=1), {}) is None
+
+    def test_specificity_counts_class_and_tests(self):
+        ce = ConditionElement(
+            "block",
+            {"color": ConstantTest("red"),
+             "size": ConjunctiveTest((VariableTest("s"), PredicateTest(Predicate.GT, ConstantTest(1))))},
+        )
+        assert ce.specificity() == 4  # class + color + 2 conjuncts
+
+
+class TestAnalyzeLhs:
+    def test_rejects_empty_lhs(self):
+        with pytest.raises(ValidationError):
+            analyze_lhs([])
+
+    def test_rejects_negated_first(self):
+        with pytest.raises(ValidationError):
+            analyze_lhs([ConditionElement("x", {}, negated=True)])
+
+    def test_constant_tests_are_alpha(self):
+        [analysis] = analyze_lhs([ConditionElement("b", {"c": ConstantTest("red")})])
+        assert analysis.alpha_tests == (("c", ConstantTest("red")),)
+        assert analysis.join_tests == ()
+
+    def test_intra_ce_variable_repetition(self):
+        [analysis] = analyze_lhs(
+            [ConditionElement("b", {"a": VariableTest("x"), "b": VariableTest("x")})]
+        )
+        assert analysis.intra_tests == (("a", "b"),)
+        assert analysis.binders == {"x": "a"}
+
+    def test_cross_ce_variable_becomes_join(self):
+        first = ConditionElement("goal", {"want": VariableTest("c")})
+        second = ConditionElement("block", {"color": VariableTest("c")})
+        _, analysis = analyze_lhs([first, second])
+        assert len(analysis.join_tests) == 1
+        join = analysis.join_tests[0]
+        assert join.own_attribute == "color"
+        assert join.predicate is Predicate.EQ
+        assert (join.other_ce, join.other_attribute) == (0, "want")
+
+    def test_predicate_on_unbound_variable_rejected(self):
+        ce = ConditionElement(
+            "b", {"size": PredicateTest(Predicate.GT, VariableTest("n"))}
+        )
+        with pytest.raises(ValidationError):
+            analyze_lhs([ce])
+
+    def test_predicate_against_earlier_ce(self):
+        first = ConditionElement("n", {"v": VariableTest("x")})
+        second = ConditionElement(
+            "n", {"v": PredicateTest(Predicate.GT, VariableTest("x"))}
+        )
+        _, analysis = analyze_lhs([first, second])
+        [join] = analysis.join_tests
+        assert join.predicate is Predicate.GT
+        assert join.other_ce == 0
+
+    def test_negated_ce_local_variable_is_wildcard(self):
+        first = ConditionElement("goal", {})
+        neg = ConditionElement("b", {"v": VariableTest("w")}, negated=True)
+        last = ConditionElement("c", {"v": VariableTest("w")})
+        analyses = analyze_lhs([first, neg, last])
+        # The negated CE's binding must not leak: the last CE's 'w' is a
+        # fresh first binding, not a join against the negated CE.
+        assert analyses[2].join_tests == ()
+        assert analyses[2].binders == {"w": "v"}
+
+    def test_negated_ce_references_earlier_binding(self):
+        first = ConditionElement("goal", {"want": VariableTest("c")})
+        neg = ConditionElement("b", {"color": VariableTest("c")}, negated=True)
+        analyses = analyze_lhs([first, neg])
+        [join] = analyses[1].join_tests
+        assert join.other_ce == 0
+
+
+class TestAlphaSemantics:
+    def test_wme_passes_alpha_checks_class_constants_intra(self):
+        ce = ConditionElement(
+            "b",
+            {"c": ConstantTest("red"), "x": VariableTest("v"), "y": VariableTest("v")},
+        )
+        [analysis] = analyze_lhs([ce])
+        assert wme_passes_alpha(make_wme("b", c="red", x=1, y=1), analysis)
+        assert not wme_passes_alpha(make_wme("b", c="red", x=1, y=2), analysis)
+        assert not wme_passes_alpha(make_wme("b", c="blue", x=1, y=1), analysis)
+        assert not wme_passes_alpha(make_wme("z", c="red", x=1, y=1), analysis)
+
+    def test_variables_do_not_constrain_alpha(self):
+        ce = ConditionElement("b", {"x": VariableTest("v")})
+        [analysis] = analyze_lhs([ce])
+        assert wme_passes_alpha(make_wme("b"), analysis)  # nil binds fine

@@ -1,0 +1,103 @@
+"""Property tests tying CE matching to its compiler-oriented analysis."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ops5 import analyze_lhs, wme_passes_alpha
+from repro.ops5.condition import (
+    ConditionElement,
+    ConjunctiveTest,
+    ConstantTest,
+    DisjunctiveTest,
+    Predicate,
+    PredicateTest,
+    VariableTest,
+)
+from repro.ops5.wme import WME
+
+values = st.one_of(
+    st.sampled_from(["red", "blue", "nil"]),
+    st.integers(min_value=-3, max_value=3),
+)
+attributes = st.sampled_from(["a", "b", "c"])
+
+alpha_only_tests = st.one_of(
+    st.builds(ConstantTest, values),
+    st.builds(
+        PredicateTest,
+        st.sampled_from([Predicate.NE, Predicate.LT, Predicate.GE]),
+        st.builds(ConstantTest, values),
+    ),
+    st.builds(DisjunctiveTest, st.lists(values, min_size=1, max_size=3).map(tuple)),
+    st.builds(VariableTest, st.sampled_from(["x", "y"])),
+)
+
+
+@st.composite
+def condition_elements(draw):
+    tests = {
+        attribute: draw(alpha_only_tests)
+        for attribute in draw(st.lists(attributes, unique=True, max_size=3))
+    }
+    return ConditionElement(draw(st.sampled_from(["c1", "c2"])), tests)
+
+
+@st.composite
+def wme_specs(draw):
+    attrs = {
+        attribute: draw(values)
+        for attribute in draw(st.lists(attributes, unique=True, max_size=3))
+    }
+    return WME(draw(st.sampled_from(["c1", "c2"])), attrs)
+
+
+@settings(max_examples=250, deadline=None)
+@given(ce=condition_elements(), wme=wme_specs())
+def test_match_implies_alpha_pass(ce, wme):
+    """A full CE match must imply passing the alpha classification --
+    the contract the Rete builder relies on (alpha memories never miss
+    a WME a join would need)."""
+    [analysis] = analyze_lhs([ce])
+    if ce.match(wme, {}) is not None:
+        assert wme_passes_alpha(wme, analysis)
+
+
+@settings(max_examples=250, deadline=None)
+@given(ce=condition_elements(), wme=wme_specs())
+def test_alpha_pass_implies_match_for_variable_free_ces(ce, wme):
+    """With no cross-CE state, alpha semantics should be *exactly* the
+    CE's single-WME semantics (variables bind freely)."""
+    [analysis] = analyze_lhs([ce])
+    if not analysis.join_tests:
+        assert (ce.match(wme, {}) is not None) == wme_passes_alpha(wme, analysis)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ce=condition_elements())
+def test_every_test_is_classified(ce):
+    """analyze_lhs must not drop tests: every elementary test lands in
+    alpha_tests, intra_tests, binders, or join_tests."""
+    [analysis] = analyze_lhs([ce])
+    elementary = 0
+    for test in ce.tests.values():
+        elementary += (
+            len(test.tests) if isinstance(test, ConjunctiveTest) else 1
+        )
+    classified = (
+        len(analysis.alpha_tests)
+        + len(analysis.intra_tests)
+        + len(analysis.binders)
+        + len(analysis.join_tests)
+    )
+    # Repeated variables split one occurrence into a binder and the
+    # rest into intra tests, so classified counts never undershoot.
+    assert classified >= elementary - 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(ce=condition_elements(), wme=wme_specs())
+def test_match_is_deterministic_and_pure(ce, wme):
+    bindings: dict = {}
+    first = ce.match(wme, bindings)
+    second = ce.match(wme, bindings)
+    assert first == second
+    assert bindings == {}  # never mutated

@@ -1,0 +1,131 @@
+"""The conflict set and the LEX/MEA strategies."""
+
+import pytest
+
+from repro.ops5 import (
+    ConflictSet,
+    LexStrategy,
+    MeaStrategy,
+    Ops5Error,
+    Production,
+    strategy_named,
+)
+from repro.ops5.condition import ConditionElement, ConstantTest, VariableTest
+from repro.ops5.production import Instantiation
+from repro.ops5.wme import make_wme
+
+
+def _production(name: str, ces: int = 1, extra_tests: int = 0) -> Production:
+    conditions = []
+    for i in range(ces):
+        tests = {"v": VariableTest(f"x{i}")}
+        for j in range(extra_tests):
+            tests[f"t{j}"] = ConstantTest("nil")
+        conditions.append(ConditionElement("c", tests))
+    return Production(name, conditions, ())
+
+
+def _wme(timetag: int):
+    wme = make_wme("c", v=1)
+    wme.timetag = timetag
+    return wme
+
+
+def _inst(production: Production, *timetags: int) -> Instantiation:
+    return Instantiation(production, tuple(_wme(t) for t in timetags))
+
+
+class TestConflictSet:
+    def test_insert_and_delete(self):
+        cs = ConflictSet()
+        inst = _inst(_production("p"), 1)
+        cs.insert(inst)
+        assert inst in cs and len(cs) == 1
+        cs.delete(inst)
+        assert len(cs) == 0
+        assert (cs.total_inserts, cs.total_deletes) == (1, 1)
+
+    def test_double_insert_rejected(self):
+        cs = ConflictSet()
+        production = _production("p")
+        cs.insert(_inst(production, 1))
+        with pytest.raises(Ops5Error):
+            cs.insert(_inst(production, 1))
+
+    def test_delete_absent_rejected(self):
+        cs = ConflictSet()
+        with pytest.raises(Ops5Error):
+            cs.delete(_inst(_production("p"), 1))
+
+    def test_snapshot_is_frozen_keys(self):
+        cs = ConflictSet()
+        inst = _inst(_production("p"), 3)
+        cs.insert(inst)
+        snap = cs.snapshot()
+        assert snap == frozenset({("p", (3,))})
+
+
+class TestLexOrdering:
+    def test_recency_dominates(self):
+        production = _production("p", ces=2)
+        older = _inst(production, 1, 2)
+        newer = _inst(production, 1, 3)
+        chosen = LexStrategy().select([older, newer], lambda key: False)
+        assert chosen == newer
+
+    def test_recency_compares_sorted_descending(self):
+        production = _production("p", ces=2)
+        a = _inst(production, 5, 1)  # recency (5, 1)
+        b = _inst(production, 4, 3)  # recency (4, 3)
+        assert LexStrategy().select([a, b], lambda key: False) == a
+
+    def test_longer_wins_on_prefix_tie(self):
+        short = _inst(_production("p2", ces=1), 5)
+        long = _inst(_production("p3", ces=2), 5, 3)
+        assert LexStrategy().select([short, long], lambda key: False) == long
+
+    def test_specificity_breaks_recency_ties(self):
+        plain = _production("plain")
+        specific = _production("specific", extra_tests=2)
+        a = _inst(plain, 7)
+        b = _inst(specific, 7)
+        assert LexStrategy().select([a, b], lambda key: False) == b
+
+    def test_refraction_excludes_fired(self):
+        production = _production("p")
+        inst = _inst(production, 9)
+        fired = {inst.key}
+        assert LexStrategy().select([inst], fired.__contains__) is None
+
+    def test_order_lists_best_first(self):
+        production = _production("p", ces=1)
+        instantiations = [_inst(production, t) for t in (2, 5, 3)]
+        ordered = LexStrategy().order(instantiations)
+        assert [i.timetags[0] for i in ordered] == [5, 3, 2]
+
+
+class TestMeaOrdering:
+    def test_first_ce_recency_first(self):
+        production = _production("p", ces=2)
+        # LEX would pick a (recency (9, 1) > (5, 4)); MEA looks at the
+        # first CE's timetag: 4 < 5, so b wins under MEA.
+        a = _inst(production, 1, 9)
+        b = _inst(production, 5, 4)
+        assert LexStrategy().select([a, b], lambda key: False) == a
+        assert MeaStrategy().select([a, b], lambda key: False) == b
+
+    def test_falls_back_to_lex(self):
+        production = _production("p", ces=2)
+        a = _inst(production, 5, 2)
+        b = _inst(production, 5, 3)
+        assert MeaStrategy().select([a, b], lambda key: False) == b
+
+
+class TestStrategyLookup:
+    def test_names(self):
+        assert isinstance(strategy_named("lex"), LexStrategy)
+        assert isinstance(strategy_named("MEA"), MeaStrategy)
+
+    def test_unknown(self):
+        with pytest.raises(Ops5Error):
+            strategy_named("random")

@@ -1,0 +1,181 @@
+"""The OPS5 parser and tokenizer."""
+
+import pytest
+
+from repro.ops5 import (
+    ConjunctiveTest,
+    ConstantTest,
+    DisjunctiveTest,
+    ParseError,
+    Predicate,
+    PredicateTest,
+    VariableTest,
+    parse_production,
+    parse_program,
+    parse_wme_specs,
+)
+from repro.ops5.actions import Bind, Halt, Make, Modify, Remove, Write
+from repro.ops5.parser import tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("(p x (c ^a <v>) --> (halt))")]
+        assert kinds == [
+            "lparen", "symbol", "symbol", "lparen", "symbol", "attr", "var",
+            "rparen", "arrow", "lparen", "symbol", "rparen", "rparen",
+        ]
+
+    def test_predicates_vs_variables(self):
+        kinds = {t.text: t.kind for t in tokenize("<= <> <=> < > = <x>")}
+        assert kinds["<="] == "pred"
+        assert kinds["<>"] == "pred"
+        assert kinds["<=>"] == "pred"
+        assert kinds["<x>"] == "var"
+
+    def test_disjunction_brackets(self):
+        kinds = [t.kind for t in tokenize("<< red green >>")]
+        assert kinds == ["ldisj", "symbol", "symbol", "rdisj"]
+
+    def test_numbers(self):
+        tokens = tokenize("12 -3 4.5")
+        assert [t.kind for t in tokens] == ["number"] * 3
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a ; this is a comment\n b")
+        assert [t.text for t in tokens] == ["a", "b"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [(t.line, t.column) for t in tokens] == [(1, 1), (2, 1), (3, 3)]
+
+    def test_symbols_with_hyphens(self):
+        [token] = tokenize("find-colored-blk")
+        assert token.kind == "symbol"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("(p x \x01)")
+        assert "line 1" in str(info.value)
+
+
+class TestProductionParsing:
+    def test_paper_example(self):
+        production = parse_production("""
+          (p find-colored-blk
+            (goal ^type find-blk ^color <c>)
+            (block ^id <i> ^color <c> ^selected no)
+            -->
+            (modify 2 ^selected yes))
+        """)
+        assert production.name == "find-colored-blk"
+        assert len(production.conditions) == 2
+        goal = production.conditions[0]
+        assert goal.cls == "goal"
+        assert goal.tests["type"] == ConstantTest("find-blk")
+        assert goal.tests["color"] == VariableTest("c")
+        [action] = production.actions
+        assert isinstance(action, Modify)
+
+    def test_negated_condition(self):
+        production = parse_production(
+            "(p x (a) - (b ^v 1) --> (halt))"
+        )
+        assert not production.conditions[0].negated
+        assert production.conditions[1].negated
+
+    def test_conjunctive_and_disjunctive(self):
+        production = parse_production(
+            "(p x (a ^n { <v> > 2 } ^c << red blue >>) --> (halt))"
+        )
+        tests = production.conditions[0].tests
+        assert isinstance(tests["n"], ConjunctiveTest)
+        assert tests["c"] == DisjunctiveTest(("red", "blue"))
+
+    def test_predicate_operand_forms(self):
+        production = parse_production(
+            "(p x (a ^n <v>) (b ^m > <v> ^k <> 5) --> (halt))"
+        )
+        tests = production.conditions[1].tests
+        assert tests["m"] == PredicateTest(Predicate.GT, VariableTest("v"))
+        assert tests["k"] == PredicateTest(Predicate.NE, ConstantTest(5))
+
+    def test_eq_constant_collapses_to_constant(self):
+        production = parse_production("(p x (a ^n = 5) --> (halt))")
+        assert production.conditions[0].tests["n"] == ConstantTest(5)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ParseError):
+            parse_production("(p x (a ^n 1 ^n 2) --> (halt))")
+
+    def test_rhs_actions(self):
+        production = parse_production("""
+          (p x (a ^v <v>)
+            -->
+            (make b ^w <v>)
+            (remove 1)
+            (write saw <v>)
+            (bind <t> (compute <v> + 1))
+            (make c ^n <t>)
+            (halt))
+        """)
+        kinds = [type(a) for a in production.actions]
+        assert kinds == [Make, Remove, Write, Bind, Make, Halt]
+
+    def test_remove_expands_multiple_indices(self):
+        production = parse_production("(p x (a) (b) --> (remove 1 2))")
+        assert [a.ce_index for a in production.actions] == [1, 2]
+
+    def test_unknown_action(self):
+        with pytest.raises(ParseError):
+            parse_production("(p x (a) --> (frobnicate))")
+
+    def test_compute_nesting(self):
+        production = parse_production(
+            "(p x (a ^v <v>) --> (make b ^w (compute <v> * 2 + 1)))"
+        )
+        make = production.actions[0]
+        expr = make.attributes[0][1]
+        assert expr.evaluate({"v": 3}) == 7  # (3*2)+1 left-to-right
+
+
+class TestProgramParsing:
+    def test_literalize_recorded_and_enforced(self):
+        program = parse_program("""
+          (literalize goal type color)
+          (p x (goal ^type find) --> (halt))
+        """)
+        assert program.literalizations["goal"] == ("type", "color")
+        with pytest.raises(ParseError):
+            parse_program("""
+              (literalize goal type)
+              (p x (goal ^colour red) --> (halt))
+            """)
+
+    def test_undeclared_classes_are_free_form(self):
+        program = parse_program("(p x (anything ^whatever 1) --> (halt))")
+        assert len(program.productions) == 1
+
+    def test_production_named_lookup(self):
+        program = parse_program("(p one (a) --> (halt)) (p two (b) --> (halt))")
+        assert program.production_named("two").name == "two"
+        with pytest.raises(KeyError):
+            program.production_named("three")
+
+    def test_parse_production_requires_exactly_one(self):
+        with pytest.raises(ParseError):
+            parse_production("(p one (a) --> (halt)) (p two (b) --> (halt))")
+
+    def test_top_level_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(q something)")
+
+
+class TestWmeSpecs:
+    def test_parse_wme_specs(self):
+        specs = parse_wme_specs("(goal ^type find ^n 3) (block)")
+        assert specs == [("goal", {"type": "find", "n": 3}), ("block", {})]
+
+    def test_values_must_be_constants(self):
+        with pytest.raises(ParseError):
+            parse_wme_specs("(goal ^type <v>)")

@@ -1,0 +1,68 @@
+"""Parser robustness: junk in, clean errors out.
+
+The parser is a public entry point fed by user files; whatever it gets,
+it must either parse or raise Ops5Error subtypes -- never an
+AttributeError/IndexError/RecursionError leaking from the internals.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ops5 import Ops5Error, parse_program, parse_wme_specs
+from repro.ops5.parser import tokenize
+
+#: Fragments biased toward OPS5-looking text, so the fuzz reaches deep
+#: into the grammar rather than dying at the first character.
+fragments = st.sampled_from([
+    "(", ")", "{", "}", "<<", ">>", "-->", "p", "literalize", "make",
+    "remove", "modify", "write", "bind", "halt", "compute",
+    "^attr", "^color", "<x>", "<y>", "<>", "<=", ">=", "<=>", "=",
+    "goal", "block", "red", "12", "-3", "4.5", "-", "+", "*", " ", "\n",
+    "; comment\n",
+])
+
+
+@st.composite
+def junk_sources(draw):
+    return " ".join(draw(st.lists(fragments, min_size=0, max_size=40)))
+
+
+@settings(max_examples=120, deadline=None)
+@given(source=junk_sources())
+def test_parse_program_fails_cleanly(source):
+    try:
+        parse_program(source)
+    except Ops5Error:
+        pass  # ParseError / ValidationError etc. are the contract
+
+
+@settings(max_examples=80, deadline=None)
+@given(source=junk_sources())
+def test_parse_wme_specs_fails_cleanly(source):
+    try:
+        parse_wme_specs(source)
+    except Ops5Error:
+        pass
+
+
+@settings(max_examples=80, deadline=None)
+@given(text=st.text(max_size=200))
+def test_tokenizer_total_over_arbitrary_text(text):
+    """Any unicode text either tokenizes or raises ParseError."""
+    try:
+        tokenize(text)
+    except Ops5Error:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=junk_sources())
+def test_error_positions_are_sane(source):
+    from repro.ops5 import ParseError
+
+    try:
+        parse_program(source)
+    except ParseError as error:
+        assert error.line >= 0
+        assert error.column >= 0
+    except Ops5Error:
+        pass

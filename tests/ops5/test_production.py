@@ -1,0 +1,99 @@
+"""Production validation and instantiation identity."""
+
+import pytest
+
+from repro.ops5 import (
+    ConditionElement,
+    Production,
+    ValidationError,
+    VariableTest,
+    parse_production,
+)
+from repro.ops5.actions import Make, Remove, VariableRef
+from repro.ops5.production import Instantiation
+from repro.ops5.wme import make_wme
+
+
+def _ce(cls="c", **tests):
+    return ConditionElement(cls, {k: VariableTest(v) for k, v in tests.items()})
+
+
+class TestValidation:
+    def test_needs_a_name(self):
+        with pytest.raises(ValidationError):
+            Production("", (_ce(),), ())
+
+    def test_negated_first_rejected(self):
+        with pytest.raises(ValidationError):
+            Production("p", (ConditionElement("c", {}, negated=True),), ())
+
+    def test_rhs_variable_must_be_bound(self):
+        action = Make("out", (("v", VariableRef("nope")),))
+        with pytest.raises(ValidationError) as info:
+            Production("p", (_ce(v="x"),), (action,))
+        assert "nope" in str(info.value)
+
+    def test_bind_introduces_rhs_variable(self):
+        production = parse_production(
+            "(p x (a ^v <v>) --> (bind <t> (compute <v> + 1)) (make b ^w <t>))"
+        )
+        assert production.name == "x"
+
+    def test_bind_order_matters(self):
+        with pytest.raises(ValidationError):
+            parse_production(
+                "(p x (a ^v <v>) --> (make b ^w <t>) (bind <t> 1))"
+            )
+
+    def test_negated_ce_variable_not_available_to_rhs(self):
+        with pytest.raises(ValidationError):
+            parse_production("(p x (a) - (b ^v <w>) --> (make c ^u <w>))")
+
+    def test_action_reference_to_negated_ce(self):
+        with pytest.raises(ValidationError):
+            Production("p", (_ce(), ConditionElement("c", {}, negated=True)), (Remove(2),))
+
+
+class TestPositions:
+    def test_positive_indices_skip_negated(self):
+        production = parse_production(
+            "(p x (a) - (b) (c) --> (remove 3))"
+        )
+        assert production.positive_indices == (0, 2)
+        assert production.ce_position_of(3) == 1
+
+    def test_specificity_sums_ces(self):
+        production = parse_production("(p x (a ^q 1 ^r <v>) (b) --> (halt))")
+        assert production.specificity == 3 + 1
+
+    def test_equality_and_hash_by_name(self):
+        a = parse_production("(p same (a) --> (halt))")
+        b = parse_production("(p same (b ^x 1) --> (halt))")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestInstantiation:
+    def _wme(self, tag):
+        wme = make_wme("c")
+        wme.timetag = tag
+        return wme
+
+    def test_identity_by_production_and_timetags(self):
+        production = parse_production("(p x (c) (c) --> (halt))")
+        a = Instantiation(production, (self._wme(1), self._wme(2)), {"v": 1})
+        b = Instantiation(production, (self._wme(1), self._wme(2)), {"v": 99})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key == ("x", (1, 2))
+
+    def test_recency_key_sorted_descending(self):
+        production = parse_production("(p x (c) (c) --> (halt))")
+        inst = Instantiation(production, (self._wme(2), self._wme(7)))
+        assert inst.recency_key == (7, 2)
+
+    def test_distinct_timetags_differ(self):
+        production = parse_production("(p x (c) --> (halt))")
+        assert Instantiation(production, (self._wme(1),)) != Instantiation(
+            production, (self._wme(2),)
+        )

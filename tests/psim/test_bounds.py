@@ -1,0 +1,96 @@
+"""Analytic makespan bounds vs the simulator."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.psim import MachineConfig, schedule_bounds, simulate
+from repro.trace.events import ChangeTrace, FiringTrace, Task, Trace
+from repro.workloads import generate_trace, profile_named
+
+from tests.psim.test_properties import machines, traces
+
+
+def _chain_trace(costs, node=1):
+    tasks = [
+        Task(index=i, kind="join", cost=c, deps=(i - 1,) if i else (),
+             node_id=node + i, productions=("p",))
+        for i, c in enumerate(costs)
+    ]
+    return Trace(name="chain", firings=[FiringTrace("p", [ChangeTrace("add", "c", tasks)])])
+
+
+IDEAL = dict(
+    hardware_dispatch_cost=0.0,
+    sync_cost_per_task=0.0,
+    sharing_loss_factor=1.0,
+    buses=4,
+)
+
+
+class TestBoundArithmetic:
+    def test_chain_lower_bound_is_span(self):
+        trace = _chain_trace([10, 20, 30])
+        bounds = schedule_bounds(trace, MachineConfig(processors=8, **IDEAL))
+        assert bounds.lower == pytest.approx(60.0)
+        assert bounds.bound_by_span == 1
+
+    def test_wide_batch_lower_bound_is_work(self):
+        tasks = [
+            Task(index=i, kind="join", cost=10, deps=(), node_id=100 + i,
+                 productions=("p",))
+            for i in range(16)
+        ]
+        trace = Trace(name="wide",
+                      firings=[FiringTrace("p", [ChangeTrace("add", "c", tasks)])])
+        bounds = schedule_bounds(trace, MachineConfig(processors=4, **IDEAL))
+        assert bounds.lower == pytest.approx(160.0 / 4)
+        assert bounds.bound_by_work == 1
+
+    def test_hot_lock_lower_bound(self):
+        tasks = [
+            Task(index=i, kind="join", cost=50, deps=(), node_id=7,
+                 productions=("p",))
+            for i in range(6)
+        ]
+        trace = Trace(name="hot",
+                      firings=[FiringTrace("p", [ChangeTrace("add", "c", tasks)])])
+        bounds = schedule_bounds(
+            trace, MachineConfig(processors=16, granularity="node", **IDEAL)
+        )
+        assert bounds.lower == pytest.approx(300.0)  # one node serialises all
+        assert bounds.bound_by_locks == 1
+
+    def test_speedup_ceiling(self):
+        trace = _chain_trace([100, 100])
+        bounds = schedule_bounds(trace, MachineConfig(processors=8, **IDEAL))
+        assert bounds.speedup_ceiling(trace.serial_cost) == pytest.approx(1.0)
+
+
+class TestEnvelopeHolds:
+    @pytest.mark.parametrize("name", ["ilog", "r1-soar"])
+    @pytest.mark.parametrize("processors", [1, 4, 32])
+    def test_paper_workloads_inside_envelope(self, name, processors):
+        trace = generate_trace(profile_named(name), seed=11, firings=20)
+        config = MachineConfig(processors=processors)
+        result = simulate(trace, config)
+        bounds = schedule_bounds(trace, config)
+        assert bounds.lower <= result.makespan + 1e-6
+        assert result.makespan <= bounds.upper + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=traces(), config=machines())
+    def test_random_traces_inside_envelope(self, trace, config):
+        result = simulate(trace, config)
+        bounds = schedule_bounds(trace, config)
+        assert bounds.lower <= result.makespan + 1e-6
+        assert result.makespan <= bounds.upper + 1e-6
+
+    def test_lower_bound_reasonably_tight_at_scale(self):
+        """On the calibrated workloads the greedy schedule lands within
+        ~2x of the analytic optimum -- the simulator is not leaving big
+        speedups on the table."""
+        trace = generate_trace(profile_named("vt"), seed=11, firings=30)
+        config = MachineConfig(processors=32)
+        result = simulate(trace, config)
+        bounds = schedule_bounds(trace, config)
+        assert result.makespan <= 2.0 * bounds.lower

@@ -1,0 +1,65 @@
+"""The serial conflict-resolution/act Amdahl term."""
+
+import pytest
+
+from repro.psim import MachineConfig, schedule_bounds, simulate
+from repro.trace.events import ChangeTrace, FiringTrace, Task, Trace
+
+
+def _trace(firings=4):
+    out = Trace(name="t", firings=[])
+    for f in range(firings):
+        change = ChangeTrace("add", "c", [
+            Task(index=0, kind="join", cost=100, deps=(), node_id=f + 1,
+                 productions=("p",)),
+        ])
+        out.firings.append(FiringTrace("p", [change]))
+    return out
+
+
+IDEAL = dict(
+    hardware_dispatch_cost=0.0, sync_cost_per_task=0.0, sharing_loss_factor=1.0
+)
+
+
+class TestConflictResolutionCost:
+    def test_zero_by_default(self):
+        assert MachineConfig().conflict_resolution_cost == 0.0
+
+    def test_adds_per_firing(self):
+        base = simulate(_trace(4), MachineConfig(processors=4, **IDEAL))
+        with_cr = simulate(
+            _trace(4),
+            MachineConfig(processors=4, conflict_resolution_cost=50.0, **IDEAL),
+        )
+        assert with_cr.makespan == pytest.approx(base.makespan + 4 * 50.0)
+
+    def test_amdahl_effect_on_speedup(self):
+        """A serial phase per cycle caps speed-up regardless of match
+        parallelism -- why the paper needed match to dominate (90%)."""
+        trace = _trace(10)
+        fast_match = MachineConfig(processors=32, conflict_resolution_cost=400.0,
+                                   **IDEAL)
+        result = simulate(trace, fast_match)
+        # Match is 100 instr/firing; CR is 400: speed-up can't reach 2
+        # even with 32 processors.
+        assert result.true_speedup < 2.0
+
+    def test_bounds_include_the_term(self):
+        trace = _trace(4)
+        config = MachineConfig(processors=4, conflict_resolution_cost=50.0, **IDEAL)
+        result = simulate(trace, config)
+        bounds = schedule_bounds(trace, config)
+        assert bounds.lower <= result.makespan <= bounds.upper
+
+    def test_parallel_firings_amortise_cr_serialisation(self):
+        # One batch of 4 firings still pays 4 CR slots, but only one
+        # barrier: makespan shrinks vs sequential firings.
+        config = MachineConfig(processors=8, conflict_resolution_cost=50.0,
+                               firing_batch=4, **IDEAL)
+        batched = simulate(_trace(4), config)
+        sequential = simulate(
+            _trace(4),
+            MachineConfig(processors=8, conflict_resolution_cost=50.0, **IDEAL),
+        )
+        assert batched.makespan < sequential.makespan

@@ -1,0 +1,91 @@
+"""The discrete-event primitives."""
+
+import pytest
+
+from repro.psim.des import ChannelPool, EventQueue, Semaphore
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(5.0, "late")
+        q.push(1.0, "early")
+        assert q.pop() == (1.0, "early")
+        assert q.pop() == (5.0, "late")
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert [q.pop()[1], q.pop()[1]] == ["first", "second"]
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        assert not q
+        q.push(3.0, None)
+        assert q.peek_time() == 3.0
+        assert len(q) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, None)
+
+    def test_drain(self):
+        q = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            q.push(t, t)
+        assert [t for t, _ in q.drain()] == [1.0, 2.0, 3.0]
+
+
+class TestSemaphore:
+    def test_single_way_serialises(self):
+        lock = Semaphore(1)
+        assert lock.earliest_start(0.0) == 0.0
+        lock.acquire(0.0, 10.0)
+        assert not lock.available_at(5.0)
+        assert lock.earliest_start(5.0) == 10.0
+        assert lock.available_at(10.0)
+
+    def test_multi_way(self):
+        lock = Semaphore(2)
+        lock.acquire(0.0, 10.0)
+        assert lock.available_at(0.0)
+        lock.acquire(0.0, 8.0)
+        assert not lock.available_at(0.0)
+        assert lock.earliest_start(0.0) == 8.0
+
+    def test_overacquire_rejected(self):
+        lock = Semaphore(1)
+        lock.acquire(0.0, 10.0)
+        with pytest.raises(RuntimeError):
+            lock.acquire(5.0, 6.0)
+
+    def test_ways_validated(self):
+        with pytest.raises(ValueError):
+            Semaphore(0)
+
+
+class TestChannelPool:
+    def test_single_channel_serialises(self):
+        pool = ChannelPool(1)
+        assert pool.grant(0.0, 5.0) == (0.0, 5.0)
+        assert pool.grant(0.0, 5.0) == (5.0, 10.0)
+        assert pool.grant(20.0, 5.0) == (20.0, 25.0)
+
+    def test_multiple_channels_parallel(self):
+        pool = ChannelPool(2)
+        assert pool.grant(0.0, 5.0) == (0.0, 5.0)
+        assert pool.grant(0.0, 5.0) == (0.0, 5.0)
+        assert pool.grant(0.0, 5.0) == (5.0, 10.0)
+
+    def test_earliest(self):
+        pool = ChannelPool(2)
+        pool.grant(0.0, 5.0)
+        assert pool.earliest() == 0.0
+        pool.grant(0.0, 3.0)
+        assert pool.earliest() == 3.0
+
+    def test_channels_validated(self):
+        with pytest.raises(ValueError):
+            ChannelPool(0)

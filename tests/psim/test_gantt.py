@@ -1,0 +1,80 @@
+"""Gantt rendering and placement recording."""
+
+import pytest
+
+from repro.psim import MachineConfig, render_gantt, simulate
+from repro.trace.events import ChangeTrace, FiringTrace, Task, Trace
+
+IDEAL = dict(
+    hardware_dispatch_cost=0.0,
+    sync_cost_per_task=0.0,
+    sharing_loss_factor=1.0,
+)
+
+
+def _trace():
+    change = ChangeTrace("add", "c", [
+        Task(index=0, kind="root", cost=10, deps=(), node_id=0),
+        Task(index=1, kind="join", cost=40, deps=(0,), node_id=1, productions=("p",)),
+        Task(index=2, kind="term", cost=10, deps=(1,), node_id=2, productions=("p",)),
+    ])
+    return Trace(name="g", firings=[FiringTrace("p", [change])])
+
+
+class TestPlacements:
+    def test_not_recorded_by_default(self):
+        result = simulate(_trace(), MachineConfig(processors=2))
+        assert result.placements is None
+
+    def test_recorded_on_request(self):
+        result = simulate(
+            _trace(), MachineConfig(processors=2, **IDEAL), record_placements=True
+        )
+        assert len(result.placements) == 3
+        by_uid = {p.uid: p for p in result.placements}
+        # The chain runs back-to-back on processor 0.
+        assert by_uid[0].processor == 0
+        assert by_uid[0].end == by_uid[1].start
+        assert by_uid[2].end == result.makespan
+
+    def test_spans_respect_dependencies(self):
+        result = simulate(
+            _trace(), MachineConfig(processors=4, **IDEAL), record_placements=True
+        )
+        by_uid = {p.uid: p for p in result.placements}
+        assert by_uid[1].start >= by_uid[0].end
+        assert by_uid[2].start >= by_uid[1].end
+
+
+class TestRendering:
+    def _result(self):
+        return simulate(
+            _trace(), MachineConfig(processors=2, **IDEAL), record_placements=True
+        )
+
+    def test_renders_one_row_per_processor(self):
+        text = render_gantt(self._result(), width=30)
+        lines = text.splitlines()
+        assert lines[1].startswith("p0 |")
+        assert lines[2].startswith("p1 |")
+        assert len(lines) == 3  # header + two processors
+
+    def test_busy_and_idle_marks(self):
+        text = render_gantt(self._result(), width=30)
+        p0 = text.splitlines()[1]
+        p1 = text.splitlines()[2]
+        assert "j" in p0  # the join dominates the middle
+        assert set(p1.split("|")[1]) == {"."}  # second processor idle
+
+    def test_requires_recording(self):
+        result = simulate(_trace(), MachineConfig(processors=2))
+        with pytest.raises(ValueError):
+            render_gantt(result)
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            render_gantt(self._result(), width=2)
+
+    def test_header_mentions_makespan(self):
+        text = render_gantt(self._result(), width=30)
+        assert "makespan" in text.splitlines()[0]

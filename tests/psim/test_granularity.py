@@ -1,0 +1,127 @@
+"""Trace regranularisation: node / production tasks, sequencing, batching."""
+
+from repro.psim import MachineConfig, build_schedule
+from repro.psim.granularity import CONFLICT_SET_LOCK
+from repro.trace.events import ChangeTrace, FiringTrace, Task, Trace
+
+
+def _task(index, kind="join", cost=10, deps=(), node=7, productions=("p0",)):
+    return Task(index=index, kind=kind, cost=cost, deps=tuple(deps),
+                node_id=node, productions=tuple(productions))
+
+
+def _trace(firings=2, changes=2):
+    trace = Trace(name="t", firings=[])
+    node = 1
+    for f in range(firings):
+        firing = FiringTrace(production="p0")
+        for c in range(changes):
+            change = ChangeTrace("add", "cls")
+            change.tasks = [
+                _task(0, kind="root", cost=5, node=0, productions=()),
+                _task(1, kind="amem", cost=5, deps=(0,), node=node, productions=("p0", "p1")),
+                _task(2, kind="join", cost=10, deps=(1,), node=node + 1, productions=("p0",)),
+                _task(3, kind="term", cost=4, deps=(2,), node=node + 2, productions=("p0",)),
+            ]
+            firing.changes.append(change)
+        trace.firings.append(firing)
+        node += 10
+    return trace
+
+
+class TestNodeGranularity:
+    def test_lock_keys_by_node_kind(self):
+        schedule = build_schedule(_trace(1, 1), MachineConfig())
+        [batch] = schedule.batches
+        by_kind = {t.kind: t for t in batch.tasks}
+        assert by_kind["root"].lock_key is None
+        assert by_kind["amem"].lock_key == 1
+        assert by_kind["join"].lock_key == 2
+        assert by_kind["term"].lock_key == CONFLICT_SET_LOCK
+
+    def test_intra_change_deps_rewired_to_uids(self):
+        schedule = build_schedule(_trace(1, 1), MachineConfig())
+        [batch] = schedule.batches
+        uids = [t.uid for t in batch.tasks]
+        assert batch.tasks[1].deps == (uids[0],)
+        assert batch.tasks[3].deps == (uids[2],)
+
+    def test_wme_parallel_changes_independent(self):
+        schedule = build_schedule(
+            _trace(1, 3), MachineConfig(wme_level_parallelism=True)
+        )
+        [batch] = schedule.batches
+        roots = [t for t in batch.tasks if t.kind == "root"]
+        assert all(t.deps == () for t in roots)
+
+    def test_sequential_changes_chain(self):
+        schedule = build_schedule(
+            _trace(1, 2), MachineConfig(wme_level_parallelism=False)
+        )
+        [batch] = schedule.batches
+        roots = [t for t in batch.tasks if t.kind == "root"]
+        assert roots[0].deps == ()
+        first_change_uids = {t.uid for t in batch.tasks if t.change == 0}
+        assert set(roots[1].deps) == first_change_uids
+
+
+class TestBatching:
+    def test_one_batch_per_firing_by_default(self):
+        schedule = build_schedule(_trace(4, 1), MachineConfig())
+        assert len(schedule.batches) == 4
+
+    def test_firing_batch_groups(self):
+        schedule = build_schedule(_trace(4, 1), MachineConfig(firing_batch=2))
+        assert len(schedule.batches) == 2
+        firings_in_first = {t.firing for t in schedule.batches[0].tasks}
+        assert firings_in_first == {0, 1}
+
+    def test_totals_preserved(self):
+        trace = _trace(3, 2)
+        schedule = build_schedule(trace, MachineConfig())
+        assert schedule.total_changes == trace.total_changes
+        assert schedule.total_firings == 3
+        assert schedule.total_tasks == trace.total_tasks
+        assert schedule.total_cost == trace.total_cost
+
+
+class TestProductionGranularity:
+    def _schedule(self, **kwargs):
+        return build_schedule(
+            _trace(1, 1), MachineConfig(granularity="production", **kwargs)
+        )
+
+    def test_one_task_per_affected_production(self):
+        [batch] = self._schedule().batches
+        assert len(batch.tasks) == 2  # p0 and p1
+        assert all(t.kind == "production" for t in batch.tasks)
+
+    def test_shared_work_replicated(self):
+        # amem (cost 5) is shared by p0 and p1; root (5) is unattributed
+        # and replicated. p0: 5(amem)+10(join)+4(term)+5(root) = 24;
+        # p1: 5(amem)+5(root) = 10.
+        [batch] = self._schedule().batches
+        costs = sorted(t.cost for t in batch.tasks)
+        assert costs == [10.0, 24.0]
+
+    def test_total_exceeds_node_granularity_cost(self):
+        # Replication = loss of sharing: production work > trace work.
+        trace = _trace(1, 1)
+        production = build_schedule(trace, MachineConfig(granularity="production"))
+        assert production.total_cost > trace.total_cost
+
+    def test_distinct_lock_keys_per_production(self):
+        [batch] = self._schedule().batches
+        keys = {t.lock_key for t in batch.tasks}
+        assert len(keys) == 2
+        assert all(k is not None and k < -1 for k in keys)
+
+    def test_unaffected_change_still_costs_alpha(self):
+        trace = Trace(name="t", firings=[FiringTrace("p", [ChangeTrace("add", "c", [
+            Task(index=0, kind="root", cost=7, deps=(), node_id=0)
+        ])])])
+        schedule = build_schedule(trace, MachineConfig(granularity="production"))
+        [batch] = schedule.batches
+        [task] = batch.tasks
+        assert task.cost == 7.0
+        assert task.lock_key is None

@@ -1,0 +1,80 @@
+"""Machine configuration model."""
+
+import pytest
+
+from repro.psim import (
+    GRANULARITY_PRODUCTION,
+    MachineConfig,
+    PAPER_PSM,
+    SCHEDULER_SOFTWARE,
+)
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_machine(self):
+        assert PAPER_PSM.processors == 32
+        assert PAPER_PSM.mips == 2.0
+        assert PAPER_PSM.scheduler == "hardware"
+
+    def test_processor_count_validated(self):
+        with pytest.raises(ValueError):
+            MachineConfig(processors=0)
+
+    def test_scheduler_validated(self):
+        with pytest.raises(ValueError):
+            MachineConfig(scheduler="quantum")
+
+    def test_granularity_validated(self):
+        with pytest.raises(ValueError):
+            MachineConfig(granularity="per-atom")
+
+    def test_cache_ratio_validated(self):
+        with pytest.raises(ValueError):
+            MachineConfig(cache_hit_ratio=1.5)
+
+    def test_counts_validated(self):
+        with pytest.raises(ValueError):
+            MachineConfig(firing_batch=0)
+        with pytest.raises(ValueError):
+            MachineConfig(buses=0)
+
+
+class TestDerived:
+    def test_dispatch_cost_by_scheduler(self):
+        hw = MachineConfig()
+        sw = MachineConfig(scheduler=SCHEDULER_SOFTWARE, software_queues=3)
+        assert hw.dispatch_cost == hw.hardware_dispatch_cost
+        assert hw.dispatch_queues == 1
+        assert sw.dispatch_cost == sw.software_dispatch_cost
+        assert sw.dispatch_queues == 3
+
+    def test_bus_carries_32_processors_at_defaults(self):
+        # The paper's claim: one bus handles ~32 processors at reasonable
+        # cache-hit ratios.
+        config = MachineConfig()
+        assert config.bus_slowdown(32) == 1.0
+        assert config.bus_slowdown(64) > 1.0
+
+    def test_more_buses_remove_contention(self):
+        assert MachineConfig(buses=2).bus_slowdown(64) == 1.0
+
+    def test_worse_cache_increases_demand(self):
+        good = MachineConfig(cache_hit_ratio=0.95)
+        bad = MachineConfig(cache_hit_ratio=0.5)
+        assert bad.per_processor_bus_demand > good.per_processor_bus_demand
+
+    def test_work_inflation_skipped_for_production_granularity(self):
+        # Production regranularisation replicates shared work explicitly.
+        assert MachineConfig(granularity=GRANULARITY_PRODUCTION).work_inflation == 1.0
+        assert MachineConfig().work_inflation > 1.0
+
+    def test_seconds_conversion(self):
+        config = MachineConfig(mips=2.0)
+        assert config.seconds(2_000_000) == pytest.approx(1.0)
+
+    def test_with_processors(self):
+        base = MachineConfig()
+        other = base.with_processors(8)
+        assert other.processors == 8
+        assert other.mips == base.mips
+        assert base.processors == 32  # frozen original untouched

@@ -1,0 +1,140 @@
+"""Static partitioning and hierarchical clusters."""
+
+import pytest
+
+from repro.psim import (
+    MachineConfig,
+    build_partitioned_schedule,
+    lpt_partition,
+    partition_imbalance,
+    production_costs,
+    simulate,
+    simulate_partitioned,
+)
+from repro.trace.events import ChangeTrace, FiringTrace, Task, Trace
+
+
+def _trace():
+    """Two changes; three productions with distinct costs."""
+    firings = []
+    for f in range(2):
+        change = ChangeTrace("add", "c", [
+            Task(index=0, kind="root", cost=10, deps=(), node_id=0),
+            Task(index=1, kind="join", cost=100, deps=(0,), node_id=1,
+                 productions=("heavy",)),
+            Task(index=2, kind="join", cost=30, deps=(0,), node_id=2,
+                 productions=("medium",)),
+            Task(index=3, kind="join", cost=10, deps=(0,), node_id=3,
+                 productions=("light",)),
+        ])
+        firings.append(FiringTrace("p", [change]))
+    return Trace(name="t", firings=firings)
+
+
+class TestLptPartition:
+    def test_costs_accumulated_per_production(self):
+        costs = production_costs(_trace())
+        assert costs == {"heavy": 200.0, "medium": 60.0, "light": 20.0}
+
+    def test_shared_costs_split(self):
+        trace = Trace(name="s", firings=[FiringTrace("p", [ChangeTrace("add", "c", [
+            Task(index=0, kind="amem", cost=10, deps=(), node_id=1,
+                 productions=("a", "b")),
+        ])])])
+        costs = production_costs(trace)
+        assert costs == {"a": 5.0, "b": 5.0}
+
+    def test_lpt_puts_heaviest_apart(self):
+        assignment = lpt_partition({"a": 100, "b": 90, "c": 10}, 2)
+        assert assignment["a"] != assignment["b"]
+        assert assignment["c"] == assignment["b"]  # lightest joins lighter bin
+
+    def test_single_processor(self):
+        assignment = lpt_partition({"a": 1, "b": 2}, 1)
+        assert set(assignment.values()) == {0}
+
+    def test_processors_validated(self):
+        with pytest.raises(ValueError):
+            lpt_partition({"a": 1}, 0)
+
+    def test_imbalance_metric(self):
+        costs = {"a": 100.0, "b": 100.0}
+        balanced = partition_imbalance(costs, {"a": 0, "b": 1}, 2)
+        skewed = partition_imbalance(costs, {"a": 0, "b": 0}, 2)
+        assert balanced == pytest.approx(1.0)
+        assert skewed == pytest.approx(2.0)
+
+
+class TestPartitionedSchedule:
+    def test_tasks_pinned_per_assignment(self):
+        schedule, assignment = build_partitioned_schedule(
+            _trace(), MachineConfig(processors=2)
+        )
+        for batch in schedule.batches:
+            for task in batch.tasks:
+                if task.production:
+                    assert task.pin == assignment[task.production]
+
+    def test_static_serialises_colocated_productions(self):
+        # One processor: everything is pinned there; the makespan is at
+        # least the full serial production work.
+        trace = _trace()
+        result, assignment, imbalance = simulate_partitioned(
+            trace, MachineConfig(processors=1, hardware_dispatch_cost=0.0,
+                                 sync_cost_per_task=0.0)
+        )
+        assert set(assignment.values()) == {0}
+        assert imbalance == pytest.approx(1.0)
+        assert result.peak_concurrency == 1
+
+    def test_dynamic_at_least_as_good_when_contended(self):
+        trace = _trace()
+        dynamic = simulate(
+            trace, MachineConfig(processors=2, granularity="production")
+        )
+        static, _, _ = simulate_partitioned(trace, MachineConfig(processors=2))
+        assert dynamic.true_speedup >= static.true_speedup - 1e-9
+
+
+class TestClusters:
+    def test_cluster_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(processors=4, clusters=8)
+        with pytest.raises(ValueError):
+            MachineConfig(clusters=0)
+
+    def test_cluster_geometry(self):
+        config = MachineConfig(processors=8, clusters=2)
+        assert config.cluster_size == 4
+        assert config.cluster_of(0) == 0
+        assert config.cluster_of(3) == 0
+        assert config.cluster_of(4) == 1
+        assert config.cluster_of(7) == 1
+
+    def test_changes_confined_to_clusters(self):
+        # Two parallel changes, two clusters of one processor each: each
+        # change runs serially inside its cluster.
+        trace = Trace(name="t", firings=[FiringTrace("p", [
+            ChangeTrace("add", "c", [
+                Task(index=0, kind="join", cost=50, deps=(), node_id=i)
+            ])
+            for i in range(2)
+        ])])
+        flat = simulate(trace, MachineConfig(
+            processors=2, clusters=1, hardware_dispatch_cost=0.0,
+            sync_cost_per_task=0.0, sharing_loss_factor=1.0))
+        clustered = simulate(trace, MachineConfig(
+            processors=2, clusters=2, hardware_dispatch_cost=0.0,
+            sync_cost_per_task=0.0, sharing_loss_factor=1.0))
+        # Both finish in one task time: the two changes land on separate
+        # clusters round-robin.
+        assert flat.makespan == pytest.approx(50.0)
+        assert clustered.makespan == pytest.approx(50.0)
+
+    def test_clustering_cannot_beat_flat(self):
+        from repro.workloads import generate_trace, profile_named
+
+        trace = generate_trace(profile_named("mud"), seed=7, firings=15)
+        flat = simulate(trace, MachineConfig(processors=16, clusters=1))
+        clustered = simulate(trace, MachineConfig(processors=16, clusters=4))
+        assert clustered.true_speedup <= flat.true_speedup + 1e-9

@@ -1,0 +1,44 @@
+"""Preset machine configurations and batch helpers."""
+
+from repro.psim import (
+    MachineConfig,
+    PAPER_PSM,
+    PRODUCTION_PARALLEL_PSM,
+    simulate,
+    simulate_many,
+)
+from repro.workloads import PAPER_SYSTEMS, generate_trace
+
+
+class TestPresets:
+    def test_paper_psm_is_the_default_machine(self):
+        assert PAPER_PSM == MachineConfig()
+        assert PAPER_PSM.processors == 32
+        assert PAPER_PSM.scheduler == "hardware"
+
+    def test_production_parallel_preset(self):
+        assert PRODUCTION_PARALLEL_PSM.granularity == "production"
+        # Same machine otherwise.
+        assert PRODUCTION_PARALLEL_PSM.processors == PAPER_PSM.processors
+
+    def test_presets_diverge_in_results(self):
+        trace = generate_trace(PAPER_SYSTEMS[0], seed=3, firings=15)
+        fine = simulate(trace, PAPER_PSM)
+        coarse = simulate(trace, PRODUCTION_PARALLEL_PSM)
+        assert fine.true_speedup > coarse.true_speedup
+
+
+class TestSimulateMany:
+    def test_one_result_per_trace_in_order(self):
+        traces = [
+            generate_trace(profile, seed=3, firings=8)
+            for profile in PAPER_SYSTEMS[:3]
+        ]
+        results = simulate_many(traces, MachineConfig(processors=8))
+        assert [r.trace_name for r in results] == [t.name for t in traces]
+
+    def test_matches_individual_simulations(self):
+        traces = [generate_trace(PAPER_SYSTEMS[0], seed=3, firings=8)]
+        [batched] = simulate_many(traces, MachineConfig(processors=8))
+        single = simulate(traces[0], MachineConfig(processors=8))
+        assert batched.makespan == single.makespan

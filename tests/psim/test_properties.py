@@ -1,0 +1,106 @@
+"""Property-based simulator invariants over random traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.psim import MachineConfig, simulate
+from repro.trace.events import ChangeTrace, FiringTrace, Task, Trace
+
+
+@st.composite
+def change_traces(draw):
+    count = draw(st.integers(min_value=1, max_value=10))
+    tasks = []
+    for i in range(count):
+        deps = tuple(
+            sorted(
+                draw(
+                    st.sets(st.integers(min_value=0, max_value=i - 1), max_size=2)
+                )
+            )
+        ) if i else ()
+        tasks.append(
+            Task(
+                index=i,
+                kind=draw(st.sampled_from(["root", "amem", "join", "term"])),
+                cost=draw(st.integers(min_value=1, max_value=120)),
+                deps=deps,
+                node_id=draw(st.integers(min_value=1, max_value=5)),
+                productions=("p",),
+            )
+        )
+    return ChangeTrace("add", "c", tasks)
+
+
+@st.composite
+def traces(draw):
+    firings = [
+        FiringTrace("p", draw(st.lists(change_traces(), min_size=1, max_size=3)))
+        for _ in range(draw(st.integers(min_value=1, max_value=4)))
+    ]
+    return Trace(name="prop", firings=firings)
+
+
+@st.composite
+def machines(draw):
+    return MachineConfig(
+        processors=draw(st.sampled_from([1, 2, 4, 8, 32])),
+        scheduler=draw(st.sampled_from(["hardware", "software"])),
+        granularity=draw(st.sampled_from(["node", "intra-node", "production"])),
+        wme_level_parallelism=draw(st.booleans()),
+        firing_batch=draw(st.sampled_from([1, 2])),
+        buses=draw(st.sampled_from([1, 2])),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(trace=traces(), config=machines())
+def test_simulator_invariants(trace, config):
+    trace.validate()
+    result = simulate(trace, config)
+
+    # The machine cannot beat physics.
+    assert result.makespan > 0
+    assert result.peak_concurrency <= config.processors
+    assert result.concurrency <= config.processors + 1e-9
+    assert result.busy_time <= config.processors * result.makespan + 1e-6
+
+    # All work is accounted for: executed work >= inflated trace work.
+    assert result.executed_work >= trace.total_cost * config.work_inflation - 1e-6 or (
+        config.granularity == "production"
+    )
+
+    # Dependencies put a floor under the makespan.
+    assert result.makespan >= result.critical_path - 1e-6 or config.granularity == "production"
+
+    # Counts pass through unchanged.
+    assert result.total_changes == trace.total_changes
+    assert result.total_firings == len(trace.firings)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces())
+def test_more_processors_help_within_graham_anomaly_bounds(trace):
+    """Greedy list scheduling is NOT strictly monotone in processor
+    count: with resource (lock) constraints, adding processors can
+    reorder dispatches and lengthen the schedule -- Graham's classic
+    scheduling anomalies.  The anomalies are bounded, though: each step
+    may regress only marginally, and the big machine never loses to the
+    serial one."""
+    base = MachineConfig(processors=1)
+    times = [
+        simulate(trace, base.with_processors(n)).makespan for n in (1, 2, 4, 8)
+    ]
+    for slower, faster in zip(times, times[1:]):
+        assert faster <= slower * 1.35 + 1e-6  # bounded anomaly
+    assert times[-1] <= times[0] + 1e-6  # 8 procs never lose to 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces())
+def test_determinism(trace):
+    config = MachineConfig(processors=4)
+    first = simulate(trace, config)
+    second = simulate(trace, config)
+    assert first.makespan == second.makespan
+    assert first.busy_time == second.busy_time
+    assert first.executed_work == second.executed_work

@@ -1,0 +1,197 @@
+"""The discrete-event simulator: scheduling semantics and invariants."""
+
+import pytest
+
+from repro.psim import MachineConfig, simulate, sweep_processors
+from repro.trace.events import ChangeTrace, FiringTrace, Task, Trace
+
+#: A machine with every overhead switched off, for exact-arithmetic tests.
+IDEAL = dict(
+    hardware_dispatch_cost=0.0,
+    sync_cost_per_task=0.0,
+    sharing_loss_factor=1.0,
+    buses=4,
+)
+
+
+def _task(index, cost, deps=(), kind="join", node=None, productions=("p",)):
+    return Task(index=index, kind=kind, cost=cost, deps=tuple(deps),
+                node_id=node if node is not None else 100 + index,
+                productions=tuple(productions))
+
+
+def _single_change_trace(tasks):
+    change = ChangeTrace("add", "c", tasks)
+    return Trace(name="t", firings=[FiringTrace("p", [change])])
+
+
+class TestExactSchedules:
+    def test_serial_chain_takes_sum(self):
+        trace = _single_change_trace(
+            [_task(0, 10), _task(1, 20, deps=(0,)), _task(2, 30, deps=(1,))]
+        )
+        result = simulate(trace, MachineConfig(processors=4, **IDEAL))
+        assert result.makespan == 60.0
+
+    def test_independent_tasks_run_in_parallel(self):
+        trace = _single_change_trace([_task(i, 10) for i in range(4)])
+        result = simulate(trace, MachineConfig(processors=4, **IDEAL))
+        assert result.makespan == 10.0
+        assert result.peak_concurrency == 4
+
+    def test_processor_limit_respected(self):
+        trace = _single_change_trace([_task(i, 10) for i in range(4)])
+        result = simulate(trace, MachineConfig(processors=2, **IDEAL))
+        assert result.makespan == 20.0
+        assert result.peak_concurrency == 2
+
+    def test_dependencies_respected(self):
+        trace = _single_change_trace(
+            [_task(0, 10), _task(1, 5, deps=(0,)), _task(2, 5, deps=(0,))]
+        )
+        result = simulate(trace, MachineConfig(processors=4, **IDEAL))
+        assert result.makespan == 15.0
+
+    def test_same_node_activations_serialise(self):
+        # Two tasks on one node: the memory lock forces them in sequence
+        # under node granularity.
+        trace = _single_change_trace(
+            [_task(0, 10, node=5), _task(1, 10, node=5)]
+        )
+        node = simulate(trace, MachineConfig(processors=4, granularity="node", **IDEAL))
+        intra = simulate(
+            trace,
+            MachineConfig(processors=4, granularity="intra-node", intra_node_ways=2, **IDEAL),
+        )
+        assert node.makespan == 20.0
+        assert intra.makespan == 10.0
+
+    def test_firing_barrier(self):
+        # Two firings of one independent task each cannot overlap.
+        change_a = ChangeTrace("add", "c", [_task(0, 10)])
+        change_b = ChangeTrace("add", "c", [_task(0, 10)])
+        trace = Trace(
+            name="t",
+            firings=[FiringTrace("p", [change_a]), FiringTrace("p", [change_b])],
+        )
+        result = simulate(trace, MachineConfig(processors=4, **IDEAL))
+        assert result.makespan == 20.0
+        batched = simulate(trace, MachineConfig(processors=4, firing_batch=2, **IDEAL))
+        assert batched.makespan == 10.0
+
+
+class TestOverheadModels:
+    def test_sharing_loss_inflates_work(self):
+        trace = _single_change_trace([_task(0, 100)])
+        result = simulate(
+            trace, MachineConfig(processors=1, sharing_loss_factor=1.5,
+                                 hardware_dispatch_cost=0.0, sync_cost_per_task=0.0)
+        )
+        assert result.makespan == pytest.approx(150.0)
+        assert result.work_inflation == pytest.approx(1.5)
+
+    def test_software_scheduler_serialises_dispatch(self):
+        tasks = [_task(i, 10) for i in range(8)]
+        trace = _single_change_trace(tasks)
+        hw = simulate(trace, MachineConfig(processors=8, **IDEAL))
+        sw = simulate(
+            trace,
+            MachineConfig(
+                processors=8, scheduler="software", software_dispatch_cost=30.0,
+                software_queues=1, sync_cost_per_task=0.0, sharing_loss_factor=1.0,
+                buses=4,
+            ),
+        )
+        assert sw.makespan > hw.makespan
+        # Dispatches serialise 30 apart: the last of 8 starts at 240.
+        assert sw.makespan == pytest.approx(8 * 30.0 + 10.0)
+
+    def test_more_software_queues_help(self):
+        tasks = [_task(i, 10) for i in range(8)]
+        trace = _single_change_trace(tasks)
+        def run(queues):
+            return simulate(trace, MachineConfig(
+                processors=8, scheduler="software", software_dispatch_cost=30.0,
+                software_queues=queues, sync_cost_per_task=0.0,
+                sharing_loss_factor=1.0, buses=4)).makespan
+        assert run(4) < run(1)
+
+    def test_sync_cost_added_to_locked_tasks(self):
+        trace = _single_change_trace([_task(0, 100, node=1)])
+        result = simulate(
+            trace, MachineConfig(processors=1, sync_cost_per_task=25.0,
+                                 hardware_dispatch_cost=0.0, sharing_loss_factor=1.0)
+        )
+        assert result.makespan == pytest.approx(125.0)
+        assert result.sync_work == pytest.approx(25.0)
+
+    def test_bus_contention_stretches_beyond_capacity(self):
+        tasks = [_task(i, 100) for i in range(64)]
+        trace = _single_change_trace(tasks)
+        uncontended = simulate(trace, MachineConfig(processors=64, buses=4,
+                                                    hardware_dispatch_cost=0.0,
+                                                    sync_cost_per_task=0.0,
+                                                    sharing_loss_factor=1.0))
+        contended = simulate(trace, MachineConfig(processors=64, buses=1,
+                                                  hardware_dispatch_cost=0.0,
+                                                  sync_cost_per_task=0.0,
+                                                  sharing_loss_factor=1.0))
+        assert contended.makespan > uncontended.makespan
+
+
+class TestInvariants:
+    def _random_trace(self):
+        import random
+
+        rng = random.Random(7)
+        firings = []
+        for f in range(5):
+            changes = []
+            for c in range(rng.randint(1, 3)):
+                tasks = []
+                for i in range(rng.randint(1, 12)):
+                    deps = tuple(
+                        d for d in range(i) if rng.random() < 0.3
+                    )
+                    tasks.append(_task(i, rng.randint(5, 80), deps=deps,
+                                       node=rng.randint(1, 6)))
+                changes.append(ChangeTrace("add", "c", tasks))
+            firings.append(FiringTrace("p", changes))
+        return Trace(name="rand", firings=firings)
+
+    def test_determinism(self):
+        trace = self._random_trace()
+        a = simulate(trace, MachineConfig(processors=8))
+        b = simulate(trace, MachineConfig(processors=8))
+        assert a.makespan == b.makespan
+        assert a.busy_time == b.busy_time
+
+    def test_concurrency_bounded_by_processors(self):
+        trace = self._random_trace()
+        for processors in (1, 2, 8, 32):
+            result = simulate(trace, MachineConfig(processors=processors))
+            assert result.concurrency <= processors + 1e-9
+            assert result.peak_concurrency <= processors
+
+    def test_makespan_at_least_critical_path(self):
+        trace = self._random_trace()
+        result = simulate(trace, MachineConfig(processors=64))
+        assert result.makespan >= result.critical_path
+
+    def test_busy_time_bounded(self):
+        trace = self._random_trace()
+        result = simulate(trace, MachineConfig(processors=8))
+        assert result.busy_time <= 8 * result.makespan + 1e-9
+
+    def test_single_processor_times_sum(self):
+        trace = self._random_trace()
+        result = simulate(trace, MachineConfig(processors=1, **IDEAL))
+        assert result.makespan == pytest.approx(trace.total_cost)
+        assert result.concurrency == pytest.approx(1.0)
+
+    def test_sweep_returns_per_count_results(self):
+        trace = self._random_trace()
+        results = sweep_processors(trace, MachineConfig(), [1, 2, 4])
+        assert [r.config.processors for r in results] == [1, 2, 4]
+        # More processors never increase makespan in this scheduler.
+        assert results[0].makespan >= results[1].makespan >= results[2].makespan

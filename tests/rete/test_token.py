@@ -1,0 +1,58 @@
+"""Token chains."""
+
+import pytest
+
+from repro.ops5.wme import make_wme
+from repro.rete.token import Token
+
+
+def _wme(tag):
+    wme = make_wme("c", v=tag)
+    wme.timetag = tag
+    return wme
+
+
+class TestToken:
+    def test_empty_token(self):
+        empty = Token.empty()
+        assert empty.depth == 0
+        assert empty.key == ()
+        assert empty.wmes() == ()
+
+    def test_root_token_cannot_carry_wme(self):
+        with pytest.raises(ValueError):
+            Token(None, _wme(1))
+
+    def test_chain_positions(self):
+        t0 = Token(Token.empty(), _wme(10))
+        t1 = Token(t0, _wme(20))
+        assert t1.depth == 2
+        assert t1.key == (10, 20)
+        assert t1.wme_at(0).timetag == 10
+        assert t1.wme_at(1).timetag == 20
+
+    def test_negated_position_is_none(self):
+        t0 = Token(Token.empty(), _wme(10))
+        t1 = Token(t0, None)  # a negated CE consumed no WME
+        t2 = Token(t1, _wme(30))
+        assert t2.key == (10, 0, 30)
+        assert t2.wme_at(1) is None
+        assert [w.timetag for w in t2.positive_wmes()] == [10, 30]
+
+    def test_wme_at_out_of_range(self):
+        token = Token(Token.empty(), _wme(1))
+        with pytest.raises(IndexError):
+            token.wme_at(1)
+        with pytest.raises(IndexError):
+            token.wme_at(-1)
+
+    def test_iteration_matches_wmes(self):
+        t0 = Token(Token.empty(), _wme(1))
+        t1 = Token(t0, _wme(2))
+        assert list(t1) == list(t1.wmes())
+
+    def test_prefix_sharing(self):
+        t0 = Token(Token.empty(), _wme(1))
+        a = Token(t0, _wme(2))
+        b = Token(t0, _wme(3))
+        assert a.parent is b.parent

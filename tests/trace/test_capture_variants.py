@@ -1,0 +1,71 @@
+"""Trace capture under non-default configurations."""
+
+import pytest
+
+from repro.trace import CostModel, capture_trace
+from repro.workloads.programs import hanoi, monkey
+
+
+class TestStrategyVariants:
+    def test_mea_capture(self):
+        trace, result, _ = capture_trace(
+            hanoi.PROGRAM, hanoi.setup(3), name="hanoi-mea", strategy="mea"
+        )
+        assert result.fired > 0
+        trace.validate()
+
+    def test_lex_and_mea_firing_counts_agree_on_hanoi(self):
+        # Hanoi's goal structure is strategy-insensitive: the recursion
+        # forces the same number of firings either way.
+        _, lex, _ = capture_trace(hanoi.PROGRAM, hanoi.setup(3), strategy="lex")
+        _, mea, _ = capture_trace(hanoi.PROGRAM, hanoi.setup(3), strategy="mea")
+        assert lex.fired == mea.fired
+
+
+class TestCostModelVariants:
+    def test_custom_cost_model_scales_serial_cost(self):
+        cheap = CostModel()
+        dear = CostModel(
+            join_base=cheap.join_base * 2,
+            per_comparison=cheap.per_comparison * 2,
+            per_output=cheap.per_output * 2,
+            amem_base=cheap.amem_base * 2,
+            bmem_base=cheap.bmem_base * 2,
+            term_base=cheap.term_base * 2,
+            root_base=cheap.root_base * 2,
+            per_constant_test=cheap.per_constant_test * 2,
+        )
+        trace_cheap, _, _ = capture_trace(
+            monkey.PROGRAM, monkey.setup(), cost_model=cheap
+        )
+        trace_dear, _, _ = capture_trace(
+            monkey.PROGRAM, monkey.setup(), cost_model=dear
+        )
+        assert trace_dear.serial_cost == 2 * trace_cheap.serial_cost
+        assert trace_dear.total_tasks == trace_cheap.total_tasks
+
+    def test_max_cycles_truncates_trace(self):
+        full, _, _ = capture_trace(hanoi.PROGRAM, hanoi.setup(3))
+        partial, result, _ = capture_trace(
+            hanoi.PROGRAM, hanoi.setup(3), max_cycles=5
+        )
+        assert result.fired == 5
+        assert len(partial.firings) == 5
+        assert len(full.firings) > 5
+
+
+class TestCaptureIsolation:
+    def test_repeated_captures_identical(self):
+        first, _, _ = capture_trace(monkey.PROGRAM, monkey.setup(), name="a")
+        second, _, _ = capture_trace(monkey.PROGRAM, monkey.setup(), name="b")
+        assert first.serial_cost == second.serial_cost
+        assert first.total_tasks == second.total_tasks
+
+    def test_system_usable_after_capture(self):
+        trace, result, system = capture_trace(monkey.PROGRAM, monkey.setup())
+        assert system.halted
+        assert len(system.memory) > 0
+        # Stats survive and agree with the trace, modulo the initial
+        # memory load (the trace excludes setup by default).
+        setup_changes = len(monkey.setup())
+        assert system.matcher.stats.total_changes == trace.total_changes + setup_changes

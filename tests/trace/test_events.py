@@ -1,0 +1,94 @@
+"""Trace data-structure invariants."""
+
+import pytest
+
+from repro.trace.events import ChangeTrace, FiringTrace, Task, Trace
+
+
+def _task(index, cost=10, deps=(), kind="join", node=1, productions=()):
+    return Task(
+        index=index, kind=kind, cost=cost, deps=tuple(deps),
+        node_id=node, productions=tuple(productions),
+    )
+
+
+def _trace(changes_per_firing=2, firings=2):
+    trace = Trace(name="t", firings=[])
+    for f in range(firings):
+        firing = FiringTrace(production=f"p{f}")
+        for c in range(changes_per_firing):
+            change = ChangeTrace("add", "cls")
+            change.tasks = [
+                _task(0, cost=5, kind="root"),
+                _task(1, cost=10, deps=(0,)),
+                _task(2, cost=20, deps=(1,), productions=("p0",)),
+            ]
+            firing.changes.append(change)
+        trace.firings.append(firing)
+    trace.serial_cost = trace.total_cost
+    return trace
+
+
+class TestChangeTrace:
+    def test_total_cost(self):
+        change = ChangeTrace("add", "c", [_task(0, 5), _task(1, 7, deps=(0,))])
+        assert change.total_cost == 12
+
+    def test_critical_path_linear_chain(self):
+        change = ChangeTrace(
+            "add", "c", [_task(0, 5), _task(1, 7, deps=(0,)), _task(2, 3, deps=(1,))]
+        )
+        assert change.critical_path == 15
+
+    def test_critical_path_with_fanout(self):
+        change = ChangeTrace(
+            "add", "c",
+            [_task(0, 5), _task(1, 100, deps=(0,)), _task(2, 1, deps=(0,))],
+        )
+        assert change.critical_path == 105
+
+    def test_affected_productions_union(self):
+        change = ChangeTrace(
+            "add", "c",
+            [_task(0, productions=("a", "b")), _task(1, productions=("b",))],
+        )
+        assert change.affected_productions() == {"a", "b"}
+
+
+class TestTraceTotals:
+    def test_counts(self):
+        trace = _trace(changes_per_firing=3, firings=2)
+        assert trace.total_changes == 6
+        assert trace.total_tasks == 18
+        assert trace.mean_changes_per_firing() == 3.0
+
+    def test_serial_cost_defaults_to_total(self):
+        trace = Trace(name="t", firings=_trace().firings)
+        assert trace.serial_cost == trace.total_cost
+
+    def test_mean_affected(self):
+        trace = _trace()
+        assert trace.mean_affected_productions() == 1.0
+
+
+class TestValidation:
+    def test_valid_trace_passes(self):
+        _trace().validate()
+
+    def test_forward_dep_rejected(self):
+        trace = _trace()
+        trace.firings[0].changes[0].tasks[0] = _task(0, deps=(1,))
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_misnumbered_index_rejected(self):
+        trace = _trace()
+        trace.firings[0].changes[0].tasks[1] = _task(5)
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_nonpositive_cost_rejected(self):
+        trace = _trace()
+        trace.firings[0].changes[0].tasks[1] = _task(1, cost=0, deps=(0,))
+        with pytest.raises(ValueError):
+            trace.validate()

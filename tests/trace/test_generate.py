@@ -1,0 +1,74 @@
+"""Trace capture from instrumented runs."""
+
+from repro.trace import SETUP, CostModel, capture_trace
+
+SRC = """
+(p select
+  (goal ^want <c>)
+  (item ^color <c> ^state free)
+  -->
+  (modify 2 ^state taken))
+"""
+
+SETUP_WMES = [
+    ("goal", {"want": "red"}),
+    ("item", {"color": "red", "state": "free"}),
+    ("item", {"color": "red", "state": "free"}),
+]
+
+
+class TestCaptureTrace:
+    def test_firing_and_change_grouping(self):
+        trace, result, _ = capture_trace(SRC, SETUP_WMES, name="select")
+        assert result.fired == 2
+        assert len(trace.firings) == 2
+        assert all(f.production == "select" for f in trace.firings)
+        # Each firing's modify = remove + add.
+        assert [len(f.changes) for f in trace.firings] == [2, 2]
+        assert [c.kind for c in trace.firings[0].changes] == ["remove", "add"]
+
+    def test_setup_excluded_by_default(self):
+        trace, _, _ = capture_trace(SRC, SETUP_WMES)
+        assert all(f.production != SETUP for f in trace.firings)
+        assert trace.total_changes == 4
+
+    def test_setup_included_on_request(self):
+        trace, _, _ = capture_trace(SRC, SETUP_WMES, include_setup=True)
+        assert trace.firings[0].production == SETUP
+        assert len(trace.firings[0].changes) == len(SETUP_WMES)
+
+    def test_trace_validates(self):
+        trace, _, _ = capture_trace(SRC, SETUP_WMES)
+        trace.validate()  # raises on corruption
+
+    def test_costs_follow_cost_model(self):
+        model = CostModel()
+        trace, _, _ = capture_trace(SRC, SETUP_WMES, cost_model=model)
+        for change in trace.iter_changes():
+            for task in change.tasks:
+                assert task.cost > 0
+                if task.kind == "amem":
+                    assert task.cost == model.amem_base
+
+    def test_production_attribution(self):
+        trace, _, _ = capture_trace(SRC, SETUP_WMES)
+        affected = set()
+        for change in trace.iter_changes():
+            affected |= change.affected_productions()
+        assert affected == {"select"}
+
+    def test_deps_form_forest_rooted_at_root_task(self):
+        trace, _, _ = capture_trace(SRC, SETUP_WMES)
+        for change in trace.iter_changes():
+            rootless = [t for t in change.tasks if not t.deps]
+            assert len(rootless) == 1
+            assert rootless[0].kind == "root"
+
+    def test_serial_cost_is_task_sum(self):
+        trace, _, _ = capture_trace(SRC, SETUP_WMES)
+        assert trace.serial_cost == trace.total_cost
+
+    def test_empty_run_produces_empty_trace(self):
+        trace, result, _ = capture_trace(SRC, [], name="empty")
+        assert result.fired == 0
+        assert trace.firings == []

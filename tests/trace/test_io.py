@@ -1,0 +1,98 @@
+"""Trace serialisation round-trips."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    capture_trace,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.workloads import generate_trace, profile_named
+from repro.workloads.programs import hanoi
+
+
+def _traces():
+    captured, _, _ = capture_trace(hanoi.PROGRAM, hanoi.setup(3), name="hanoi-3")
+    synthetic = generate_trace(profile_named("ilog"), seed=5, firings=8)
+    return [captured, synthetic]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("index", [0, 1], ids=["captured", "synthetic"])
+    def test_dict_roundtrip_preserves_everything(self, index):
+        trace = _traces()[index]
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.name == trace.name
+        assert rebuilt.serial_cost == trace.serial_cost
+        assert rebuilt.total_changes == trace.total_changes
+        assert rebuilt.total_tasks == trace.total_tasks
+        for original, again in zip(trace.firings, rebuilt.firings):
+            assert original.production == again.production
+            for change_a, change_b in zip(original.changes, again.changes):
+                assert change_a.kind == change_b.kind
+                assert change_a.tasks == change_b.tasks
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = _traces()[0]
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        rebuilt = load_trace(path)
+        assert rebuilt.total_tasks == trace.total_tasks
+
+    def test_simulation_identical_after_reload(self, tmp_path):
+        from repro.psim import MachineConfig, simulate
+
+        trace = _traces()[1]
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        rebuilt = load_trace(path)
+        config = MachineConfig(processors=8)
+        assert simulate(rebuilt, config).makespan == simulate(trace, config).makespan
+
+
+class TestValidation:
+    def test_version_checked(self):
+        data = trace_to_dict(_traces()[1])
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            trace_from_dict(data)
+
+    def test_corrupt_deps_rejected(self):
+        data = trace_to_dict(_traces()[1])
+        data["firings"][0]["changes"][0]["tasks"][0]["deps"] = [5]
+        with pytest.raises(ValueError):
+            trace_from_dict(data)
+
+    def test_output_is_plain_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(_traces()[1], path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+
+
+class TestCliTraceCommand:
+    def test_capture_and_replay(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program = tmp_path / "p.ops5"
+        program.write_text("(p go (a ^v <x>) --> (write got <x>) (remove 1))")
+        wmes = tmp_path / "m.wmes"
+        wmes.write_text("(a ^v 1) (a ^v 2)")
+        out = tmp_path / "t.json"
+        assert main(["trace", "--file", str(program), "--wmes", str(wmes),
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["simulate", "--trace", str(out), "--processors", "2"]) == 0
+        assert "true speed-up" in capsys.readouterr().out
+
+    def test_synthetic_capture(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "s.json"
+        assert main(["trace", "--system", "mud", "--firings", "5",
+                     "--out", str(out)]) == 0
+        assert "tasks" in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""Application-level parallelism: trace merging."""
+
+import pytest
+
+from repro.psim import MachineConfig, simulate
+from repro.trace import merge_traces
+from repro.trace.events import ChangeTrace, FiringTrace, Task, Trace
+
+
+def _thread(name, firings, cost=50):
+    trace = Trace(name=name, firings=[])
+    for i in range(firings):
+        change = ChangeTrace("add", "c", [
+            Task(index=0, kind="join", cost=cost, deps=(), node_id=hash(name) % 97 + i,
+                 productions=(name,))
+        ])
+        trace.firings.append(FiringTrace(production=f"{name}-p{i}", changes=[change]))
+    trace.serial_cost = trace.total_cost
+    return trace
+
+
+class TestMergeTraces:
+    def test_cycle_alignment(self):
+        merged = merge_traces([_thread("a", 3), _thread("b", 3)])
+        assert len(merged.firings) == 3
+        assert all(len(f.changes) == 2 for f in merged.firings)
+        assert merged.firings[0].production == "a-p0+b-p0"
+
+    def test_uneven_threads(self):
+        merged = merge_traces([_thread("a", 4), _thread("b", 2)])
+        assert len(merged.firings) == 4
+        assert [len(f.changes) for f in merged.firings] == [2, 2, 1, 1]
+
+    def test_serial_cost_sums(self):
+        a, b = _thread("a", 3, cost=10), _thread("b", 3, cost=20)
+        merged = merge_traces([a, b])
+        assert merged.serial_cost == a.serial_cost + b.serial_cost
+
+    def test_validates(self):
+        merge_traces([_thread("a", 2)]).validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+    def test_threads_raise_throughput(self):
+        """Section 8: k threads multiply the changes processed per
+        barrier, so the merged trace finishes faster per change."""
+        threads = [_thread(f"t{i}", 10) for i in range(4)]
+        config = MachineConfig(processors=16)
+        single = simulate(threads[0], config)
+        merged = simulate(merge_traces(threads), config)
+        assert merged.wme_changes_per_second > 2 * single.wme_changes_per_second

@@ -1,0 +1,88 @@
+"""Trace statistics."""
+
+import pytest
+
+from repro.trace import capture_trace, summarize
+from repro.trace.stats import Distribution
+from repro.trace.events import ChangeTrace, FiringTrace, Task, Trace
+from repro.workloads import PAPER_SYSTEMS, generate_trace
+from repro.workloads.programs import hanoi
+
+
+class TestDistribution:
+    def test_summary_values(self):
+        dist = Distribution.of([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert dist.count == 5
+        assert dist.mean == pytest.approx(3.0)
+        assert dist.minimum == 1.0 and dist.maximum == 5.0
+        assert dist.p50 == 3.0
+
+    def test_empty(self):
+        dist = Distribution.of([])
+        assert dist.count == 0
+        assert dist.mean == 0.0
+
+    def test_p90(self):
+        dist = Distribution.of(list(map(float, range(100))))
+        assert dist.p90 == 90.0
+
+    def test_describe_renders(self):
+        assert "mean" in Distribution.of([1.0]).describe()
+
+
+class TestSummarize:
+    def test_counts_match_trace(self):
+        trace = generate_trace(PAPER_SYSTEMS[0], seed=3, firings=15)
+        stats = summarize(trace)
+        assert stats.firings == 15
+        assert stats.changes == trace.total_changes
+        assert stats.tasks == trace.total_tasks
+        assert stats.serial_cost == trace.serial_cost
+
+    def test_kind_mix_sums_to_tasks(self):
+        trace = generate_trace(PAPER_SYSTEMS[1], seed=3, firings=10)
+        stats = summarize(trace)
+        assert sum(stats.kind_mix.values()) == stats.tasks
+
+    def test_parallelism_at_least_one(self):
+        trace = generate_trace(PAPER_SYSTEMS[2], seed=3, firings=10)
+        stats = summarize(trace)
+        assert stats.change_parallelism.minimum >= 1.0
+
+    def test_serial_chain_parallelism_is_one(self):
+        tasks = [
+            Task(index=i, kind="join", cost=10, deps=(i - 1,) if i else (),
+                 node_id=i + 1, productions=("p",))
+            for i in range(4)
+        ]
+        trace = Trace(name="chain",
+                      firings=[FiringTrace("p", [ChangeTrace("add", "c", tasks)])])
+        stats = summarize(trace)
+        assert stats.change_parallelism.mean == pytest.approx(1.0)
+
+    def test_add_fraction(self):
+        trace = generate_trace(PAPER_SYSTEMS[0], seed=3, firings=30)
+        stats = summarize(trace)
+        assert 0.3 <= stats.add_fraction <= 0.8
+
+    def test_captured_traces_summarise_too(self):
+        trace, _, _ = capture_trace(hanoi.PROGRAM, hanoi.setup(4), name="hanoi")
+        stats = summarize(trace)
+        assert stats.firings == 30
+        assert stats.task_cost.mean > 0
+
+    def test_rows_render(self):
+        trace = generate_trace(PAPER_SYSTEMS[0], seed=3, firings=5)
+        labels = [label for label, _ in summarize(trace).rows()]
+        assert "task cost" in labels
+        assert "per-change parallelism" in labels
+
+
+class TestPaperBands:
+    def test_two_input_tasks_near_the_50_100_band(self):
+        """Section 4: tasks of 50-100 instructions.  Our calibrated
+        generator sits at the low edge (the serial-cost constraint wins);
+        the mean must stay within a factor of ~2 of the band."""
+        for profile in PAPER_SYSTEMS[:3]:
+            stats = summarize(generate_trace(profile, seed=9, firings=20))
+            assert 25 <= stats.two_input_task_cost.mean <= 110

@@ -1,0 +1,52 @@
+"""TREAT's condition-ordering heuristics."""
+
+from repro.ops5 import parse_production
+from repro.treat.seed import hard_dependencies, order_positions
+
+
+def _analyses(source):
+    return parse_production(source).analysis
+
+
+class TestHardDependencies:
+    def test_equality_joins_create_no_dependency(self):
+        analyses = _analyses("(p x (a ^v <x>) (b ^v <x>) --> (halt))")
+        assert hard_dependencies(analyses) == {0: set(), 1: set()}
+
+    def test_predicate_joins_depend_on_binder(self):
+        analyses = _analyses("(p x (a ^v <x>) (b ^v > <x>) --> (halt))")
+        assert hard_dependencies(analyses) == {0: set(), 1: {0}}
+
+    def test_negated_ces_excluded(self):
+        analyses = _analyses("(p x (a ^v <x>) - (b ^v > <x>) --> (halt))")
+        assert hard_dependencies(analyses) == {0: set()}
+
+    def test_intra_ce_predicate_is_self_satisfied(self):
+        analyses = _analyses("(p x (a ^u <x> ^v > <x>) --> (halt))")
+        assert hard_dependencies(analyses) == {0: set()}
+
+
+class TestOrderPositions:
+    def test_prefers_small_candidate_sets(self):
+        analyses = _analyses("(p x (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (halt))")
+        sizes = {0: 10, 1: 1, 2: 5}
+        order = order_positions(analyses, sizes.__getitem__)
+        assert order == [1, 2, 0]
+
+    def test_dependencies_override_size(self):
+        analyses = _analyses("(p x (a ^v <x>) (b ^v > <x>) --> (halt))")
+        sizes = {0: 100, 1: 1}
+        order = order_positions(analyses, sizes.__getitem__)
+        assert order == [0, 1]  # 1 must wait for its binder despite size
+
+    def test_ties_break_by_index(self):
+        analyses = _analyses("(p x (a) (b) --> (halt))")
+        order = order_positions(analyses, lambda i: 3)
+        assert order == [0, 1]
+
+    def test_all_positions_present_exactly_once(self):
+        analyses = _analyses(
+            "(p x (a ^v <x>) - (n) (b ^v > <x>) (c ^w <y>) --> (halt))"
+        )
+        order = order_positions(analyses, lambda i: i)
+        assert sorted(order) == [0, 2, 3]  # positives only

@@ -1,0 +1,87 @@
+"""The elevator controller: SCAN policy correctness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.naive import NaiveMatcher
+from repro.oflazer import CombinationMatcher
+from repro.rete import ReteNetwork
+from repro.treat import TreatMatcher
+from repro.workloads.programs import elevator
+
+
+class TestPolicy:
+    def test_default_run_serves_in_scan_order(self):
+        result = elevator.run()
+        assert elevator.served_floors(result) == [2, 4, 7]
+        assert result.output[-1] == "resting"
+
+    def test_sweep_up_then_down(self):
+        result = elevator.run(start=5, calls=(3, 8, 1))
+        # SCAN: finish the upward sweep (8), then serve downward (3, 1).
+        assert elevator.served_floors(result) == [8, 3, 1]
+
+    def test_movement_is_one_floor_per_cycle(self):
+        result = elevator.run(start=1, calls=(4,))
+        visited = elevator.floors_visited(result)
+        assert visited == [2, 3, 4]
+        for here, there in zip(visited, visited[1:]):
+            assert abs(there - here) == 1
+
+    def test_call_at_current_floor_served_immediately(self):
+        result = elevator.run(start=3, calls=(3,))
+        assert result.output[0] == "serve 3"
+
+    def test_parks_at_ground_when_idle(self):
+        result = elevator.run(start=1, calls=(5,))
+        assert result.output[-1] == "resting"
+        # After serving floor 5 the lift walks back down to 1 silently:
+        # total firings = 4 up + 1 serve + 4 park + 1 rest.
+        assert result.fired == 10
+
+    def test_no_calls_rests_immediately(self):
+        result = elevator.run(start=1, calls=())
+        assert result.fired == 1
+        assert result.output == ["resting"]
+
+    def test_duplicate_calls_served_once_each(self):
+        result = elevator.run(start=1, calls=(3, 3))
+        assert elevator.served_floors(result) == [3, 3]
+
+
+class TestAcrossMatchers:
+    @pytest.mark.parametrize(
+        "matcher_cls", [ReteNetwork, TreatMatcher, NaiveMatcher, CombinationMatcher]
+    )
+    def test_identical_behaviour(self, matcher_cls):
+        reference = elevator.run(start=2, calls=(6, 1, 4)).output
+        result = elevator.run(start=2, calls=(6, 1, 4), matcher=matcher_cls())
+        assert result.output == reference
+
+
+class TestPolicyProperties:
+    """Hypothesis: every call pattern is fully served, then the lift rests."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        start=st.integers(min_value=1, max_value=9),
+        calls=st.lists(st.integers(min_value=1, max_value=9), max_size=6),
+    )
+    def test_all_calls_served_and_lift_rests(self, start, calls):
+        result = elevator.run(start=start, calls=tuple(calls))
+        assert result.halted and result.halt_reason == "halt action"
+        assert result.output[-1] == "resting"
+        assert sorted(elevator.served_floors(result)) == sorted(calls)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        start=st.integers(min_value=1, max_value=9),
+        calls=st.lists(st.integers(min_value=1, max_value=9), min_size=1,
+                       max_size=5),
+    )
+    def test_movement_is_always_single_floor(self, start, calls):
+        result = elevator.run(start=start, calls=tuple(calls))
+        here = start
+        for floor in elevator.floors_visited(result):
+            assert abs(floor - here) == 1
+            here = floor

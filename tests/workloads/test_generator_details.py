@@ -1,0 +1,83 @@
+"""Synthetic-generator internals: distributions and structure."""
+
+import pytest
+
+from repro.workloads.profiles import SystemProfile
+from repro.workloads.synthetic import SyntheticGenerator, generate_trace
+
+
+def _profile(**overrides):
+    defaults = dict(name="probe", program_productions=60)
+    defaults.update(overrides)
+    return SystemProfile(**defaults)
+
+
+class TestGeometric:
+    def test_mean_tracks_parameter(self):
+        generator = SyntheticGenerator(_profile(), seed=0)
+        samples = [generator._geometric(5.0) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert 4.0 <= mean <= 6.0
+
+    def test_minimum_is_one(self):
+        generator = SyntheticGenerator(_profile(), seed=0)
+        assert all(generator._geometric(1.0) == 1 for _ in range(50))
+        assert min(generator._geometric(30.0) for _ in range(500)) >= 1
+
+    def test_tail_is_bounded(self):
+        generator = SyntheticGenerator(_profile(), seed=0)
+        assert max(generator._geometric(4.0) for _ in range(5000)) <= 32
+
+
+class TestChangeStructure:
+    def test_every_change_has_one_root(self):
+        trace = generate_trace(_profile(), seed=1, firings=10)
+        for change in trace.iter_changes():
+            roots = [t for t in change.tasks if t.kind == "root"]
+            assert len(roots) == 1
+            assert roots[0].index == 0
+
+    def test_amem_tasks_depend_on_root(self):
+        trace = generate_trace(_profile(), seed=1, firings=5)
+        for change in trace.iter_changes():
+            for task in change.tasks:
+                if task.kind == "amem":
+                    assert task.deps == (0,)
+
+    def test_heavy_fraction_zero_gives_flat_costs(self):
+        trace = generate_trace(_profile(heavy_fraction=0.0), seed=1, firings=20)
+        join_costs = [
+            t.cost for c in trace.iter_changes() for t in c.tasks if t.kind == "join"
+        ]
+        assert max(join_costs) < 50  # all light joins
+
+    def test_heavy_fraction_one_raises_costs(self):
+        light = generate_trace(_profile(heavy_fraction=0.0), seed=1, firings=20)
+        heavy = generate_trace(_profile(heavy_fraction=1.0), seed=1, firings=20)
+        assert (
+            heavy.serial_cost / heavy.total_changes
+            > 2 * light.serial_cost / light.total_changes
+        )
+
+    def test_node_identities_recur_across_changes(self):
+        trace = generate_trace(_profile(), seed=1, firings=30)
+        seen: dict[int, int] = {}
+        for change in trace.iter_changes():
+            for task in change.tasks:
+                seen[task.node_id] = seen.get(task.node_id, 0) + 1
+        # Many nodes are activated repeatedly -- the lock model has work.
+        assert sum(1 for count in seen.values() if count >= 3) > 10
+
+    def test_firings_override(self):
+        trace = generate_trace(_profile(firings=50), seed=1, firings=7)
+        assert len(trace.firings) == 7
+
+    def test_alpha_sharing_groups_productions(self):
+        trace = generate_trace(_profile(alpha_sharing=5.0), seed=1, firings=10)
+        multi = [
+            t
+            for c in trace.iter_changes()
+            for t in c.tasks
+            if t.kind == "amem" and len(t.productions) > 1
+        ]
+        assert multi  # shared alpha memories exist

@@ -1,0 +1,87 @@
+"""The rule-based maze router."""
+
+from collections import deque
+
+import pytest
+
+from repro.naive import NaiveMatcher
+from repro.rete import ReteNetwork
+from repro.treat import TreatMatcher
+from repro.workloads.programs import router
+
+DEFAULT_OBSTACLES = ((1, 1), (1, 2), (2, 1), (3, 3), (4, 2))
+
+
+def _route_is_connected(cells, source, target):
+    """BFS inside the route set: source must reach target."""
+    cell_set = set(cells)
+    assert source in cell_set and target in cell_set
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        x, y = queue.popleft()
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nxt = (x + dx, y + dy)
+            if nxt in cell_set and nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return target in seen
+
+
+class TestRouting:
+    def test_default_net_routes(self):
+        system = router.build()
+        result = system.run(3000)
+        assert result.halted and result.halt_reason == "halt action"
+        assert result.output[-1] == "route complete"
+
+    def test_route_is_valid(self):
+        system = router.build()
+        result = system.run(3000)
+        cells = router.route_cells(system)
+        assert _route_is_connected(cells, (0, 0), (5, 5))
+        assert not set(cells) & set(DEFAULT_OBSTACLES)
+        # Reported distance matches the route size (distance + 1 cells).
+        distance = int(result.output[0].split()[-1])
+        assert len(cells) == distance + 1
+
+    def test_route_at_least_lee_distance(self):
+        # Recency-driven (depth-first) expansion gives valid but not
+        # necessarily minimal labels.
+        system = router.build()
+        result = system.run(3000)
+        distance = int(result.output[0].split()[-1])
+        minimum = router.lee_distance(6, 6, (0, 0), (5, 5), DEFAULT_OBSTACLES)
+        assert distance >= minimum
+
+    def test_unroutable_net_halts_quietly(self):
+        walled = [(1, y) for y in range(6)]  # a full wall
+        system = router.build(obstacles=walled)
+        result = system.run(3000)
+        assert result.halt_reason == "no satisfied production"
+        assert "route complete" not in result.output
+
+    def test_adjacent_source_target(self):
+        system = router.build(source=(0, 0), target=(0, 1), obstacles=())
+        result = system.run(3000)
+        assert result.output[0] == "reached target at distance 1"
+
+    def test_obstacle_validation(self):
+        with pytest.raises(ValueError):
+            router.setup(source=(1, 1))
+
+    def test_lee_distance_reference(self):
+        assert router.lee_distance(3, 3, (0, 0), (2, 2), ()) == 4
+        assert router.lee_distance(3, 1, (0, 0), (2, 0), ((1, 0),)) is None
+
+
+class TestRouterAcrossMatchers:
+    @pytest.mark.parametrize("matcher_cls", [ReteNetwork, TreatMatcher, NaiveMatcher])
+    def test_same_route_every_matcher(self, matcher_cls):
+        reference = router.build()
+        reference.run(3000)
+        system = router.build(matcher=matcher_cls())
+        system.run(3000)
+        assert sorted(router.route_cells(system)) == sorted(
+            router.route_cells(reference)
+        )

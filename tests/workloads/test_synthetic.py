@@ -1,0 +1,111 @@
+"""Synthetic workload generation: calibration and determinism."""
+
+import pytest
+
+from repro.psim import MachineConfig, simulate
+from repro.workloads import PAPER_SYSTEMS, SystemProfile, generate_trace, profile_named
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        profile = PAPER_SYSTEMS[0]
+        a = generate_trace(profile, seed=1, firings=10)
+        b = generate_trace(profile, seed=1, firings=10)
+        assert a.total_tasks == b.total_tasks
+        assert a.serial_cost == b.serial_cost
+        first_a = a.firings[0].changes[0].tasks
+        first_b = b.firings[0].changes[0].tasks
+        assert first_a == first_b
+
+    def test_different_seeds_differ(self):
+        profile = PAPER_SYSTEMS[0]
+        a = generate_trace(profile, seed=1, firings=10)
+        b = generate_trace(profile, seed=2, firings=10)
+        assert a.serial_cost != b.serial_cost
+
+    def test_systems_differ_from_each_other(self):
+        costs = {
+            profile.name: generate_trace(profile, seed=1, firings=10).serial_cost
+            for profile in PAPER_SYSTEMS
+        }
+        assert len(set(costs.values())) == len(costs)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("profile", PAPER_SYSTEMS, ids=lambda p: p.name)
+    def test_trace_validates(self, profile):
+        generate_trace(profile, seed=3, firings=20).validate()
+
+    @pytest.mark.parametrize("profile", PAPER_SYSTEMS, ids=lambda p: p.name)
+    def test_affected_mean_tracks_profile(self, profile):
+        trace = generate_trace(profile, seed=3, firings=60)
+        measured = trace.mean_affected_productions()
+        assert 0.5 * profile.affected_mean <= measured <= 1.5 * profile.affected_mean
+
+    @pytest.mark.parametrize("profile", PAPER_SYSTEMS, ids=lambda p: p.name)
+    def test_changes_per_firing_tracks_profile(self, profile):
+        trace = generate_trace(profile, seed=3, firings=120)
+        measured = trace.mean_changes_per_firing()
+        assert 0.6 * profile.changes_per_firing <= measured <= 1.5 * profile.changes_per_firing
+
+    def test_serial_cost_near_c1(self):
+        """Across the six systems, the serial per-change cost sits in the
+        right order of magnitude around the paper's c1 = 1800."""
+        costs = [
+            generate_trace(p, seed=42, firings=60).serial_cost
+            / generate_trace(p, seed=42, firings=60).total_changes
+            for p in PAPER_SYSTEMS
+        ]
+        mean = sum(costs) / len(costs)
+        assert 1200 <= mean <= 2800
+
+    def test_task_sizes_in_paper_band(self):
+        """Two-input activations average 50-100 instructions (Section 4)
+        -- allow slack for the cheap memory tasks."""
+        trace = generate_trace(PAPER_SYSTEMS[0], seed=5, firings=20)
+        join_costs = [
+            t.cost
+            for c in trace.iter_changes()
+            for t in c.tasks
+            if t.kind == "join"
+        ]
+        mean = sum(join_costs) / len(join_costs)
+        assert 30 <= mean <= 110
+
+    def test_every_beta_task_attributed(self):
+        trace = generate_trace(PAPER_SYSTEMS[0], seed=5, firings=5)
+        for change in trace.iter_changes():
+            for task in change.tasks:
+                if task.kind in ("join", "bmem", "term", "amem"):
+                    assert task.productions
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert profile_named("ilog").name == "ilog"
+        with pytest.raises(KeyError):
+            profile_named("xcon")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemProfile(name="bad", firings=0)
+        with pytest.raises(ValueError):
+            SystemProfile(name="bad", heavy_fraction=2.0)
+        with pytest.raises(ValueError):
+            SystemProfile(name="bad", changes_per_firing=0.5)
+
+
+class TestFigureShape:
+    def test_ilog_is_least_parallel_r1_most(self):
+        config = MachineConfig(processors=32)
+        concurrency = {}
+        for name in ("ilog", "r1-soar"):
+            trace = generate_trace(profile_named(name), seed=42, firings=40)
+            concurrency[name] = simulate(trace, config).concurrency
+        assert concurrency["ilog"] < concurrency["r1-soar"]
+
+    def test_saturation_by_64_processors(self):
+        trace = generate_trace(profile_named("vt"), seed=42, firings=40)
+        at_32 = simulate(trace, MachineConfig(processors=32)).true_speedup
+        at_64 = simulate(trace, MachineConfig(processors=64)).true_speedup
+        assert at_64 <= at_32 * 1.25  # diminishing returns past 32
