@@ -43,7 +43,24 @@ _MATCHERS = {
     "treat": TreatMatcher,
     "naive": NaiveMatcher,
     "oflazer": CombinationMatcher,
+    "parallel": None,  # built via matcher_named with --workers
 }
+
+
+def _build_matcher(args):
+    """Construct the requested matcher, honouring ``--workers``."""
+    from .ops5 import matcher_named
+
+    if args.matcher == "parallel":
+        return matcher_named("parallel", workers=getattr(args, "workers", None))
+    return _MATCHERS[args.matcher]()
+
+
+def _close_matcher(matcher) -> None:
+    """Reap worker processes if the matcher owns any."""
+    close = getattr(matcher, "close", None)
+    if close is not None:
+        close()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,6 +75,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("file", help="OPS5 source file")
     run.add_argument("--wmes", help="file of initial (class ^attr value ...) elements")
     run.add_argument("--matcher", choices=sorted(_MATCHERS), default="rete")
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --matcher parallel (0 = inline)",
+    )
     run.add_argument("--strategy", choices=["lex", "mea"], default="lex")
     run.add_argument("--max-cycles", type=int, default=None)
     run.add_argument("--stats", action="store_true", help="print match statistics")
@@ -70,6 +91,10 @@ def _build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run a bundled example program")
     demo.add_argument("name", choices=sorted(ALL_PROGRAMS))
     demo.add_argument("--matcher", choices=sorted(_MATCHERS), default="rete")
+    demo.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --matcher parallel (0 = inline)",
+    )
 
     sim = sub.add_parser("simulate", help="replay a workload on the PSM model")
     source = sim.add_mutually_exclusive_group(required=True)
@@ -130,7 +155,7 @@ def _load_system(args) -> ProductionSystem:
         source = handle.read()
     system = ProductionSystem(
         source,
-        matcher=_MATCHERS[args.matcher](),
+        matcher=_build_matcher(args),
         strategy=getattr(args, "strategy", "lex"),
     )
     if args.wmes:
@@ -141,6 +166,13 @@ def _load_system(args) -> ProductionSystem:
 
 def _cmd_run(args) -> int:
     system = _load_system(args)
+    try:
+        return _run_and_report(args, system)
+    finally:
+        _close_matcher(system.matcher)
+
+
+def _run_and_report(args, system: ProductionSystem) -> int:
     result = system.run(args.max_cycles)
     for line in result.output:
         print(line)
@@ -178,7 +210,11 @@ def _cmd_run(args) -> int:
 
 def _cmd_demo(args) -> int:
     module = ALL_PROGRAMS[args.name]
-    result = module.run(matcher=_MATCHERS[args.matcher]())
+    matcher = _build_matcher(args)
+    try:
+        result = module.run(matcher=matcher)
+    finally:
+        _close_matcher(matcher)
     for line in result.output:
         print(line)
     print(f"-- fired {result.fired} productions; {result.halt_reason}")

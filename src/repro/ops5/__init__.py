@@ -36,7 +36,14 @@ from .condition import (
     wme_passes_alpha,
 )
 from .conflict import ConflictSet, LexStrategy, MeaStrategy, Strategy, strategy_named
-from .engine import CycleRecord, EngineListener, ProductionSystem, RunResult
+from .engine import (
+    CycleRecord,
+    EngineListener,
+    MATCHER_NAMES,
+    ProductionSystem,
+    RunResult,
+    matcher_named,
+)
 from .errors import (
     DuplicateProductionError,
     ExecutionError,
@@ -83,6 +90,7 @@ __all__ = [
     "Instantiation",
     "JoinTest",
     "LexStrategy",
+    "MATCHER_NAMES",
     "Make",
     "Matcher",
     "MatchStats",
@@ -112,6 +120,7 @@ __all__ = [
     "Write",
     "analyze_lhs",
     "make_wme",
+    "matcher_named",
     "parse_production",
     "parse_program",
     "parse_wme_specs",

@@ -67,10 +67,23 @@ class ConflictSet:
 
     def delete(self, instantiation: Instantiation) -> None:
         """Remove an instantiation; deleting an absent key is an error."""
-        if instantiation.key not in self._members:
-            raise Ops5Error(f"conflict-set delete of absent {instantiation!r}")
-        del self._members[instantiation.key]
+        self.delete_key(instantiation.key)
+
+    def delete_key(self, key: tuple) -> None:
+        """Remove the instantiation with identity *key*.
+
+        Lets a holder of ``(production name, timetags)`` retract without
+        materialising an :class:`Instantiation` -- the parallel executor
+        merges shard edit streams this way.
+        """
+        if key not in self._members:
+            raise Ops5Error(f"conflict-set delete of absent key {key!r}")
+        del self._members[key]
         self.total_deletes += 1
+
+    def get(self, key: tuple) -> Optional[Instantiation]:
+        """The instantiation with identity *key*, or None."""
+        return self._members.get(key)
 
     def clear(self) -> None:
         self._members.clear()

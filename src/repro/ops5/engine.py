@@ -24,11 +24,52 @@ from typing import Iterable, Optional, Sequence
 
 from .actions import Bind, Halt, Make, Modify, Remove, Write
 from .conflict import Strategy, strategy_named
-from .errors import ExecutionError, DuplicateProductionError
+from .errors import ExecutionError, DuplicateProductionError, Ops5Error
 from .matcher import Matcher
 from .parser import Program, parse_program
 from .production import Instantiation, Production
 from .wme import Value, WME, WorkingMemory
+
+#: The matcher backends :func:`matcher_named` knows how to build.
+MATCHER_NAMES = ("naive", "treat", "rete", "rete-indexed", "oflazer", "parallel")
+
+
+def matcher_named(name: str, **kwargs) -> Matcher:
+    """Build a matcher backend by name (see :data:`MATCHER_NAMES`).
+
+    Keyword arguments are forwarded to the backend's constructor --
+    e.g. ``matcher_named("parallel", workers=4)`` or
+    ``matcher_named("rete", listener=...)``.  Imports are deferred so the
+    ``ops5`` package keeps no static dependency on any matcher package.
+    """
+    key = name.lower()
+    if key == "naive":
+        from ..naive import NaiveMatcher
+
+        return NaiveMatcher(**kwargs)
+    if key == "treat":
+        from ..treat import TreatMatcher
+
+        return TreatMatcher(**kwargs)
+    if key == "rete":
+        from ..rete.network import ReteNetwork
+
+        return ReteNetwork(**kwargs)
+    if key == "rete-indexed":
+        from ..rete.network import ReteNetwork
+
+        return ReteNetwork(indexed=True, **kwargs)
+    if key == "oflazer":
+        from ..oflazer import CombinationMatcher
+
+        return CombinationMatcher(**kwargs)
+    if key == "parallel":
+        from ..parallel.executor import ParallelMatcher
+
+        return ParallelMatcher(**kwargs)
+    raise Ops5Error(
+        f"unknown matcher backend {name!r}; known: {', '.join(MATCHER_NAMES)}"
+    )
 
 
 class EngineListener:
@@ -94,8 +135,10 @@ class ProductionSystem:
         A :class:`~repro.ops5.parser.Program`, OPS5 source text, or an
         iterable of :class:`Production` objects.
     matcher:
-        A :class:`Matcher` instance.  Defaults to a fresh Rete network
-        (imported lazily to keep the package layering one-way).
+        A :class:`Matcher` instance, or a backend name from
+        :data:`MATCHER_NAMES` ("rete", "treat", "parallel", ...).
+        Defaults to a fresh Rete network (imported lazily to keep the
+        package layering one-way).
     strategy:
         "lex" (default), "mea", or a :class:`Strategy` instance.
     listener:
@@ -105,7 +148,7 @@ class ProductionSystem:
     def __init__(
         self,
         productions: Program | str | Iterable[Production] = (),
-        matcher: Matcher | None = None,
+        matcher: Matcher | str | None = None,
         strategy: Strategy | str = "lex",
         listener: EngineListener | None = None,
     ) -> None:
@@ -113,6 +156,8 @@ class ProductionSystem:
             from ..rete.network import ReteNetwork  # layering: engine may use any matcher
 
             matcher = ReteNetwork()
+        elif isinstance(matcher, str):
+            matcher = matcher_named(matcher)
         self.matcher = matcher
         self.strategy = strategy_named(strategy) if isinstance(strategy, str) else strategy
         self.listener = listener or EngineListener()

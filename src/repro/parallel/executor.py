@@ -1,0 +1,446 @@
+"""The live parallel match executor: Rete on a real process pool.
+
+This is the repo's fourth matcher backend -- the first one that
+*executes* match work in parallel instead of simulating it.  The design
+maps the paper's Section 5 machine onto what CPython can actually do
+(see ``examples/gil_wall.py``: threads hit the GIL, so concurrency
+comes from processes):
+
+* **Partitioned alpha/beta memories.**  Productions are distributed
+  over shard workers (:mod:`repro.parallel.partition`); each worker
+  compiles its share into a private Rete network, so every alpha
+  memory, beta memory, and join lives in exactly one process.
+* **Per-node locks by ownership.**  A node's memory is only ever
+  touched by its owning worker, which serialises activations of one
+  node (the paper's node-memory lock, uncontended by construction)
+  while nodes in different shards execute truly concurrently.
+* **A work queue mirroring the hardware task scheduler.**  The
+  coordinator routes each working-memory change to the shards whose
+  partitions contain a condition element of the WME's class (the
+  partitioned alpha network's top level) and queues it; a *flush*
+  dispatches every queued op batch, then collects conflict-set edits
+  and measurement rows back.
+* **A batch barrier per recognize--act cycle.**  Changes buffer while
+  the RHS runs; reading :attr:`ParallelMatcher.conflict_set` (which the
+  engine does at the top of every cycle, during conflict resolution)
+  is the barrier that flushes them -- the same cycle-level barrier
+  semantics the discrete-event simulator encodes in its batches.
+
+The coordinator merges shard edit streams into the real
+:class:`~repro.ops5.conflict.ConflictSet`.  Because shards hold
+disjoint production sets, their edits are disjoint by production and
+the merged set -- and therefore conflict resolution, firing order, and
+every downstream result -- is bit-identical for every worker count,
+including the inline ``workers=0`` mode that runs the same shard code
+in-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Iterable, Sequence
+
+from ..ops5.errors import Ops5Error
+from ..ops5.conflict import ConflictSet
+from ..ops5.matcher import ChangeRecord, Matcher, MatchStats
+from ..ops5.production import Instantiation, Production
+from ..ops5.wme import WME
+from . import messages
+from .partition import Partition, assign_productions, production_weight
+from .worker import ShardState, shard_main
+
+
+def default_worker_count() -> int:
+    """Workers to use when unspecified: the host's cores, capped at 4."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        cpus = os.cpu_count() or 1
+    return max(1, min(4, cpus))
+
+
+def _context():
+    """Prefer fork (cheap, no re-import); fall back to the default."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class _ProcessShard:
+    """Coordinator-side handle for one worker process."""
+
+    def __init__(self, ctx, index: int) -> None:
+        self.index = index
+        self.conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=shard_main, args=(child,), daemon=True, name=f"repro-shard-{index}"
+        )
+        self.process.start()
+        child.close()
+
+    def dispatch(self, ops: Sequence[Sequence[Any]]) -> None:
+        self.conn.send(("batch", ops))
+
+    def collect(self) -> tuple[list, list]:
+        try:
+            reply = self.conn.recv()
+        except EOFError:
+            raise RuntimeError(f"shard worker {self.index} died") from None
+        if reply[0] == "error":
+            raise RuntimeError(
+                f"shard worker {self.index} failed: {reply[1]}\n{reply[2]}"
+            )
+        return reply[1], reply[2]
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+        self.conn.close()
+
+
+class _InlineShard:
+    """A shard that runs in-process (``workers=0``): same code, no IPC.
+
+    The inline mode is the executor's own serial reference -- it goes
+    through the identical routing, batching, and merge path, so timing
+    it against N process shards isolates exactly the parallel part.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.state = ShardState()
+        self._reply: tuple[list, list] | None = None
+
+    def dispatch(self, ops: Sequence[Sequence[Any]]) -> None:
+        self._reply = self.state.apply_batch(ops)
+
+    def collect(self) -> tuple[list, list]:
+        reply, self._reply = self._reply, None
+        assert reply is not None
+        return reply
+
+    def stop(self) -> None:
+        self._reply = None
+
+
+class WorkQueue:
+    """Per-shard op queues plus the change log of the open batch.
+
+    The software analogue of the paper's hardware task scheduler: it
+    accepts routed ops, remembers which global change each WME op
+    belongs to, and hands every shard its batch at dispatch time.
+    """
+
+    def __init__(self, shard_count: int) -> None:
+        self.pending: list[list] = [[] for _ in range(shard_count)]
+        #: Local WME-op position -> global change index, per shard.
+        self.change_map: list[list[int]] = [[] for _ in range(shard_count)]
+        #: (kind, wme_class) per global change in this batch.
+        self.changes: list[tuple[str, str]] = []
+
+    def push(self, shard: int, op: Sequence[Any], change: int | None = None) -> None:
+        self.pending[shard].append(op)
+        if change is not None:
+            self.change_map[shard].append(change)
+
+    def open_change(self, kind: str, wme_class: str) -> int:
+        self.changes.append((kind, wme_class))
+        return len(self.changes) - 1
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.changes) or any(self.pending)
+
+    def take(self) -> tuple[list[list], list[list[int]], list[tuple[str, str]]]:
+        pending, change_map, changes = self.pending, self.change_map, self.changes
+        count = len(pending)
+        self.pending = [[] for _ in range(count)]
+        self.change_map = [[] for _ in range(count)]
+        self.changes = []
+        return pending, change_map, changes
+
+
+#: Backfill WME ops carry this change index: their (zero-work) stat rows
+#: belong to no engine-visible change and are dropped at merge time.
+_BACKFILL = -1
+
+
+class ParallelMatcher(Matcher):
+    """A :class:`~repro.ops5.matcher.Matcher` over a shard process pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of shard processes.  ``0`` runs a single inline shard in
+        this process (no ``multiprocessing`` at all) -- the degenerate
+        serial configuration with identical semantics.  ``None`` picks
+        :func:`default_worker_count`.
+
+    Use as a context manager (or call :meth:`close`) so the worker
+    processes are reaped deterministically; they are daemonic, so an
+    unclosed matcher still cannot outlive the interpreter.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        # Matcher.__init__ is deliberately not called: `conflict_set` and
+        # `stats` are flush-on-read properties here, not attributes.
+        if workers is None:
+            workers = default_worker_count()
+        if workers < 0:
+            raise Ops5Error("workers must be >= 0")
+        self.workers = workers
+        self._shard_count = max(1, workers)
+        self._conflict_set = ConflictSet()
+        self._stats = MatchStats()
+        self._queue = WorkQueue(self._shard_count)
+        self._shards: list[_ProcessShard | _InlineShard] | None = None
+        self._productions: dict[str, Production] = {}
+        #: Production name -> owning shard index.
+        self._assignment: dict[str, int] = {}
+        #: Static weight currently assigned to each shard.
+        self._weights: list[float] = [0.0] * self._shard_count
+        #: Classes each shard has ever subscribed to.  Sticky: once a
+        #: shard hears about a class it keeps receiving its changes, so
+        #: its working-memory view never silently goes stale.
+        self._subscribed: list[set[str]] = [set() for _ in range(self._shard_count)]
+        #: Productions registered before the pool starts; partitioned in
+        #: one balanced pass at start time.
+        self._unpartitioned: list[Production] = []
+        #: Live WMEs by timetag (the coordinator's working-memory view).
+        self._wmes: dict[int, WME] = {}
+        self._pending_removals: list[int] = []
+        self._closed = False
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._shards is not None
+
+    def _ensure_started(self) -> None:
+        if self._shards is not None:
+            return
+        if self._closed:
+            raise Ops5Error("this ParallelMatcher has been closed")
+        if self.workers == 0:
+            self._shards = [_InlineShard(0)]
+        else:
+            ctx = _context()
+            self._shards = [_ProcessShard(ctx, i) for i in range(self._shard_count)]
+        for partition in assign_productions(self._unpartitioned, self._shard_count):
+            for production in partition.productions:
+                self._place(production, partition.index)
+        self._unpartitioned = []
+
+    def close(self) -> None:
+        """Stop the worker pool.  Further matching raises; stats and the
+        last flushed conflict set stay readable."""
+        if self._shards is not None:
+            for shard in self._shards:
+                shard.stop()
+            self._shards = None
+        self._closed = True
+
+    def __enter__(self) -> "ParallelMatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- placement ------------------------------------------------------------
+
+    def _place(self, production: Production, shard: int) -> None:
+        """Queue compilation of *production* on *shard* (with backfill)."""
+        self._assignment[production.name] = shard
+        self._weights[shard] += production_weight(production)
+        classes = {ce.cls for ce in production.conditions}
+        new_classes = classes - self._subscribed[shard]
+        # Backfill: the shard must hold the current WMEs of any class it
+        # has not been hearing about, or the new rule would match against
+        # a partial working memory.
+        for cls in sorted(new_classes):
+            for timetag in sorted(self._wmes):
+                wme = self._wmes[timetag]
+                if wme.cls == cls:
+                    self._queue.push(
+                        shard, messages.encode_wme(wme), change=_BACKFILL
+                    )
+        self._subscribed[shard] |= classes
+        self._queue.push(shard, (messages.ADD_PRODUCTION, production))
+
+    def _route(self, cls: str) -> list[int]:
+        return [
+            i
+            for i in range(self._shard_count)
+            if cls in self._subscribed[i]
+        ]
+
+    # -- Matcher interface -----------------------------------------------------
+
+    @property
+    def productions(self) -> Iterable[Production]:
+        return self._productions.values()
+
+    def add_production(self, production: Production) -> None:
+        if production.name in self._productions:
+            raise Ops5Error(f"production {production.name!r} already registered")
+        self._productions[production.name] = production
+        if self._shards is None:
+            self._unpartitioned.append(production)
+            return
+        lightest = min(range(self._shard_count), key=lambda i: (self._weights[i], i))
+        self._place(production, lightest)
+
+    def remove_production(self, name: str) -> None:
+        if name not in self._productions:
+            raise Ops5Error(f"no production named {name!r}")
+        del self._productions[name]
+        if self._shards is None:
+            self._unpartitioned = [p for p in self._unpartitioned if p.name != name]
+            return
+        shard = self._assignment.pop(name)
+        self._queue.push(shard, (messages.REMOVE_PRODUCTION, name))
+
+    def add_wme(self, wme: WME) -> None:
+        self._ensure_started()
+        self._wmes[wme.timetag] = wme
+        change = self._queue.open_change("add", wme.cls)
+        for shard in self._route(wme.cls):
+            self._queue.push(shard, messages.encode_wme(wme), change=change)
+
+    def remove_wme(self, wme: WME) -> None:
+        self._ensure_started()
+        if wme.timetag not in self._wmes:
+            raise Ops5Error(f"WME {wme!r} was never added to this matcher")
+        self._pending_removals.append(wme.timetag)
+        change = self._queue.open_change("remove", wme.cls)
+        for shard in self._route(wme.cls):
+            self._queue.push(shard, (messages.REMOVE_WME, wme.timetag), change=change)
+
+    # -- the flush barrier -------------------------------------------------------
+
+    @property
+    def conflict_set(self) -> ConflictSet:
+        """The merged conflict set; reading it is the cycle barrier."""
+        self.flush()
+        return self._conflict_set
+
+    @property
+    def stats(self) -> MatchStats:
+        self.flush()
+        return self._stats
+
+    def flush(self) -> None:
+        """Dispatch all queued ops and merge the shards' results."""
+        if self._unpartitioned and self._shards is None:
+            self._ensure_started()
+        if self._shards is None or not self._queue.dirty:
+            return
+        pending, change_maps, changes = self._queue.take()
+        #: Insert edits suppressed because their production was removed
+        #: in this same batch; the paired delete is excused, nothing else.
+        self._skipped_inserts: set[tuple] = set()
+
+        active = [i for i, ops in enumerate(pending) if ops]
+        for i in active:
+            self._shards[i].dispatch(pending[i])
+
+        merged = [
+            ChangeRecord(kind=kind, wme_class=cls) for kind, cls in changes
+        ]
+        for i in active:
+            edits, stat_rows = self._shards[i].collect()
+            self._merge_edits(edits)
+            for local_index, affected, activations, comparisons, tokens in stat_rows:
+                change = change_maps[i][local_index] if local_index < len(
+                    change_maps[i]
+                ) else _BACKFILL
+                if change == _BACKFILL:
+                    continue
+                record = merged[change]
+                record.affected_productions += affected
+                record.node_activations += activations
+                record.comparisons += comparisons
+                record.tokens_built += tokens
+        for record in merged:
+            self._stats.record(record)
+
+        for timetag in self._pending_removals:
+            self._wmes.pop(timetag, None)
+        self._pending_removals = []
+
+    def _merge_edits(self, edits: Sequence[tuple]) -> None:
+        for edit in edits:
+            if edit[0] == messages.INSERT:
+                _, name, timetags, bindings = edit
+                production = self._productions.get(name)
+                if production is None:
+                    # The production was removed after this WME op was
+                    # queued but before the flush; the shard's "-p"
+                    # retraction follows in the same edit stream, so
+                    # suppress the insert and excuse its paired delete.
+                    self._skipped_inserts.add((name, tuple(timetags)))
+                    continue
+                wmes = tuple(self._wmes[t] for t in timetags)
+                self._conflict_set.insert(Instantiation(production, wmes, bindings))
+            else:
+                _, name, timetags = edit
+                key = (name, tuple(timetags))
+                if key in self._skipped_inserts:
+                    self._skipped_inserts.discard(key)
+                    continue
+                self._conflict_set.delete_key(key)
+
+    # -- bulk control ----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all productions and working memory (pool stays warm).
+
+        Lets one pool serve many small programs -- the differential test
+        harness loads hundreds of generated programs through a single
+        matcher without re-forking workers.
+        """
+        # Undispatched ops are moot once every shard resets; drop them.
+        self._queue = WorkQueue(self._shard_count)
+        self._conflict_set = ConflictSet()
+        self._stats = MatchStats()
+        self._productions = {}
+        self._assignment = {}
+        self._weights = [0.0] * self._shard_count
+        self._subscribed = [set() for _ in range(self._shard_count)]
+        self._unpartitioned = []
+        self._wmes = {}
+        self._pending_removals = []
+        if self._shards is not None:
+            for i in range(self._shard_count):
+                self._queue.push(i, (messages.RESET,))
+            self.flush()
+
+    # -- introspection ----------------------------------------------------------
+
+    def partition_snapshot(self) -> list[Partition]:
+        """The current production -> shard distribution.
+
+        Before the pool starts this previews the balanced assignment the
+        start will perform; afterwards it reports actual placement.
+        """
+        if self._unpartitioned:
+            return assign_productions(self._unpartitioned, self._shard_count)
+        partitions = [Partition(i) for i in range(self._shard_count)]
+        for name, shard in sorted(self._assignment.items()):
+            partitions[shard].productions.append(self._productions[name])
+            partitions[shard].weight += production_weight(self._productions[name])
+        return partitions

@@ -1,0 +1,75 @@
+"""The coordinator <-> shard-worker wire protocol.
+
+Everything that crosses a process boundary is a plain tuple of
+primitives (strings, numbers, dicts of both), so messages pickle fast
+and identically under every ``multiprocessing`` start method.  The one
+exception is production transfer: :class:`~repro.ops5.production.Production`
+objects are pure data (conditions, actions, no closures) and pickle
+directly, which is how a shard receives its rules.
+
+Command stream (coordinator -> worker), one batch per flush::
+
+    ("batch", [op, op, ...])      apply ops in order, then reply
+    ("stop",)                     exit the worker loop
+
+Ops inside a batch::
+
+    ("+p", production)            compile a production into the shard
+    ("-p", name)                  remove a production
+    ("+w", cls, attrs, timetag)   working-memory insertion
+    ("-w", timetag)               working-memory deletion
+    ("reset",)                    discard all match state, keep nothing
+
+Reply (worker -> coordinator), one per batch::
+
+    ("ok", edits, stat_rows)
+    ("error", repr, traceback_text)
+
+``edits`` is the ordered conflict-set edit stream the batch produced:
+``("i", production_name, timetags, bindings)`` inserts and
+``("d", production_name, timetags)`` deletes, where ``timetags`` is the
+instantiation's positive-CE timetag tuple.  Timetags are the global
+names of WMEs, so the coordinator can rebuild full
+:class:`~repro.ops5.production.Instantiation` objects from its own
+working-memory view without productions or WMEs ever travelling back.
+
+``stat_rows`` carries one measurement row per *WME op* in the batch:
+``(op_index, affected, activations, comparisons, tokens_built)`` --
+the coordinator sums rows across shards (shards hold disjoint
+production sets, so "affected productions" adds correctly) into the
+:class:`~repro.ops5.matcher.MatchStats` record stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..ops5.wme import WME
+
+#: Op tags (kept one character: they appear in every message).
+ADD_PRODUCTION = "+p"
+REMOVE_PRODUCTION = "-p"
+ADD_WME = "+w"
+REMOVE_WME = "-w"
+RESET = "reset"
+
+INSERT = "i"
+DELETE = "d"
+
+#: An edit row: ("i", name, timetags, bindings) or ("d", name, timetags).
+Edit = tuple
+#: A stats row: (op_index, affected, activations, comparisons, tokens).
+StatRow = tuple
+
+
+def encode_wme(wme: WME) -> tuple:
+    """Encode a WME for transfer: ``(ADD_WME, cls, attrs, timetag)``."""
+    return (ADD_WME, wme.cls, dict(wme.attributes), wme.timetag)
+
+
+def decode_wme(op: Sequence[Any]) -> WME:
+    """Rebuild a timetagged WME from an ``ADD_WME`` op."""
+    _, cls, attrs, timetag = op
+    wme = WME(cls, attrs)
+    wme.timetag = timetag
+    return wme

@@ -1,0 +1,151 @@
+"""The shard worker: one process owning one partition of the network.
+
+Each worker compiles its partition's productions into a private
+:class:`~repro.rete.network.ReteNetwork` and applies the op batches the
+coordinator streams to it.  Because every node memory in that network
+belongs to this worker alone (see :mod:`repro.parallel.partition`),
+activations of one node are naturally serialised on their memory -- the
+executor's realisation of the paper's per-node locks -- while nodes in
+different shards run truly concurrently, in different processes.
+
+The worker reports its work back as a *conflict-set edit stream* (the
+same currency Rete terminals trade in) plus per-change measurement
+rows, both pure-primitive tuples (see :mod:`repro.parallel.messages`).
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Sequence
+
+from ..ops5.conflict import ConflictSet
+from ..ops5.production import Instantiation
+from ..ops5.wme import WME
+from . import messages
+from .messages import Edit, StatRow
+
+
+class RecordingConflictSet(ConflictSet):
+    """A conflict set that journals every edit for later transfer.
+
+    Injected into the shard's network, it turns terminal-node activity
+    into the wire-format edit stream while keeping full local conflict
+    set semantics (duplicate-insert detection still applies per shard).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.edits: list[Edit] = []
+
+    def insert(self, instantiation: Instantiation) -> None:
+        super().insert(instantiation)
+        self.edits.append(
+            (
+                messages.INSERT,
+                instantiation.production.name,
+                instantiation.timetags,
+                dict(instantiation.bindings),
+            )
+        )
+
+    def delete(self, instantiation: Instantiation) -> None:
+        super().delete(instantiation)
+        self.edits.append(
+            (messages.DELETE, instantiation.production.name, instantiation.timetags)
+        )
+
+    def drain(self) -> list[Edit]:
+        edits, self.edits = self.edits, []
+        return edits
+
+
+class ShardState:
+    """The in-process core of a worker (also usable without a process).
+
+    Keeping the op-application logic process-free makes it unit-testable
+    and lets the executor fall back to an inline shard when processes
+    are unavailable (``workers=0``).
+    """
+
+    def __init__(self) -> None:
+        self._fresh()
+
+    def _fresh(self) -> None:
+        from ..rete.network import ReteNetwork  # deferred heavy import
+
+        self.conflict_set = RecordingConflictSet()
+        self.network = ReteNetwork(conflict_set=self.conflict_set)
+        self.wmes: dict[int, WME] = {}
+
+    def apply_batch(self, ops: Sequence[Sequence[Any]]) -> tuple[list[Edit], list[StatRow]]:
+        """Apply *ops* in order; return (edits, per-WME-op stat rows).
+
+        Stat rows are indexed by WME-op *ordinal* within the batch (not
+        the raw op position): the coordinator's change map counts only
+        WME ops, since production ops belong to no working-memory change.
+        """
+        stat_rows: list[StatRow] = []
+        wme_ordinal = 0
+        for op in ops:
+            tag = op[0]
+            if tag == messages.ADD_WME:
+                wme = messages.decode_wme(op)
+                self.wmes[wme.timetag] = wme
+                self.network.add_wme(wme)
+                stat_rows.append(self._stat_row(wme_ordinal))
+                wme_ordinal += 1
+            elif tag == messages.REMOVE_WME:
+                wme = self.wmes.pop(op[1])
+                self.network.remove_wme(wme)
+                stat_rows.append(self._stat_row(wme_ordinal))
+                wme_ordinal += 1
+            elif tag == messages.ADD_PRODUCTION:
+                self.network.add_production(op[1])
+            elif tag == messages.REMOVE_PRODUCTION:
+                self.network.remove_production(op[1])
+            elif tag == messages.RESET:
+                self._fresh()
+            else:
+                raise ValueError(f"unknown op {tag!r}")
+        return self.conflict_set.drain(), stat_rows
+
+    def _stat_row(self, op_index: int) -> StatRow:
+        record = self.network.stats.changes[-1]
+        return (
+            op_index,
+            record.affected_productions,
+            record.node_activations,
+            record.comparisons,
+            record.tokens_built,
+        )
+
+
+def shard_main(conn) -> None:
+    """Worker process entry point: serve batches until told to stop.
+
+    Any exception while applying a batch is reported to the coordinator
+    (which raises it there) instead of silently killing the process;
+    the worker keeps serving, so a failed differential-test example
+    does not poison the next one.
+    """
+    state = ShardState()
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message[0] == "stop":
+            break
+        if message[0] != "batch":  # pragma: no cover - protocol misuse
+            conn.send(("error", f"unknown message {message[0]!r}", ""))
+            continue
+        try:
+            edits, stat_rows = state.apply_batch(message[1])
+        except BaseException as error:  # noqa: BLE001 - forwarded verbatim
+            conn.send(("error", repr(error), traceback.format_exc()))
+            # The shard's state may be torn mid-batch; start clean so the
+            # coordinator can reset and continue deterministically.
+            state = ShardState()
+            continue
+        conn.send(("ok", edits, stat_rows))
+    conn.close()

@@ -33,11 +33,13 @@ from .partition import (
     simulate_partitioned,
 )
 from .metrics import (
+    MeasuredRun,
     SimulationResult,
     TaskPlacement,
     average_concurrency,
     average_speed,
     average_true_speedup,
+    predicted_vs_measured,
 )
 from .simulator import simulate, simulate_many, simulate_schedule, sweep_processors
 
@@ -51,6 +53,7 @@ __all__ = [
     "GRANULARITY_PRODUCTION",
     "MachineConfig",
     "MakespanBounds",
+    "MeasuredRun",
     "PAPER_PSM",
     "PRODUCTION_PARALLEL_PSM",
     "SCHEDULER_HARDWARE",
@@ -69,6 +72,7 @@ __all__ = [
     "simulate_partitioned",
     "average_speed",
     "average_true_speedup",
+    "predicted_vs_measured",
     "build_schedule",
     "render_gantt",
     "simulate",

@@ -38,12 +38,21 @@ class ReteNetwork(Matcher):
         Use hash-indexed join memories (the hashed memory-node
         organisation): joins probe buckets instead of scanning, cutting
         comparison counts on equality-heavy programs.
+    conflict_set:
+        Replace the network's conflict set with a caller-supplied
+        subclass.  The parallel executor injects a recording set here so
+        a shard's terminal activity becomes a transferable edit stream.
     """
 
     def __init__(
-        self, listener: NetworkListener | None = None, indexed: bool = False
+        self,
+        listener: NetworkListener | None = None,
+        indexed: bool = False,
+        conflict_set=None,
     ) -> None:
         super().__init__()
+        if conflict_set is not None:
+            self.conflict_set = conflict_set
         self.listener = listener or NetworkListener()
         #: Hash-indexed join memories (see JoinNode); semantics are
         #: unchanged, only match effort drops.

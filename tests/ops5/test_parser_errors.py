@@ -1,0 +1,123 @@
+"""Edge-case coverage for the parser's error paths.
+
+Each test pins one diagnostic: the error type, and enough of the message
+that a regression to a generic "syntax error" (or to silent acceptance)
+fails loudly.
+"""
+
+import pytest
+
+from repro.ops5 import (
+    DuplicateProductionError,
+    ExecutionError,
+    ParseError,
+    ProductionSystem,
+    ValidationError,
+    parse_program,
+)
+
+
+# -- truncated input ----------------------------------------------------------
+
+
+def test_unterminated_lhs_reports_end_of_input():
+    with pytest.raises(ParseError, match="unexpected end of input"):
+        parse_program("(p broken (goal ^want x)")
+
+
+def test_unterminated_production_body():
+    with pytest.raises(ParseError, match="unexpected end of input"):
+        parse_program("(p broken (goal ^want x) -->")
+
+
+def test_missing_arrow_is_rejected():
+    # Without -->, the action list is read as more LHS and fails there.
+    with pytest.raises(ParseError):
+        parse_program("(p broken (goal ^want x) (make done))")
+
+
+# -- duplicate production names ----------------------------------------------
+
+
+def test_duplicate_production_names_raise():
+    source = """
+    (p same (a ^v 1) --> (halt))
+    (p same (b ^v 2) --> (halt))
+    """
+    with pytest.raises(DuplicateProductionError, match="same"):
+        ProductionSystem(source)
+
+
+def test_duplicate_name_added_later_raises_too():
+    system = ProductionSystem("(p same (a ^v 1) --> (halt))")
+    from repro.ops5 import parse_production
+
+    with pytest.raises(DuplicateProductionError):
+        system.add_production(parse_production("(p same (b ^v 2) --> (halt))"))
+
+
+# -- malformed modify / remove -------------------------------------------------
+
+
+def test_modify_with_non_numeric_index():
+    with pytest.raises(ParseError, match="expected number"):
+        parse_program("(p m (goal ^want x) --> (modify q ^want y))")
+
+
+def test_modify_index_zero_is_out_of_range():
+    with pytest.raises(ValidationError, match="condition element 0"):
+        parse_program("(p m (goal ^want x) --> (modify 0 ^want y))")
+
+
+def test_remove_index_beyond_lhs():
+    with pytest.raises(ValidationError, match="only 1"):
+        parse_program("(p m (goal ^want x) --> (remove 2))")
+
+
+# -- malformed condition elements ---------------------------------------------
+
+
+def test_empty_conjunctive_test():
+    with pytest.raises(ParseError, match="empty conjunctive"):
+        parse_program("(p m (goal ^want { }) --> (halt))")
+
+
+def test_empty_disjunctive_test():
+    with pytest.raises(ParseError, match="empty disjunctive"):
+        parse_program("(p m (goal ^want << >>) --> (halt))")
+
+
+def test_attribute_tested_twice_in_one_ce():
+    with pytest.raises(ParseError, match="tested twice"):
+        parse_program("(p m (goal ^want x ^want y) --> (halt))")
+
+
+def test_all_negated_lhs_is_invalid():
+    with pytest.raises(ValidationError, match="first condition element"):
+        parse_program("(p m - (goal ^want x) --> (halt))")
+
+
+# -- unknown actions and undeclared attributes --------------------------------
+
+
+def test_unknown_action_name():
+    with pytest.raises(ParseError, match="unknown action"):
+        parse_program("(p m (goal ^want x) --> (frobnicate))")
+
+
+def test_literalized_class_rejects_undeclared_attribute():
+    system = ProductionSystem(
+        "(literalize goal want)\n(p m (goal ^want x) --> (halt))"
+    )
+    with pytest.raises(ExecutionError, match="undeclared attribute"):
+        system.add("goal", other=1)
+
+
+def test_parse_error_carries_position():
+    try:
+        parse_program("(p m (goal ^want { }) --> (halt))")
+    except ParseError as error:
+        assert error.line == 1
+        assert error.column > 0
+    else:  # pragma: no cover - the parse must fail
+        pytest.fail("expected a ParseError")
