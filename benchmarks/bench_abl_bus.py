@@ -6,8 +6,6 @@ are obtained."  This bench sweeps processor count x bus count and the
 cache-hit ratio, showing where the single bus gives out.
 """
 
-from dataclasses import replace
-
 from repro.analysis import render_table
 from repro.psim import MachineConfig, simulate
 

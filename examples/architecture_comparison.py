@@ -11,7 +11,6 @@ from repro.machines import (
     ALL_MACHINES,
     DADO_RETE,
     DADO_TREAT,
-    comparison_table,
     measured_speed,
     render_table,
     speed_ratios,

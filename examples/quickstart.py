@@ -7,7 +7,7 @@ working-memory access, conflict-set inspection, and matcher swapping.
 """
 
 from repro.ops5 import ProductionSystem
-from repro.rete import ReteNetwork, collect_stats
+from repro.rete import collect_stats
 from repro.treat import TreatMatcher
 
 SOURCE = """

@@ -9,7 +9,7 @@ the 32-processor machine.
 """
 
 from repro.analysis import render_series
-from repro.psim import MachineConfig, simulate, sweep_processors
+from repro.psim import MachineConfig, sweep_processors
 from repro.workloads import PAPER_SYSTEMS, PARALLEL_FIRING_SYSTEMS, generate_trace
 
 PROCESSOR_COUNTS = [1, 2, 4, 8, 16, 32, 48, 64]

@@ -18,6 +18,8 @@ Commands
     Print the Figure 6-1 / 6-2 series for the six paper systems.
 ``compare``
     Print the Section 7 architecture comparison table.
+``serve``
+    Run the long-lived multi-session rule server (``docs/serve.md``).
 """
 
 from __future__ import annotations
@@ -27,33 +29,24 @@ import sys
 from typing import Optional, Sequence
 
 from .analysis import render_series, render_table
-from .naive import NaiveMatcher
-from .oflazer import CombinationMatcher
-from .ops5 import Ops5Error, ProductionSystem, parse_wme_specs
+from .ops5 import MATCHER_NAMES, Ops5Error, ProductionSystem, parse_wme_specs
 from .psim import MachineConfig, simulate as run_simulation, sweep_processors
 from .rete import ReteNetwork, collect_stats
 from .trace import capture_trace, load_trace, save_trace
-from .treat import TreatMatcher
 from .workloads import PAPER_SYSTEMS, generate_trace, profile_named
 from .workloads.programs import ALL_PROGRAMS
 
-_MATCHERS = {
-    "rete": ReteNetwork,
-    "rete-indexed": lambda: ReteNetwork(indexed=True),
-    "treat": TreatMatcher,
-    "naive": NaiveMatcher,
-    "oflazer": CombinationMatcher,
-    "parallel": None,  # built via matcher_named with --workers
-}
-
 
 def _build_matcher(args):
-    """Construct the requested matcher, honouring ``--workers``."""
-    from .ops5 import matcher_named
+    """Construct the requested matcher through the engine registry.
 
-    if args.matcher == "parallel":
-        return matcher_named("parallel", workers=getattr(args, "workers", None))
-    return _MATCHERS[args.matcher]()
+    Every backend -- current and future -- goes through
+    :func:`~repro.ops5.engine.matcher_named`; ``--workers`` is forwarded
+    to the parallel backend (the only one that takes it).
+    """
+    from .serve.session import build_matcher
+
+    return build_matcher(args.matcher, workers=getattr(args, "workers", None))
 
 
 def _close_matcher(matcher) -> None:
@@ -74,7 +67,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="execute an OPS5 program file")
     run.add_argument("file", help="OPS5 source file")
     run.add_argument("--wmes", help="file of initial (class ^attr value ...) elements")
-    run.add_argument("--matcher", choices=sorted(_MATCHERS), default="rete")
+    run.add_argument("--matcher", choices=sorted(MATCHER_NAMES), default="rete")
     run.add_argument(
         "--workers", type=int, default=None,
         help="worker processes for --matcher parallel (0 = inline)",
@@ -90,7 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run a bundled example program")
     demo.add_argument("name", choices=sorted(ALL_PROGRAMS))
-    demo.add_argument("--matcher", choices=sorted(_MATCHERS), default="rete")
+    demo.add_argument("--matcher", choices=sorted(MATCHER_NAMES), default="rete")
     demo.add_argument(
         "--workers", type=int, default=None,
         help="worker processes for --matcher parallel (0 = inline)",
@@ -147,15 +140,27 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--seed", type=int, default=42)
 
     sub.add_parser("compare", help="print the Section 7 architecture table")
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-session rule server (see docs/serve.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7410,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--socket", help="listen on a unix socket instead")
+    serve.add_argument(
+        "--max-pending", type=int, default=None,
+        help="per-session request-queue bound before backpressure (default 64)",
+    )
     return parser
 
 
-def _load_system(args) -> ProductionSystem:
+def _load_system(args, matcher) -> ProductionSystem:
     with open(args.file) as handle:
         source = handle.read()
     system = ProductionSystem(
         source,
-        matcher=_build_matcher(args),
+        matcher=matcher,
         strategy=getattr(args, "strategy", "lex"),
     )
     if args.wmes:
@@ -165,11 +170,14 @@ def _load_system(args) -> ProductionSystem:
 
 
 def _cmd_run(args) -> int:
-    system = _load_system(args)
+    # The matcher is built first and reaped in ``finally`` so a worker
+    # pool can never outlive an error in parsing, loading, or running.
+    matcher = _build_matcher(args)
     try:
+        system = _load_system(args, matcher)
         return _run_and_report(args, system)
     finally:
-        _close_matcher(system.matcher)
+        _close_matcher(matcher)
 
 
 def _run_and_report(args, system: ProductionSystem) -> int:
@@ -344,6 +352,30 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import DEFAULT_MAX_PENDING, run_server
+
+    def announce(server) -> None:
+        if server.unix_path:
+            print(f"serving on {server.unix_path}", flush=True)
+        else:
+            print(f"serving on {server.host}:{server.port}", flush=True)
+
+    try:
+        run_server(
+            host=args.host,
+            port=args.port,
+            unix_path=args.socket,
+            max_pending=args.max_pending
+            if args.max_pending is not None
+            else DEFAULT_MAX_PENDING,
+            announce=announce,
+        )
+    except KeyboardInterrupt:
+        print("interrupted; sessions drained", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -355,6 +387,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "figures": _cmd_figures,
         "compare": _cmd_compare,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

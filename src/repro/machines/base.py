@@ -27,7 +27,7 @@ documentation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..trace.costmodel import C1_INSTRUCTIONS_PER_INSERT
 

@@ -37,6 +37,7 @@ from .condition import (
 )
 from .conflict import ConflictSet, LexStrategy, MeaStrategy, Strategy, strategy_named
 from .engine import (
+    BatchResult,
     CycleRecord,
     EngineListener,
     MATCHER_NAMES,
@@ -79,6 +80,7 @@ __all__ = [
     "ConstantTest",
     "CHANGES",
     "CompositeListener",
+    "BatchResult",
     "CycleRecord",
     "DisjunctiveTest",
     "DuplicateProductionError",

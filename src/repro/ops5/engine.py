@@ -104,6 +104,34 @@ class CycleRecord:
         return self.adds + self.removes
 
 
+#: One change in an :meth:`ProductionSystem.apply_changes` batch:
+#: ``("assert", cls, attrs)``, ``("retract", timetag)``, or
+#: ``("modify", timetag, updates)``.
+ChangeSpec = tuple
+
+
+@dataclass
+class BatchResult:
+    """Summary of one :meth:`ProductionSystem.apply_changes` batch."""
+
+    #: WMEs inserted by this batch, in application order (``assert``
+    #: contributes the new element, ``modify`` its replacement).
+    added: list[WME] = field(default_factory=list)
+    #: Timetags retracted by this batch (``retract`` + the removed half
+    #: of every ``modify``).
+    removed: list[int] = field(default_factory=list)
+
+    @property
+    def timetags(self) -> list[int]:
+        """Timetags of the inserted elements, in application order."""
+        return [wme.timetag for wme in self.added]
+
+    @property
+    def total_changes(self) -> int:
+        """WME changes applied (each modify counts as remove + add)."""
+        return len(self.added) + len(self.removed)
+
+
 @dataclass
 class RunResult:
     """Summary of a :meth:`ProductionSystem.run` call."""
@@ -224,6 +252,56 @@ class ProductionSystem:
         """Bulk-insert (class, attributes) pairs (see ``parse_wme_specs``)."""
         return [self.add_wme(WME(cls, attrs)) for cls, attrs in specs]
 
+    def apply_changes(self, changes: Sequence[ChangeSpec]) -> BatchResult:
+        """Apply a batch of working-memory changes without firing rules.
+
+        This is the serving layer's ingestion entry point
+        (:mod:`repro.serve`): a batch is a sequence of change specs --
+
+        * ``("assert", cls, attributes)`` -- insert a new element;
+        * ``("retract", timetag)`` -- remove the element with *timetag*;
+        * ``("modify", timetag, updates)`` -- OPS5 remove + make with a
+          fresh timetag, exactly like a RHS ``modify``.
+
+        Changes are applied strictly in sequence, so splitting one
+        logical stream of changes into batches of any size -- or sending
+        it through a server session in several requests -- yields
+        bit-identical working memory and (after a subsequent
+        :meth:`run`) a bit-identical firing sequence.  Nothing fires
+        here: conflict resolution happens only in :meth:`step`/:meth:`run`,
+        which is what keeps results independent of batch boundaries.
+
+        An engine that ran out of satisfied productions is *resumed* by
+        a new batch (see :meth:`resume`): quiescence is a statement
+        about the old working memory, not about the new one.  A ``halt``
+        action's stop stays sticky -- the program asked to stop.
+        """
+        if self._halted and self._halt_reason == "no satisfied production":
+            self.resume()
+        result = BatchResult()
+        for change in changes:
+            kind = change[0]
+            if kind == "assert":
+                _, cls, attrs = change
+                result.added.append(self.add_wme(WME(cls, dict(attrs or {}))))
+            elif kind == "retract":
+                wme = self.memory.by_timetag(change[1])
+                self.remove_wme(wme)
+                result.removed.append(wme.timetag)
+            elif kind == "modify":
+                _, timetag, updates = change
+                wme = self.memory.by_timetag(timetag)
+                replacement = wme.with_updates(dict(updates or {}))
+                self.remove_wme(wme)
+                result.removed.append(timetag)
+                result.added.append(self.add_wme(replacement))
+            else:
+                raise ExecutionError(
+                    f"unknown change kind {kind!r}; "
+                    "expected 'assert', 'retract', or 'modify'"
+                )
+        return result
+
     def reset(self) -> None:
         """Clear working memory, refraction memory, and run state.
 
@@ -240,6 +318,17 @@ class ProductionSystem:
         self.cycle = 0
         self.cycles = []
         self.output = []
+
+    def resume(self) -> None:
+        """Clear the halted flag so further changes can drive new cycles.
+
+        Long-running services alternate ingestion and run-to-quiescence
+        on one engine; a quiescence halt only describes the working
+        memory that produced it.  Refraction memory is kept: resuming
+        never re-fires an instantiation that already fired.
+        """
+        self._halted = False
+        self._halt_reason = "running"
 
     # -- the recognize--act loop -------------------------------------------
 

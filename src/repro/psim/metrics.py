@@ -16,7 +16,7 @@ The quantities Section 6 reports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from .machine import MachineConfig

@@ -24,7 +24,7 @@ Cost-relevant measurements are captured per event:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

@@ -14,7 +14,7 @@ simulator replays (Section 6).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 from ..ops5.errors import Ops5Error
 from ..ops5.matcher import ChangeRecord, Matcher

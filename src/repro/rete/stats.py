@@ -17,9 +17,7 @@ from dataclasses import dataclass, field
 from .network import ReteNetwork
 from .nodes import (
     AlphaMemory,
-    AlphaTestNode,
     BetaMemory,
-    JoinNode,
     NegativeNode,
     TerminalNode,
 )

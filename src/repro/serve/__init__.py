@@ -1,0 +1,45 @@
+"""Engine-as-a-service: the long-running, multi-session rule server.
+
+The paper measures *sustained* execution speed -- wme-changes/sec and
+firings/sec over whole runs (Section 6) -- and the roadmap's north star
+is a system that serves heavy traffic, not one that runs a single
+program per process.  This package is that serving layer:
+
+* :mod:`~repro.serve.protocol` -- length-prefixed JSON frames on a
+  local socket;
+* :mod:`~repro.serve.session` -- one :class:`ProductionSystem` per
+  session behind a bounded queue with explicit backpressure;
+* :mod:`~repro.serve.server` -- the asyncio front-end
+  (:class:`RuleServer`), plus :class:`ServerThread` for embedding;
+* :mod:`~repro.serve.client` -- the blocking reference client;
+* :mod:`~repro.serve.loadgen` -- trace replay from N concurrent
+  clients, measuring sustained throughput and tail latency;
+* :mod:`~repro.serve.stats` -- the counters and percentile windows
+  behind the ``stats`` requests.
+
+See ``docs/serve.md`` for the protocol and lifecycle reference.
+"""
+
+from .client import Address, BackpressureError, RuleClient, ServerError
+from .protocol import MAX_FRAME, ProtocolError
+from .server import RuleServer, ServerThread, run_server
+from .session import DEFAULT_MAX_PENDING, Session, SessionManager, build_matcher
+from .stats import LatencyWindow, Telemetry
+
+__all__ = [
+    "Address",
+    "BackpressureError",
+    "DEFAULT_MAX_PENDING",
+    "LatencyWindow",
+    "MAX_FRAME",
+    "ProtocolError",
+    "RuleClient",
+    "RuleServer",
+    "ServerError",
+    "ServerThread",
+    "Session",
+    "SessionManager",
+    "Telemetry",
+    "build_matcher",
+    "run_server",
+]

@@ -1,0 +1,190 @@
+"""A blocking client for the rule server.
+
+:class:`RuleClient` speaks the length-prefixed JSON protocol over a
+plain socket -- one request, one reply, in order.  It is what the load
+generator, the benchmarks, and the tests use; it is also a reference
+implementation for clients in other languages (the protocol is just
+framed JSON).
+
+Error handling mirrors the server's reply contract:
+
+* a reply with ``ok: false`` raises :class:`ServerError` --
+* -- except backpressure rejections, which raise
+  :class:`BackpressureError` carrying the server's ``retry_after`` hint;
+* :meth:`RuleClient.call` wraps :meth:`request` in a retry loop that
+  sleeps out backpressure, which is how well-behaved clients are
+  expected to ingest under load.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Optional, Sequence, Union
+
+from .protocol import ProtocolError, recv_message, send_message
+
+#: A server address: a unix-socket path or a (host, port) pair.
+Address = Union[str, tuple]
+
+
+class ServerError(RuntimeError):
+    """The server answered ``ok: false``."""
+
+    def __init__(self, reply: dict) -> None:
+        super().__init__(reply.get("error", "unknown server error"))
+        self.reply = reply
+
+
+class BackpressureError(ServerError):
+    """The session queue was full; retry after :attr:`retry_after`."""
+
+    @property
+    def retry_after(self) -> float:
+        return float(self.reply.get("retry_after", 0.05))
+
+
+class RuleClient:
+    """One connection to a rule server."""
+
+    def __init__(self, address: Address, timeout: Optional[float] = 60.0) -> None:
+        self.address = address
+        if isinstance(address, str):
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            address = tuple(address)
+        self._sock.settimeout(timeout)
+        self._sock.connect(address)
+
+    # -- transport -----------------------------------------------------------
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """One round-trip; returns the reply dict, raising on failures."""
+        message = {"op": op, **{k: v for k, v in fields.items() if v is not None}}
+        send_message(self._sock, message)
+        reply = recv_message(self._sock)
+        if reply is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if not reply.get("ok"):
+            if reply.get("error") == "backpressure":
+                raise BackpressureError(reply)
+            raise ServerError(reply)
+        return reply
+
+    def call(
+        self, op: str, retries: int = 64, on_retry=None, **fields: Any
+    ) -> dict:
+        """Like :meth:`request`, but sleeps out backpressure rejections.
+
+        *on_retry* (if given) is called with the :class:`BackpressureError`
+        before each sleep -- the load generator counts rejections there.
+        """
+        for _ in range(retries):
+            try:
+                return self.request(op, **fields)
+            except BackpressureError as rejection:
+                if on_retry is not None:
+                    on_retry(rejection)
+                time.sleep(rejection.retry_after)
+        raise BackpressureError(
+            {"error": "backpressure", "detail": f"still rejected after {retries} tries"}
+        )
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def __enter__(self) -> "RuleClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- server operations ------------------------------------------------------
+
+    def ping(self, payload: Any = None) -> dict:
+        return self.request("ping", payload=payload)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def list_sessions(self) -> list[str]:
+        return self.request("list_sessions")["sessions"]
+
+    def shutdown_server(self) -> dict:
+        return self.request("shutdown")
+
+    def create_session(
+        self,
+        program: str = "",
+        matcher: str = "rete",
+        workers: Optional[int] = None,
+        strategy: str = "lex",
+        max_pending: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        reply = self.request(
+            "create_session",
+            program=program,
+            matcher=matcher,
+            workers=workers,
+            strategy=strategy,
+            max_pending=max_pending,
+            name=name,
+        )
+        return reply["session"]
+
+    def destroy_session(self, session: str) -> dict:
+        return self.request("destroy_session", session=session)
+
+    # -- session operations ------------------------------------------------------
+
+    def assert_wmes(
+        self,
+        session: str,
+        wmes: Sequence[tuple],
+        run: bool = False,
+        max_cycles: Optional[int] = None,
+        retries: int = 64,
+        on_retry=None,
+    ) -> dict:
+        """Ingest a batch of ``(cls, attributes)`` pairs (with retry)."""
+        return self.call(
+            "assert",
+            retries=retries,
+            on_retry=on_retry,
+            session=session,
+            wmes=[[cls, dict(attrs)] for cls, attrs in wmes],
+            run=run or None,
+            max_cycles=max_cycles,
+        )
+
+    def retract(self, session: str, timetags: Sequence[int], **kwargs) -> dict:
+        return self.call("retract", session=session, timetags=list(timetags), **kwargs)
+
+    def modify(self, session: str, changes: Sequence[tuple], **kwargs) -> dict:
+        return self.call(
+            "modify",
+            session=session,
+            changes=[[tag, dict(updates)] for tag, updates in changes],
+            **kwargs,
+        )
+
+    def run(
+        self, session: str, max_cycles: Optional[int] = None, **kwargs
+    ) -> dict:
+        return self.call("run", session=session, max_cycles=max_cycles, **kwargs)
+
+    def query_wm(self, session: str) -> list:
+        return self.call("query", session=session, what="wm")["wmes"]
+
+    def query_conflict_set(self, session: str) -> list:
+        return self.call("query", session=session, what="conflict-set")[
+            "instantiations"
+        ]
+
+    def session_stats(self, session: str) -> dict:
+        return self.call("query", session=session, what="stats")["stats"]

@@ -1,0 +1,306 @@
+"""The rule server: an asyncio front-end over the session manager.
+
+One :class:`RuleServer` listens on a local TCP port (or a unix-domain
+socket), speaks the length-prefixed JSON protocol of
+:mod:`repro.serve.protocol`, and multiplexes any number of client
+connections onto any number of engine sessions.  The event loop only
+routes: all engine work happens on per-session worker threads (and, for
+``matcher="parallel"`` sessions, in that matcher's worker processes),
+so the loop stays free to answer pings, report stats, and -- crucially
+-- reject requests with backpressure while a session is busy.
+
+Server-level operations (handled inline on the loop)::
+
+    {"op": "create_session", "program": ..., "matcher": ..., "workers": ...,
+     "strategy": ..., "max_pending": ..., "name": ...}
+    {"op": "destroy_session", "session": id}
+    {"op": "list_sessions"}
+    {"op": "stats"}                      # server-wide rollup
+    {"op": "ping"}
+    {"op": "shutdown"}                   # graceful drain, then exit
+
+Session operations (queued, executed in order on the session thread)::
+
+    {"op": "assert", "session": id, "wmes": [[cls, {attrs}], ...],
+     "run": bool?, "max_cycles": n?}
+    {"op": "retract", "session": id, "timetags": [...]}
+    {"op": "modify", "session": id, "changes": [[timetag, {updates}], ...]}
+    {"op": "apply", "session": id, "changes": [[kind, ...], ...]}
+    {"op": "run", "session": id, "max_cycles": n?}
+    {"op": "query", "session": id, "what": "wm" | "conflict-set" | "stats"}
+
+Every reply carries ``ok``; failures add ``error`` (and backpressure
+rejections add ``retry_after`` + ``queue_depth``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from ..ops5 import Ops5Error
+from .protocol import ProtocolError, read_message, write_message
+from .session import DEFAULT_MAX_PENDING, SessionManager
+from .stats import Telemetry
+
+
+class RuleServer:
+    """A multi-session rule-engine service on a local socket."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.sessions = SessionManager(default_max_pending=max_pending)
+        self.telemetry = Telemetry()
+        self.connections = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and begin accepting connections."""
+        self._stopped = asyncio.Event()
+        if self.unix_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=self.unix_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.host, port=self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self):
+        """Where clients connect: a unix path or a (host, port) pair."""
+        return self.unix_path if self.unix_path else (self.host, self.port)
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`shutdown`) ran."""
+        assert self._stopped is not None, "start() must run first"
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful exit: stop accepting, drain every session, reap pools."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.sessions.drain_all()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    request = await read_message(reader)
+                except ProtocolError as error:
+                    # The stream is unparseable from here on: answer if
+                    # possible, then drop the connection.
+                    await write_message(
+                        writer, {"ok": False, "error": f"protocol: {error}"}
+                    )
+                    break
+                if request is None:
+                    break
+                reply = await self.dispatch(request)
+                await write_message(writer, reply)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished; sessions are unaffected
+        finally:
+            self.connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- request dispatch -------------------------------------------------------
+
+    async def dispatch(self, request) -> dict:
+        """Route one decoded request to the server or a session."""
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        try:
+            if op in _SERVER_OPS:
+                self.telemetry.requests += 1
+                return await _SERVER_OPS[op](self, request)
+            if self._draining:
+                return {"ok": False, "error": "server is shutting down"}
+            session = self.sessions.get(request.get("session"))
+            return await session.submit(request)
+        except Ops5Error as error:
+            self.telemetry.errors += 1
+            return {"ok": False, "error": str(error)}
+        except Exception as error:  # defensive: keep the server alive
+            self.telemetry.errors += 1
+            return {"ok": False, "error": f"internal: {type(error).__name__}: {error}"}
+
+    async def _op_create_session(self, request: dict) -> dict:
+        if self._draining:
+            raise Ops5Error("server is shutting down")
+        session = self.sessions.create(
+            program=request.get("program", ""),
+            matcher=request.get("matcher", "rete"),
+            workers=request.get("workers"),
+            strategy=request.get("strategy", "lex"),
+            max_pending=request.get("max_pending"),
+            name=request.get("name"),
+        )
+        session.start()
+        return {"ok": True, "session": session.id}
+
+    async def _op_destroy_session(self, request: dict) -> dict:
+        session_id = request.get("session")
+        await self.sessions.destroy(session_id)
+        return {"ok": True, "session": session_id}
+
+    async def _op_list_sessions(self, request: dict) -> dict:
+        return {"ok": True, "sessions": self.sessions.ids()}
+
+    async def _op_stats(self, request: dict) -> dict:
+        rollup = self.sessions.stats()
+        return {
+            "ok": True,
+            "server": {
+                "connections": self.connections,
+                "uptime_seconds": self.telemetry.uptime,
+                "requests": self.telemetry.requests,
+                "errors": self.telemetry.errors,
+                "draining": self._draining,
+            },
+            **rollup,
+        }
+
+    async def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "pong": request.get("payload")}
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        sessions = len(self.sessions)
+        # Reply first, then drain in the background: the requester must
+        # not deadlock waiting behind the drain of its own sessions.
+        asyncio.get_running_loop().create_task(self.shutdown())
+        return {"ok": True, "draining_sessions": sessions}
+
+
+_SERVER_OPS = {
+    "create_session": RuleServer._op_create_session,
+    "destroy_session": RuleServer._op_destroy_session,
+    "list_sessions": RuleServer._op_list_sessions,
+    "stats": RuleServer._op_stats,
+    "ping": RuleServer._op_ping,
+    "shutdown": RuleServer._op_shutdown,
+}
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    unix_path: Optional[str] = None,
+    max_pending: int = DEFAULT_MAX_PENDING,
+    announce=None,
+) -> None:
+    """Run a server in this thread until shutdown (the CLI entry point).
+
+    *announce* is called once with the bound server (after the socket
+    exists) -- the CLI prints the address, tests could capture it.
+    """
+
+    async def main() -> None:
+        server = RuleServer(
+            host=host, port=port, unix_path=unix_path, max_pending=max_pending
+        )
+        await server.start()
+        if announce is not None:
+            announce(server)
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            await server.shutdown()
+
+    asyncio.run(main())
+
+
+class ServerThread:
+    """A rule server on a background thread (tests, benchmarks, loadgen).
+
+    Starts the event loop, waits until the socket is bound, and exposes
+    :attr:`address`.  :meth:`stop` requests a graceful drain and joins
+    the thread; it is also invoked by ``with`` exit.
+    """
+
+    def __init__(self, **server_kwargs) -> None:
+        self._kwargs = server_kwargs
+        self._ready = threading.Event()
+        self._server: Optional[RuleServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise RuntimeError("server failed to start") from self._error
+        if self._server is None:
+            raise RuntimeError("server did not start within 30s")
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                server = RuleServer(**self._kwargs)
+                await server.start()
+            except BaseException as error:
+                self._error = error
+                self._ready.set()
+                return
+            self._server = server
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            try:
+                await server.serve_until_shutdown()
+            finally:
+                await server.shutdown()
+
+        asyncio.run(main())
+
+    @property
+    def server(self) -> RuleServer:
+        assert self._server is not None
+        return self._server
+
+    @property
+    def address(self):
+        return self.server.address
+
+    def stop(self, timeout: float = 30) -> None:
+        """Drain sessions, stop the loop, join the thread."""
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None and loop.is_running():
+            asyncio.run_coroutine_threadsafe(server.shutdown(), loop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,375 @@
+"""Sessions: one long-lived :class:`ProductionSystem` per client context.
+
+A :class:`Session` is the unit of isolation in the rule server: it owns
+an engine (with any registered matcher backend, including the parallel
+executor and its worker-process pool), a bounded request queue, a
+single worker thread that applies requests strictly in arrival order,
+and its own telemetry.  The :class:`SessionManager` creates, looks up,
+and tears down sessions, and rolls their telemetry up into the
+server-wide view.
+
+Ordering and determinism
+------------------------
+All requests for one session flow through one bounded
+:class:`asyncio.Queue` and are executed one at a time on the session's
+dedicated thread.  WME batches are applied through the engine's
+:meth:`~repro.ops5.engine.ProductionSystem.apply_changes` -- which never
+fires rules -- and conflict resolution happens only on explicit ``run``
+requests.  A logical change stream therefore produces bit-identical
+working memory and firing sequences no matter how it is chunked into
+batches, which is the property the acceptance tests pin down.
+
+Backpressure
+------------
+Each session's queue holds at most ``max_pending`` requests.  A request
+arriving at a full queue is rejected *immediately* (never enqueued,
+session state untouched) with ``error: "backpressure"`` and a
+``retry_after`` hint derived from the session's median latency and
+current queue depth.  Clients retry; nothing is silently dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
+
+from ..ops5 import Ops5Error, ProductionSystem, matcher_named
+from ..ops5.wme import WME
+from .stats import Telemetry
+
+#: Default bound on a session's request queue.
+DEFAULT_MAX_PENDING = 64
+
+#: Ceiling on the retry hint handed to rejected clients, seconds.
+MAX_RETRY_AFTER = 2.0
+
+
+class SessionClosed(Ops5Error):
+    """The session was destroyed while the request waited."""
+
+
+def build_matcher(name: str, workers: Optional[int] = None):
+    """Build a matcher backend for a session via the engine registry.
+
+    ``workers`` is honoured for the parallel backend and rejected for
+    every other one rather than silently ignored.
+    """
+    if name == "parallel":
+        return matcher_named(name, workers=workers)
+    if workers is not None:
+        raise Ops5Error(
+            f"workers={workers} is only meaningful for matcher='parallel', "
+            f"not {name!r}"
+        )
+    return matcher_named(name)
+
+
+def encode_wme(wme: WME) -> list:
+    """JSON-ready view of one working-memory element."""
+    return [wme.cls, dict(wme.attributes), wme.timetag]
+
+
+class Session:
+    """One client context: an engine plus its queue, thread, telemetry."""
+
+    def __init__(
+        self,
+        session_id: str,
+        program: str = "",
+        matcher: str = "rete",
+        workers: Optional[int] = None,
+        strategy: str = "lex",
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
+        if max_pending < 1:
+            raise Ops5Error("max_pending must be >= 1")
+        self.id = session_id
+        self.matcher_name = matcher
+        self.system = ProductionSystem(
+            program, matcher=build_matcher(matcher, workers), strategy=strategy
+        )
+        self.telemetry = Telemetry()
+        self.max_pending = max_pending
+        self._queue: asyncio.Queue[tuple[dict, asyncio.Future]] = asyncio.Queue(
+            maxsize=max_pending
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-serve-{session_id}"
+        )
+        self._consumer: Optional[asyncio.Task] = None
+        self._closed = False
+
+    # -- async plumbing ------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin consuming requests (must run inside the event loop)."""
+        if self._consumer is None:
+            self._consumer = asyncio.get_running_loop().create_task(
+                self._consume(), name=f"session-{self.id}"
+            )
+
+    async def _consume(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            request, future = await self._queue.get()
+            try:
+                reply = await loop.run_in_executor(
+                    self._executor, self.perform, request
+                )
+                if not future.cancelled():
+                    future.set_result(reply)
+            except Exception as error:  # surfaced to the waiting handler
+                if not future.cancelled():
+                    future.set_exception(error)
+            finally:
+                self._queue.task_done()
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def retry_after(self) -> float:
+        """Backpressure retry hint: median latency x queue occupancy."""
+        per_request = self.telemetry.latency.p50 or 0.005
+        return min(MAX_RETRY_AFTER, per_request * (self.queue_depth + 1))
+
+    async def submit(self, request: dict) -> dict:
+        """Enqueue *request* and wait for its reply.
+
+        Returns the backpressure rejection (without enqueueing) when the
+        queue is full; converts engine errors into error replies so one
+        bad request never tears down the connection or the session.
+        """
+        if self._closed:
+            return {"ok": False, "error": f"session {self.id!r} is closed"}
+        if self._queue.full():
+            self.telemetry.rejected += 1
+            return {
+                "ok": False,
+                "error": "backpressure",
+                "retry_after": self.retry_after(),
+                "queue_depth": self.queue_depth,
+            }
+        self.start()
+        future = asyncio.get_running_loop().create_future()
+        started = time.perf_counter()
+        self._queue.put_nowait((request, future))
+        try:
+            reply = await future
+        except Ops5Error as error:
+            self.telemetry.errors += 1
+            return {"ok": False, "error": str(error)}
+        self.telemetry.latency.record(time.perf_counter() - started)
+        return reply
+
+    async def drain_and_close(self) -> None:
+        """Finish every queued request, then release engine resources."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._consumer is not None:
+            await self._queue.join()
+            self._consumer.cancel()
+        self.close_resources()
+
+    def close_resources(self) -> None:
+        """Synchronously reap the matcher pool and the worker thread."""
+        close = getattr(self.system.matcher, "close", None)
+        if close is not None:
+            close()
+        self._executor.shutdown(wait=True)
+
+    # -- request execution (worker thread) -----------------------------------
+
+    def perform(self, request: dict) -> dict:
+        """Execute one request against the engine; returns the reply.
+
+        Runs on the session's worker thread, one request at a time.
+        """
+        op = request.get("op")
+        handler = self._OPS.get(op)
+        if handler is None:
+            raise Ops5Error(f"unknown session operation {op!r}")
+        self.telemetry.requests += 1
+        return handler(self, request)
+
+    def _op_assert(self, request: dict) -> dict:
+        changes = [
+            ("assert", cls, attrs) for cls, attrs in request.get("wmes", ())
+        ]
+        result = self.system.apply_changes(changes)
+        self.telemetry.wme_changes += result.total_changes
+        reply = {"ok": True, "timetags": result.timetags}
+        if request.get("run"):
+            reply["run"] = self._run(request.get("max_cycles"))
+        return reply
+
+    def _op_retract(self, request: dict) -> dict:
+        changes = [("retract", tag) for tag in request.get("timetags", ())]
+        result = self.system.apply_changes(changes)
+        self.telemetry.wme_changes += result.total_changes
+        return {"ok": True, "removed": result.removed}
+
+    def _op_modify(self, request: dict) -> dict:
+        changes = [
+            ("modify", tag, updates)
+            for tag, updates in request.get("changes", ())
+        ]
+        result = self.system.apply_changes(changes)
+        self.telemetry.wme_changes += result.total_changes
+        return {"ok": True, "timetags": result.timetags, "removed": result.removed}
+
+    def _op_apply(self, request: dict) -> dict:
+        """The general form: a heterogeneous ordered change batch."""
+        changes = [tuple(change) for change in request.get("changes", ())]
+        result = self.system.apply_changes(changes)
+        self.telemetry.wme_changes += result.total_changes
+        return {"ok": True, "timetags": result.timetags, "removed": result.removed}
+
+    def _op_run(self, request: dict) -> dict:
+        return {"ok": True, **self._run(request.get("max_cycles"))}
+
+    def _run(self, max_cycles: Optional[int]) -> dict:
+        result = self.system.run(max_cycles)
+        self.telemetry.firings += result.fired
+        self.telemetry.wme_changes += result.total_changes
+        return {
+            "fired": result.fired,
+            "halted": result.halted,
+            "halt_reason": result.halt_reason,
+            "output": list(result.output),
+            "firings": [
+                [cycle.production, list(cycle.timetags)]
+                for cycle in result.cycles
+            ],
+        }
+
+    def _op_query(self, request: dict) -> dict:
+        what = request.get("what", "wm")
+        if what == "wm":
+            return {
+                "ok": True,
+                "wmes": [encode_wme(w) for w in self.system.memory.snapshot()],
+            }
+        if what == "conflict-set":
+            members = sorted(
+                (name, list(tags))
+                for name, tags in self.system.conflict_set.snapshot()
+            )
+            return {"ok": True, "instantiations": [list(m) for m in members]}
+        if what == "stats":
+            return {"ok": True, "stats": self.describe()}
+        raise Ops5Error(
+            f"unknown query {what!r}; expected 'wm', 'conflict-set', or 'stats'"
+        )
+
+    _OPS = {
+        "assert": _op_assert,
+        "retract": _op_retract,
+        "modify": _op_modify,
+        "apply": _op_apply,
+        "run": _op_run,
+        "query": _op_query,
+    }
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-ready session status (one row of the ``stats`` reply)."""
+        return {
+            "id": self.id,
+            "matcher": self.matcher_name,
+            "strategy": self.system.strategy.name,
+            "productions": len(list(self.system.matcher.productions)),
+            "working_memory": len(self.system.memory),
+            "cycles": self.system.cycle,
+            "halted": self.system.halted,
+            "queue_depth": self.queue_depth,
+            "max_pending": self.max_pending,
+            **self.telemetry.snapshot(),
+        }
+
+
+class SessionManager:
+    """Creates, resolves, and tears down the server's sessions."""
+
+    def __init__(self, default_max_pending: int = DEFAULT_MAX_PENDING) -> None:
+        self.default_max_pending = default_max_pending
+        self._sessions: dict[str, Session] = {}
+        self._ids = itertools.count(1)
+        #: Counters of destroyed sessions, so server-wide totals survive
+        #: session churn.
+        self._retired = Telemetry()
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def ids(self) -> list[str]:
+        return sorted(self._sessions)
+
+    def create(
+        self,
+        program: str = "",
+        matcher: str = "rete",
+        workers: Optional[int] = None,
+        strategy: str = "lex",
+        max_pending: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Session:
+        session_id = name if name is not None else f"s{next(self._ids)}"
+        if session_id in self._sessions:
+            raise Ops5Error(f"session {session_id!r} already exists")
+        session = Session(
+            session_id,
+            program=program,
+            matcher=matcher,
+            workers=workers,
+            strategy=strategy,
+            max_pending=max_pending
+            if max_pending is not None
+            else self.default_max_pending,
+        )
+        self._sessions[session_id] = session
+        return session
+
+    def get(self, session_id: Any) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise Ops5Error(f"no session {session_id!r}")
+        return session
+
+    async def destroy(self, session_id: str) -> None:
+        """Remove the session, finish its queued work, reap its pool."""
+        session = self.get(session_id)
+        del self._sessions[session_id]  # no new submissions from here on
+        await session.drain_and_close()
+        self._retired.absorb(session.telemetry)
+
+    async def drain_all(self) -> None:
+        """Graceful shutdown: drain and close every session.
+
+        Re-checks the registry on every step so a concurrent
+        ``destroy_session`` request cannot race it into a double free.
+        """
+        while self._sessions:
+            await self.destroy(next(iter(self._sessions)))
+
+    def stats(self) -> dict:
+        """Server-wide telemetry rollup plus per-session rows."""
+        total = Telemetry()
+        total.absorb(self._retired)
+        sessions = {}
+        for session in self._sessions.values():
+            total.absorb(session.telemetry)
+            sessions[session.id] = session.describe()
+        snapshot = total.snapshot()
+        # The rollup's clock is its own construction time; report the
+        # aggregate counters but not a meaningless uptime-derived rate.
+        del snapshot["uptime_seconds"]
+        del snapshot["wme_changes_per_second"]
+        del snapshot["firings_per_second"]
+        del snapshot["latency"]
+        return {"sessions": sessions, "totals": snapshot}

@@ -1,0 +1,129 @@
+"""Serving-side telemetry: counters, latency percentiles, throughput.
+
+The paper reports *sustained* execution speed -- wme-changes/sec and
+firings/sec over a whole run (Section 6, Figure 6-2) -- so the serving
+layer keeps exactly those totals, per session and server-wide, plus the
+request-latency distribution a service operator actually watches
+(p50/p95/p99 over a sliding window of recent requests).
+
+Everything here is plain synchronous bookkeeping; the event loop and
+the session worker threads both touch it only under the single-writer
+discipline the session queue enforces, so no locking is needed beyond
+CPython's atomic attribute updates.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class LatencyWindow:
+    """Percentiles over the most recent *capacity* request latencies.
+
+    A bounded window rather than a full history: a long-running server
+    must report *current* tail latency, and an unbounded list would both
+    leak and average away regressions.  With the default capacity the
+    p99 still rests on ~20 samples.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self.count = 0  # lifetime samples, beyond the window
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+
+    def percentile(self, p: float) -> float:
+        """The *p*-th percentile (0..100) of the window; 0.0 when empty.
+
+        Nearest-rank on the sorted window -- monotone in *p* and exact
+        at the sample points, which is all a service dashboard needs.
+        """
+        if not self._samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100 * len(ordered)) - 1))
+        if p == 0:
+            rank = 0
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+
+@dataclass
+class Telemetry:
+    """Counters + latency window for one session (or the whole server)."""
+
+    #: Requests that reached execution (backpressure rejections excluded).
+    requests: int = 0
+    #: Requests answered with an error reply.
+    errors: int = 0
+    #: Requests rejected with backpressure (never enqueued).
+    rejected: int = 0
+    #: WME changes processed: ingested batches plus changes made by
+    #: production firings (the paper's wme-changes metric).
+    wme_changes: int = 0
+    #: Production firings executed by run requests.
+    firings: int = 0
+    latency: LatencyWindow = field(default_factory=LatencyWindow)
+    started: float = field(default_factory=time.monotonic)
+
+    @property
+    def uptime(self) -> float:
+        return time.monotonic() - self.started
+
+    @property
+    def wme_changes_per_second(self) -> float:
+        """Sustained ingestion+firing change rate since start."""
+        elapsed = self.uptime
+        return self.wme_changes / elapsed if elapsed else 0.0
+
+    @property
+    def firings_per_second(self) -> float:
+        elapsed = self.uptime
+        return self.firings / elapsed if elapsed else 0.0
+
+    def absorb(self, other: "Telemetry") -> None:
+        """Fold *other*'s counters into this one (server-wide rollup)."""
+        self.requests += other.requests
+        self.errors += other.errors
+        self.rejected += other.rejected
+        self.wme_changes += other.wme_changes
+        self.firings += other.firings
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view (the payload of a ``stats`` reply)."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "wme_changes": self.wme_changes,
+            "firings": self.firings,
+            "uptime_seconds": self.uptime,
+            "wme_changes_per_second": self.wme_changes_per_second,
+            "firings_per_second": self.firings_per_second,
+            "latency": {
+                "samples": self.latency.count,
+                "p50": self.latency.p50,
+                "p95": self.latency.p95,
+                "p99": self.latency.p99,
+            },
+        }

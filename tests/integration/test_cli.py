@@ -129,6 +129,86 @@ class TestGantt:
         assert "p0 |" in out and "p1 |" in out
 
 
+class TestParallelReaping:
+    """``--matcher parallel`` must never leak worker processes."""
+
+    @staticmethod
+    def _assert_no_children():
+        import multiprocessing
+        import time
+
+        for _ in range(100):
+            if not multiprocessing.active_children():
+                return
+            time.sleep(0.05)
+        raise AssertionError(
+            f"leaked workers: {multiprocessing.active_children()}"
+        )
+
+    def test_demo_success_reaps_workers(self, capsys):
+        assert main(["demo", "closure", "--matcher", "parallel",
+                     "--workers", "2"]) == 0
+        assert "fired" in capsys.readouterr().out
+        self._assert_no_children()
+
+    def test_run_success_reaps_workers(self, capsys, program_file, wmes_file):
+        assert main(["run", program_file, "--wmes", wmes_file,
+                     "--matcher", "parallel", "--workers", "2"]) == 0
+        self._assert_no_children()
+
+    def test_error_exit_reaps_workers(self, capsys, tmp_path):
+        # The program fails to load *after* the matcher pool exists; the
+        # pool must still be reaped on the error path.
+        path = tmp_path / "bad.ops5"
+        path.write_text("(literalize a x)\n(p r (a ^y 1) --> (halt))")
+        assert main(["run", str(path), "--matcher", "parallel",
+                     "--workers", "2"]) == 1
+        assert "error" in capsys.readouterr().err
+        self._assert_no_children()
+
+    def test_workers_rejected_for_serial_matchers(self, capsys, program_file):
+        assert main(["run", program_file, "--matcher", "rete",
+                     "--workers", "2"]) == 1
+        assert "parallel" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("matcher", ["rete-indexed", "oflazer", "parallel"])
+    def test_remaining_registry_backends_run(self, capsys, program_file,
+                                             wmes_file, matcher):
+        argv = ["run", program_file, "--wmes", wmes_file, "--matcher", matcher]
+        if matcher == "parallel":
+            argv += ["--workers", "0"]
+        assert main(argv) == 0
+        assert "fired 2 productions" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_over_unix_socket(self, tmp_path):
+        import os
+        import threading
+        import time
+
+        from repro.serve import RuleClient
+
+        sock = str(tmp_path / "serve.sock")
+        rcs = []
+        thread = threading.Thread(
+            target=lambda: rcs.append(main(["serve", "--socket", sock])),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 30
+        while not os.path.exists(sock):
+            assert time.monotonic() < deadline, "server never bound"
+            time.sleep(0.02)
+        with RuleClient(sock) as client:
+            assert client.ping()["ok"] is True
+            sid = client.create_session(program="")
+            assert sid in client.list_sessions()
+            client.shutdown_server()
+        thread.join(timeout=30)
+        assert rcs == [0]
+
+
 class TestVerifyFlag:
     def test_verify_passes_on_clean_run(self, capsys, tmp_path):
         from repro.cli import main

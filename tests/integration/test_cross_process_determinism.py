@@ -11,7 +11,6 @@ import os
 import subprocess
 import sys
 
-import pytest
 
 
 def _run(args, hashseed):

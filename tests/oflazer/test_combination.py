@@ -1,6 +1,5 @@
 """The all-combinations (Oflazer) matcher."""
 
-import pytest
 
 from repro.oflazer import CombinationMatcher
 from repro.ops5 import parse_production, parse_program

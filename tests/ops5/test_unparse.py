@@ -20,13 +20,10 @@ from repro.ops5.condition import (
     VariableTest,
 )
 from repro.ops5.actions import (
-    Bind,
     Compute,
     Constant,
     Halt,
     Make,
-    Modify,
-    Remove,
     VariableRef,
     Write,
 )
@@ -98,7 +95,6 @@ class TestRoundTripUnits:
         except Exception:
             # Predicate tests on unbound variables are structurally
             # renderable but semantically invalid; skip those.
-            from repro.ops5 import ValidationError
             production = None
         if production is not None:
             assert production.conditions[0].tests["v"] == test

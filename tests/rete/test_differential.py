@@ -10,7 +10,6 @@ identical conflict sets.
 from hypothesis import given, settings, strategies as st
 
 from repro.naive import NaiveMatcher
-from repro.ops5.actions import Action
 from repro.ops5.condition import (
     ConditionElement,
     ConstantTest,

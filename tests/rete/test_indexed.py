@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 
 from repro.naive import NaiveMatcher
-from repro.ops5 import ProductionSystem, parse_program
+from repro.ops5 import parse_program
 from repro.ops5.wme import WME, WorkingMemory
 from repro.rete import ReteNetwork
 

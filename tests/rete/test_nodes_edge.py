@@ -1,8 +1,7 @@
 """Node-level edge cases: direct exercises of the Rete node classes."""
 
-import pytest
 
-from repro.ops5 import parse_program, parse_production
+from repro.ops5 import parse_program
 from repro.ops5.wme import WME, WorkingMemory
 from repro.rete import ReteNetwork, assert_network_consistent
 from repro.rete.nodes import AlphaMemory, JoinNode, NegativeNode

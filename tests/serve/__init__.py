@@ -1,0 +1,1 @@
+"""Tests for the rule-server subsystem (:mod:`repro.serve`)."""

@@ -1,0 +1,136 @@
+"""Load generator: trace generation, replay accounting, CLI."""
+
+import json
+
+import pytest
+
+from repro.serve import ServerThread
+from repro.serve.loadgen import (
+    closure_trace,
+    expected_trace_firings,
+    load_trace,
+    main,
+    replay,
+    run_load,
+    save_trace,
+)
+
+
+class TestTraces:
+    def test_closure_trace_shape(self):
+        trace = closure_trace(batches=3, chain_length=4, batch_size=2)
+        runs = [op for op in trace if op["op"] == "run"]
+        asserts = [op for op in trace if op["op"] == "assert"]
+        assert len(runs) == 3
+        assert len(asserts) == 6  # 4 edges per batch in chunks of 2
+        assert all(len(op["wmes"]) == 2 for op in asserts)
+        # Chains are disjoint across batches: no "to" node recurs.
+        targets = [w[1]["to"] for op in asserts for w in op["wmes"]]
+        assert len(targets) == len(set(targets))
+
+    def test_expected_trace_firings(self):
+        assert expected_trace_firings(batches=3, chain_length=4) == 3 * 10
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        trace = closure_trace(batches=2, chain_length=3)
+        path = tmp_path / "trace.json"
+        save_trace(trace, str(path))
+        assert load_trace(str(path)) == trace
+
+    def test_load_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"op": "run"}')
+        with pytest.raises(ValueError, match="JSON list"):
+            load_trace(str(path))
+
+
+class TestReplay:
+    def test_replay_counts_exact_firings(self):
+        with ServerThread() as harness:
+            trace = closure_trace(batches=2, chain_length=4)
+            result = replay(harness.address, trace)
+            assert result.error is None
+            assert result.firings == expected_trace_firings(2, 4)
+            assert result.requests == len(trace)
+            assert len(result.latencies) == len(trace)
+
+    def test_run_load_summary_is_exact(self):
+        with ServerThread() as harness:
+            summary = run_load(
+                harness.address, clients=2, batches=2, chain_length=4
+            )
+            assert summary["errors"] == []
+            expected = 2 * expected_trace_firings(2, 4)
+            # Server-side sustained counters agree with client-side sums.
+            assert summary["firings"] == expected
+            assert summary["client_firings"] == expected
+            assert summary["wme_changes"] == expected + 2 * 2 * 4
+            assert summary["firings_per_second"] > 0
+            assert summary["latency"]["samples"] == summary["requests"]
+            # All sessions were destroyed after the run.
+            from repro.serve import RuleClient
+
+            with RuleClient(harness.address) as client:
+                assert client.list_sessions() == []
+
+    def test_shared_session_engages_backpressure_without_loss(self):
+        with ServerThread() as harness:
+            summary = run_load(
+                harness.address,
+                clients=4,
+                shared_session=True,
+                max_pending=1,
+                batches=2,
+                chain_length=3,
+            )
+            assert summary["errors"] == []
+            assert summary["sessions"] == 1
+            # Exact work despite rejections: nothing was dropped.
+            assert summary["firings"] == 4 * expected_trace_firings(2, 3)
+
+
+class TestCli:
+    def test_main_spawns_and_writes_summary(self, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        trace_path = tmp_path / "trace.json"
+        rc = main(
+            [
+                "--spawn",
+                "--clients",
+                "2",
+                "--batches",
+                "2",
+                "--chain-length",
+                "3",
+                "--save-trace",
+                str(trace_path),
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        summary = json.loads(out.read_text())
+        assert summary["firings"] == 2 * expected_trace_firings(2, 3)
+        assert load_trace(str(trace_path)) == closure_trace(
+            batches=2, chain_length=3
+        )
+        assert "sustained:" in capsys.readouterr().out
+
+    def test_main_replays_saved_trace(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        save_trace(closure_trace(batches=1, chain_length=3), str(trace_path))
+        out = tmp_path / "summary.json"
+        rc = main(
+            [
+                "--spawn",
+                "--clients",
+                "1",
+                "--trace",
+                str(trace_path),
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        summary = json.loads(out.read_text())
+        assert summary["firings"] == expected_trace_firings(1, 3)

@@ -1,0 +1,117 @@
+"""The length-prefixed JSON wire format, both sync and async sides."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    read_message,
+    recv_message,
+    send_message,
+    write_message,
+)
+
+
+def test_frame_roundtrip():
+    message = {"op": "assert", "wmes": [["a", {"v": 1}]], "text": "héllo"}
+    frame = encode_frame(message)
+    length = struct.unpack(">I", frame[:4])[0]
+    assert length == len(frame) - 4
+    assert decode_payload(frame[4:]) == message
+
+
+def test_sync_sockets_carry_many_frames():
+    left, right = socket.socketpair()
+    with left, right:
+        for message in [{"n": i} for i in range(5)]:
+            send_message(left, message)
+        for i in range(5):
+            assert recv_message(right) == {"n": i}
+
+
+def test_sync_clean_eof_returns_none():
+    left, right = socket.socketpair()
+    with right:
+        left.close()
+        assert recv_message(right) is None
+
+
+def test_sync_truncated_frame_raises():
+    left, right = socket.socketpair()
+    with right:
+        left.sendall(struct.pack(">I", 100) + b"short")
+        left.close()
+        with pytest.raises(ProtocolError):
+            recv_message(right)
+
+
+def test_oversized_announcement_rejected_without_allocation():
+    left, right = socket.socketpair()
+    with left, right:
+        left.sendall(struct.pack(">I", MAX_FRAME + 1))
+        with pytest.raises(ProtocolError):
+            recv_message(right)
+
+
+def test_encode_refuses_oversized_payload():
+    with pytest.raises(ProtocolError):
+        encode_frame({"blob": "x" * (MAX_FRAME + 16)})
+
+
+def test_garbage_payload_raises():
+    with pytest.raises(ProtocolError):
+        decode_payload(b"\xff\xfe not json")
+
+
+def test_async_roundtrip_and_eof():
+    async def scenario():
+        received = []
+
+        async def handler(reader, writer):
+            while True:
+                message = await read_message(reader)
+                if message is None:
+                    break
+                received.append(message)
+                await write_message(writer, {"echo": message})
+            writer.close()
+
+        server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+        host, port = server.sockets[0].getsockname()
+        reader, writer = await asyncio.open_connection(host, port)
+        await write_message(writer, {"n": 1})
+        assert await read_message(reader) == {"echo": {"n": 1}}
+        writer.close()
+        await writer.wait_closed()
+        server.close()
+        await server.wait_closed()
+        return received
+
+    assert asyncio.run(scenario()) == [{"n": 1}]
+
+
+def test_async_mid_header_close_raises():
+    async def scenario():
+        async def handler(reader, writer):
+            writer.write(b"\x00\x00")  # half a header
+            await writer.drain()
+            writer.close()
+
+        server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+        host, port = server.sockets[0].getsockname()
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            with pytest.raises(ProtocolError):
+                await read_message(reader)
+        finally:
+            writer.close()
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(scenario())

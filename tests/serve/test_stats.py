@@ -1,0 +1,75 @@
+"""Telemetry: latency percentiles and counter rollups."""
+
+import pytest
+
+from repro.serve.stats import LatencyWindow, Telemetry
+
+
+class TestLatencyWindow:
+    def test_empty_window_reports_zero(self):
+        window = LatencyWindow()
+        assert window.p50 == 0.0
+        assert window.p99 == 0.0
+        assert window.count == 0
+
+    def test_percentiles_on_known_data(self):
+        window = LatencyWindow()
+        for ms in range(1, 101):  # 1..100
+            window.record(ms / 1000)
+        assert window.p50 == pytest.approx(0.050)
+        assert window.p95 == pytest.approx(0.095)
+        assert window.p99 == pytest.approx(0.099)
+        assert window.percentile(100) == pytest.approx(0.100)
+        assert window.percentile(0) == pytest.approx(0.001)
+
+    def test_single_sample_dominates_every_percentile(self):
+        window = LatencyWindow()
+        window.record(0.25)
+        for p in (0, 50, 99, 100):
+            assert window.percentile(p) == pytest.approx(0.25)
+
+    def test_window_is_bounded_and_slides(self):
+        window = LatencyWindow(capacity=4)
+        for value in (10.0, 10.0, 10.0, 10.0, 1.0, 1.0, 1.0, 1.0):
+            window.record(value)
+        # The four old 10s samples have been evicted.
+        assert window.percentile(100) == pytest.approx(1.0)
+        assert window.count == 8  # lifetime count keeps the full history
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(capacity=0)
+        window = LatencyWindow()
+        window.record(0.1)
+        with pytest.raises(ValueError):
+            window.percentile(101)
+
+
+class TestTelemetry:
+    def test_snapshot_shape(self):
+        telemetry = Telemetry()
+        telemetry.requests = 3
+        telemetry.wme_changes = 10
+        telemetry.firings = 4
+        telemetry.latency.record(0.01)
+        snapshot = telemetry.snapshot()
+        assert snapshot["requests"] == 3
+        assert snapshot["wme_changes"] == 10
+        assert snapshot["latency"]["samples"] == 1
+        assert snapshot["uptime_seconds"] >= 0.0
+        assert snapshot["wme_changes_per_second"] > 0.0
+
+    def test_absorb_folds_counters(self):
+        total, part = Telemetry(), Telemetry()
+        part.requests = 2
+        part.errors = 1
+        part.rejected = 4
+        part.wme_changes = 7
+        part.firings = 3
+        total.absorb(part)
+        total.absorb(part)
+        assert total.requests == 4
+        assert total.errors == 2
+        assert total.rejected == 8
+        assert total.wme_changes == 14
+        assert total.firings == 6

@@ -1,6 +1,5 @@
 """Trace capture under non-default configurations."""
 
-import pytest
 
 from repro.trace import CostModel, capture_trace
 from repro.workloads.programs import hanoi, monkey

@@ -1,6 +1,5 @@
 """Synthetic-generator internals: distributions and structure."""
 
-import pytest
 
 from repro.workloads.profiles import SystemProfile
 from repro.workloads.synthetic import SyntheticGenerator, generate_trace
