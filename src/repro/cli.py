@@ -20,6 +20,10 @@ Commands
     Print the Section 7 architecture comparison table.
 ``serve``
     Run the long-lived multi-session rule server (``docs/serve.md``).
+``profile``
+    Run a program under the observability recorder and export the
+    timeline (Chrome trace / JSONL) plus the unified metrics snapshot
+    (``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -151,6 +155,33 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-pending", type=int, default=None,
         help="per-session request-queue bound before backpressure (default 64)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a program under the observability recorder "
+             "(see docs/observability.md)",
+    )
+    profile_source = profile.add_mutually_exclusive_group(required=True)
+    profile_source.add_argument("--file", help="OPS5 program file")
+    profile_source.add_argument("--demo", choices=sorted(ALL_PROGRAMS))
+    profile.add_argument("--wmes", help="initial memory for --file runs")
+    profile.add_argument("--matcher", choices=sorted(MATCHER_NAMES), default="rete")
+    profile.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --matcher parallel (0 = inline)",
+    )
+    profile.add_argument("--strategy", choices=["lex", "mea"], default="lex")
+    profile.add_argument("--max-cycles", type=int, default=None)
+    profile.add_argument(
+        "--trace-out",
+        help="write a Chrome trace-event JSON (open in https://ui.perfetto.dev)",
+    )
+    profile.add_argument(
+        "--events-out", help="write the raw event timeline as JSONL"
+    )
+    profile.add_argument(
+        "--metrics-out", help="write the unified metrics snapshot as JSON"
     )
     return parser
 
@@ -352,6 +383,84 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from .obs import (
+        Recorder,
+        consistency_problems,
+        snapshot,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from .serve.session import build_matcher
+
+    recorder = Recorder()
+    matcher = build_matcher(
+        args.matcher, workers=getattr(args, "workers", None), recorder=recorder
+    )
+    try:
+        if args.demo:
+            module = ALL_PROGRAMS[args.demo]
+            system = module.build(matcher=matcher, recorder=recorder)
+        else:
+            with open(args.file) as handle:
+                source = handle.read()
+            system = ProductionSystem(
+                source, matcher=matcher, strategy=args.strategy, recorder=recorder
+            )
+            if args.wmes:
+                with open(args.wmes) as handle:
+                    system.load_memory(parse_wme_specs(handle.read()))
+        result = system.run(args.max_cycles)
+        # Drain any ops still queued behind the cycle barrier so the
+        # snapshot's engine and match sections count the same stream.
+        flush = getattr(system.matcher, "flush", None)
+        if flush is not None:
+            flush()
+        data = snapshot(system, recorder=recorder)
+    finally:
+        _close_matcher(matcher)
+
+    print(
+        f"-- fired {result.fired} productions; {result.halt_reason}; "
+        f"recorded {len(recorder.events)} events"
+    )
+    problems = consistency_problems(data)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"-- wrote metrics snapshot to {args.metrics_out}")
+    if args.events_out:
+        lines = write_jsonl(recorder.events, args.events_out)
+        print(f"-- wrote {lines} events to {args.events_out}")
+    if args.trace_out:
+        thread_names = {0: "engine"}
+        for event in recorder.events:
+            if event.tid > 0:
+                thread_names.setdefault(event.tid, f"shard {event.tid - 1}")
+        rows = write_chrome_trace(
+            recorder.events, args.trace_out, thread_names=thread_names
+        )
+        print(
+            f"-- wrote {rows} trace rows to {args.trace_out} "
+            "(open in https://ui.perfetto.dev)"
+        )
+    if problems:
+        for problem in problems:
+            print(f"INCONSISTENT: {problem}", file=sys.stderr)
+        return 1
+    engine = data["engine"]
+    match = data["match"]
+    print(
+        f"-- metrics consistent: {engine['wme_changes']} wme-changes "
+        f"(engine == matcher: {match['wme_changes']}), "
+        f"{engine['firings']} firings over {engine['cycles']} cycles"
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .serve import DEFAULT_MAX_PENDING, run_server
 
@@ -388,6 +497,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figures": _cmd_figures,
         "compare": _cmd_compare,
         "serve": _cmd_serve,
+        "profile": _cmd_profile,
     }
     try:
         return handlers[args.command](args)

@@ -115,7 +115,20 @@ def _lex_order_key(instantiation: Instantiation) -> tuple:
 
 
 def _mea_order_key(instantiation: Instantiation) -> tuple:
-    """Sort key for MEA: first-CE recency, then the LEX key."""
+    """Sort key for MEA: first-CE recency, then the LEX key.
+
+    ``timetags`` holds only the WMEs bound by *positive* condition
+    elements, so ``timetags[0]`` is the first CE's recency **only if the
+    first CE is positive**.  That is an invariant, not an assumption:
+    :func:`~repro.ops5.condition.analyze_lhs` rejects productions whose
+    leading CE is negated at parse time (for every strategy -- OPS5
+    itself makes the same restriction, precisely so MEA's "means-ends"
+    focus element is always a real WME).  A negated CE elsewhere in the
+    LHS shifts nothing: positions in ``timetags`` follow positive-CE
+    order, and position 0 is the first CE.  The empty-tuple fallback is
+    unreachable through the parser (an LHS must have at least one CE)
+    and exists only for hand-built instantiations.
+    """
     first = instantiation.timetags[0] if instantiation.timetags else 0
     return (first,) + _lex_order_key(instantiation)
 

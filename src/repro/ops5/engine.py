@@ -171,6 +171,12 @@ class ProductionSystem:
         "lex" (default), "mea", or a :class:`Strategy` instance.
     listener:
         Optional :class:`EngineListener`.
+    recorder:
+        Optional :class:`~repro.obs.Recorder`.  When attached and
+        enabled, the engine records a span per recognize--act phase
+        (conflict resolution, RHS execution) and an instant event per
+        working-memory change.  Defaults to the shared disabled
+        recorder, whose cost is a single attribute check.
     """
 
     def __init__(
@@ -179,6 +185,7 @@ class ProductionSystem:
         matcher: Matcher | str | None = None,
         strategy: Strategy | str = "lex",
         listener: EngineListener | None = None,
+        recorder=None,
     ) -> None:
         if matcher is None:
             from ..rete.network import ReteNetwork  # layering: engine may use any matcher
@@ -189,6 +196,18 @@ class ProductionSystem:
         self.matcher = matcher
         self.strategy = strategy_named(strategy) if isinstance(strategy, str) else strategy
         self.listener = listener or EngineListener()
+        if recorder is None:
+            from ..obs.recorder import NULL_RECORDER  # layering: obs depends on nothing here
+
+            recorder = NULL_RECORDER
+        self.recorder = recorder
+        #: Lifetime working-memory changes routed through the matcher
+        #: (adds + removes, never reset -- like timetags).  The matcher
+        #: counts the same stream from the other end; the observability
+        #: snapshot cross-checks the two (see repro.obs.metrics).
+        self.total_wme_changes = 0
+        #: Lifetime production firings (survives reset(), unlike `cycle`).
+        self.total_firings = 0
         self.memory = WorkingMemory()
         self.output: list[str] = []
         self._fired_keys: set[tuple] = set()
@@ -239,6 +258,9 @@ class ProductionSystem:
                 )
         self.memory.add(wme)
         self.matcher.add_wme(wme)
+        self.total_wme_changes += 1
+        if self.recorder.enabled:
+            self.recorder.instant("wm:add", "wm", wme_class=wme.cls, timetag=wme.timetag)
         self.listener.on_change(self.cycle, "add", wme)
         return wme
 
@@ -246,6 +268,9 @@ class ProductionSystem:
         """Delete a WME from working memory and the matcher."""
         self.memory.remove(wme)
         self.matcher.remove_wme(wme)
+        self.total_wme_changes += 1
+        if self.recorder.enabled:
+            self.recorder.instant("wm:remove", "wm", wme_class=wme.cls, timetag=wme.timetag)
         self.listener.on_change(self.cycle, "remove", wme)
 
     def load_memory(self, specs: Sequence[tuple[str, dict[str, Value]]]) -> list[WME]:
@@ -350,20 +375,41 @@ class ProductionSystem:
         """
         if self._halted:
             return None
-        selected = self.strategy.select(self.conflict_set, self._fired_keys.__contains__)
+        # Branch (rather than rely on the null span) because step() is
+        # the engine's innermost loop: disabled observability must not
+        # even build the span's kwargs.
+        if self.recorder.enabled:
+            # Reading `conflict_set` is the parallel executor's flush
+            # barrier, so the select span brackets match-merge +
+            # resolution.
+            with self.recorder.span("select", "engine", cycle=self.cycle + 1):
+                selected = self.strategy.select(
+                    self.conflict_set, self._fired_keys.__contains__
+                )
+        else:
+            selected = self.strategy.select(
+                self.conflict_set, self._fired_keys.__contains__
+            )
         if selected is None:
             self._halted = True
             self._halt_reason = "no satisfied production"
             self.listener.on_halt(self.cycle, "no satisfied production")
             return None
         self.cycle += 1
+        self.total_firings += 1
         self._fired_keys.add(selected.key)
         if len(self._fired_keys) >= self._refraction_gc_threshold:
             self._prune_refraction_memory()
         record = CycleRecord(self.cycle, selected.production.name, selected.timetags)
         self.cycles.append(record)
         self.listener.on_cycle(self.cycle, selected)
-        self._execute(selected, record)
+        if self.recorder.enabled:
+            with self.recorder.span(
+                "fire", "engine", cycle=self.cycle, production=selected.production.name
+            ):
+                self._execute(selected, record)
+        else:
+            self._execute(selected, record)
         if self._halted:
             self.listener.on_halt(self.cycle, "halt action")
         return selected

@@ -90,6 +90,17 @@ class Matcher(ABC):
         self.conflict_set = ConflictSet()
         self.stats = MatchStats()
 
+    def peek_stats(self) -> MatchStats:
+        """Match statistics *without* side effects.
+
+        For most matchers this is :attr:`stats`; backends where reading
+        ``stats`` is a synchronisation barrier (the parallel executor's
+        flush-on-read) override it to return the last merged view, so
+        observability snapshots can be taken from another thread while
+        a batch is in flight.
+        """
+        return self.stats
+
     @abstractmethod
     def add_production(self, production: Production) -> None:
         """Register *production* and match it against current memory."""

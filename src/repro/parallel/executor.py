@@ -41,6 +41,7 @@ import multiprocessing
 import os
 from typing import Any, Iterable, Sequence
 
+from ..obs.recorder import NULL_RECORDER
 from ..ops5.errors import Ops5Error
 from ..ops5.conflict import ConflictSet
 from ..ops5.matcher import ChangeRecord, Matcher, MatchStats
@@ -182,13 +183,21 @@ class ParallelMatcher(Matcher):
         this process (no ``multiprocessing`` at all) -- the degenerate
         serial configuration with identical semantics.  ``None`` picks
         :func:`default_worker_count`.
+    recorder:
+        Optional :class:`~repro.obs.Recorder`.  When enabled, every
+        flush barrier records a coordinator span (lane 0) and one
+        ``shard-batch`` span per dispatched shard on lane ``1 + shard``
+        -- coordinator-observed wall-clock from dispatch to collection,
+        with queue depths (ops per batch) and edit counts as args.  A
+        Chrome-trace export of those lanes is the *measured* shard
+        schedule, Perfetto-comparable with the psim Gantt prediction.
 
     Use as a context manager (or call :meth:`close`) so the worker
     processes are reaped deterministically; they are daemonic, so an
     unclosed matcher still cannot outlive the interpreter.
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | None = None, recorder=None) -> None:
         # Matcher.__init__ is deliberately not called: `conflict_set` and
         # `stats` are flush-on-read properties here, not attributes.
         if workers is None:
@@ -196,6 +205,7 @@ class ParallelMatcher(Matcher):
         if workers < 0:
             raise Ops5Error("workers must be >= 0")
         self.workers = workers
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._shard_count = max(1, workers)
         self._conflict_set = ConflictSet()
         self._stats = MatchStats()
@@ -343,19 +353,33 @@ class ParallelMatcher(Matcher):
         self.flush()
         return self._stats
 
+    def peek_stats(self) -> MatchStats:
+        """Stats accumulated so far, *without* triggering a flush.
+
+        The flush barrier belongs to the engine's cycle; metrics
+        snapshots taken from another thread (the serve layer's ``stats``
+        RPC) must not move it.
+        """
+        return self._stats
+
     def flush(self) -> None:
         """Dispatch all queued ops and merge the shards' results."""
         if self._unpartitioned and self._shards is None:
             self._ensure_started()
         if self._shards is None or not self._queue.dirty:
             return
+        rec = self.recorder
+        flush_start = rec.now() if rec.enabled else 0
         pending, change_maps, changes = self._queue.take()
         #: Insert edits suppressed because their production was removed
         #: in this same batch; the paired delete is excused, nothing else.
         self._skipped_inserts: set[tuple] = set()
 
         active = [i for i, ops in enumerate(pending) if ops]
+        dispatch_at: dict[int, int] = {}
         for i in active:
+            if rec.enabled:
+                dispatch_at[i] = rec.now()
             self._shards[i].dispatch(pending[i])
 
         merged = [
@@ -363,6 +387,17 @@ class ParallelMatcher(Matcher):
         ]
         for i in active:
             edits, stat_rows = self._shards[i].collect()
+            if rec.enabled:
+                # Coordinator-observed shard-batch wall-clock: dispatch
+                # to collection, serialised by collection order.
+                rec.complete(
+                    "shard-batch",
+                    "parallel",
+                    start=dispatch_at[i],
+                    duration=rec.now() - dispatch_at[i],
+                    tid=1 + i,
+                    args={"shard": i, "ops": len(pending[i]), "edits": len(edits)},
+                )
             self._merge_edits(edits)
             for local_index, affected, activations, comparisons, tokens in stat_rows:
                 change = change_maps[i][local_index] if local_index < len(
@@ -381,6 +416,20 @@ class ParallelMatcher(Matcher):
         for timetag in self._pending_removals:
             self._wmes.pop(timetag, None)
         self._pending_removals = []
+
+        if rec.enabled:
+            rec.complete(
+                "flush",
+                "parallel",
+                start=flush_start,
+                duration=rec.now() - flush_start,
+                tid=0,
+                args={
+                    "changes": len(changes),
+                    "shards_active": len(active),
+                    "ops": sum(len(pending[i]) for i in active),
+                },
+            )
 
     def _merge_edits(self, edits: Sequence[tuple]) -> None:
         for edit in edits:

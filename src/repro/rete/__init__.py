@@ -10,7 +10,12 @@ Public surface:
   measurements.
 """
 
-from .instrument import ActivationEvent, NetworkListener, RecordingListener
+from .instrument import (
+    ActivationEvent,
+    NetworkListener,
+    RecorderListener,
+    RecordingListener,
+)
 from .network import ReteNetwork
 from .nodes import (
     AlphaMemory,
@@ -33,6 +38,7 @@ __all__ = [
     "NegativeNode",
     "NetworkListener",
     "NetworkStats",
+    "RecorderListener",
     "RecordingListener",
     "ReteNetwork",
     "TerminalNode",

@@ -20,6 +20,16 @@ Cost-relevant measurements are captured per event:
     (drives the cost model's per-pair term).
 ``outputs``
     Number of tokens the activation emitted downstream.
+
+Since the unified observability layer landed (``repro.obs``), this
+module is a *thin adapter* over that substrate: the listener protocol
+stays the network's native observation surface, and
+:class:`RecorderListener` bridges it onto an
+:class:`~repro.obs.Recorder`, turning every node activation into a
+timed span (the measured form of the paper's Section 4 per-activation
+costs).  Listeners that set :attr:`NetworkListener.wants_timing` get
+``ts``/``dur`` wall-clock nanoseconds on each event; the default
+untimed path costs one branch per activation.
 """
 
 from __future__ import annotations
@@ -61,10 +71,18 @@ class ActivationEvent:
     comparisons: int = 0
     outputs: int = 0
     production: str = ""
+    #: Wall-clock start (raw ``time.perf_counter_ns``) and duration in
+    #: nanoseconds; populated only for listeners with ``wants_timing``.
+    ts: int = 0
+    dur: int = 0
 
 
 class NetworkListener:
     """Observer of Rete activity.  All methods default to no-ops."""
+
+    #: Set True (RecorderListener does) to have the network stamp
+    #: ``ts``/``dur`` wall-clock values on every activation event.
+    wants_timing = False
 
     def on_change_begin(self, kind: str, wme_timetag: int, wme_class: str) -> None:
         """A working-memory change is about to flow through the network."""
@@ -97,3 +115,68 @@ class RecordingListener(NetworkListener):
 
     def on_change_end(self) -> None:
         self._current = None
+
+
+class RecorderListener(NetworkListener):
+    """Bridges Rete activity onto a :class:`~repro.obs.Recorder`.
+
+    Every node activation becomes one timed span (name
+    ``<kind>#<node id>``, category ``rete``) carrying the cost-relevant
+    counters -- comparisons, outputs, causal parent -- as span args, and
+    every working-memory change becomes an enclosing ``change:<kind>``
+    span.  The network stamps activation timestamps with the same clock
+    the recorder uses, so the spans land on the shared timeline next to
+    engine-cycle and shard-batch spans.
+
+    ``tid`` selects the recorder lane (Chrome trace thread); the
+    default 0 is the main engine lane.
+    """
+
+    wants_timing = True
+
+    def __init__(self, recorder, tid: int = 0) -> None:
+        self.recorder = recorder
+        self.tid = tid
+        self._change_start: Optional[int] = None
+        self._change_name = ""
+        self._change_args: Optional[dict] = None
+
+    def on_change_begin(self, kind: str, wme_timetag: int, wme_class: str) -> None:
+        self._change_start = self.recorder.now()
+        self._change_name = f"change:{kind}"
+        self._change_args = {"wme_class": wme_class, "timetag": wme_timetag}
+
+    def on_activation(self, event: ActivationEvent) -> None:
+        args = {
+            "seq": event.seq,
+            "direction": event.direction,
+            "comparisons": event.comparisons,
+            "outputs": event.outputs,
+        }
+        if event.parent is not None:
+            args["parent"] = event.parent
+        if event.side:
+            args["side"] = event.side
+        if event.production:
+            args["production"] = event.production
+        self.recorder.complete(
+            f"{event.node_kind}#{event.node_id}",
+            "rete",
+            start=event.ts,
+            duration=event.dur,
+            tid=self.tid,
+            args=args,
+        )
+
+    def on_change_end(self) -> None:
+        if self._change_start is None:
+            return
+        self.recorder.complete(
+            self._change_name,
+            "rete",
+            start=self._change_start,
+            duration=self.recorder.now() - self._change_start,
+            tid=self.tid,
+            args=self._change_args,
+        )
+        self._change_start = None

@@ -14,6 +14,7 @@ simulator replays (Section 6).
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
 from ..ops5.errors import Ops5Error
@@ -54,6 +55,12 @@ class ReteNetwork(Matcher):
         if conflict_set is not None:
             self.conflict_set = conflict_set
         self.listener = listener or NetworkListener()
+        #: Wall-clock per activation, only when the listener asks for it
+        #: (RecorderListener does): the untimed path stays branch-cheap,
+        #: keeping the Section 4 cost measurements unperturbed.
+        self._activation_clock = (
+            time.perf_counter_ns if getattr(self.listener, "wants_timing", False) else None
+        )
         #: Hash-indexed join memories (see JoinNode); semantics are
         #: unchanged, only match effort drops.
         self.indexed = indexed
@@ -104,6 +111,8 @@ class ReteNetwork(Matcher):
             side=side,
         )
         self._next_seq += 1
+        if self._activation_clock is not None:
+            event.ts = self._activation_clock()
         self._event_stack.append(event)
         self._change_activations += 1
         return event
@@ -113,6 +122,8 @@ class ReteNetwork(Matcher):
         popped = self._event_stack.pop()
         if popped is not event:  # pragma: no cover - propagation invariant
             raise Ops5Error("unbalanced activation events")
+        if self._activation_clock is not None:
+            event.dur = self._activation_clock() - event.ts
         self._change_comparisons += event.comparisons
         self.listener.on_activation(event)
 

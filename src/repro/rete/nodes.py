@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..ops5.condition import JoinTest
+from ..ops5.errors import Ops5Error
 from ..ops5.production import Instantiation, Production
 from ..ops5.wme import WME
 from .token import Token
@@ -101,8 +102,16 @@ class AlphaMemory(ReteNode):
             self.items[wme.timetag] = wme
         else:
             # Rematch deletion: the WME must be present; a miss means the
-            # add never reached this memory, i.e. corrupted state.
-            self.items.pop(wme.timetag)
+            # add never reached this memory, i.e. corrupted state.  Fail
+            # loudly with context (the convention ConflictSet follows)
+            # instead of leaking a bare KeyError.
+            if wme.timetag not in self.items:
+                raise Ops5Error(
+                    f"alpha memory node {self.id}: delete of WME t{wme.timetag} "
+                    f"({wme.cls}) that it never stored -- network state is "
+                    "corrupted"
+                )
+            del self.items[wme.timetag]
         event.outputs = 1
         self.net.note_affected(self.production_names)
         for successor in self.successors:

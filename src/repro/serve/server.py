@@ -54,11 +54,14 @@ class RuleServer:
         port: int = 0,
         unix_path: Optional[str] = None,
         max_pending: int = DEFAULT_MAX_PENDING,
+        recorder=None,
     ) -> None:
         self.host = host
         self.port = port
         self.unix_path = unix_path
-        self.sessions = SessionManager(default_max_pending=max_pending)
+        self.sessions = SessionManager(
+            default_max_pending=max_pending, recorder=recorder
+        )
         self.telemetry = Telemetry()
         self.connections = 0
         self._server: Optional[asyncio.AbstractServer] = None

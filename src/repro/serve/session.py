@@ -36,6 +36,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Optional
 
+from ..obs import metrics as obs_metrics
+from ..obs.recorder import NULL_RECORDER
 from ..ops5 import Ops5Error, ProductionSystem, matcher_named
 from ..ops5.wme import WME
 from .stats import Telemetry
@@ -51,19 +53,26 @@ class SessionClosed(Ops5Error):
     """The session was destroyed while the request waited."""
 
 
-def build_matcher(name: str, workers: Optional[int] = None):
+def build_matcher(name: str, workers: Optional[int] = None, recorder=None):
     """Build a matcher backend for a session via the engine registry.
 
     ``workers`` is honoured for the parallel backend and rejected for
-    every other one rather than silently ignored.
+    every other one rather than silently ignored.  An enabled *recorder*
+    is threaded into backends that can use it: the parallel executor
+    takes it directly (shard-batch spans), Rete backends get a
+    :class:`~repro.rete.RecorderListener` (per-activation spans).
     """
     if name == "parallel":
-        return matcher_named(name, workers=workers)
+        return matcher_named(name, workers=workers, recorder=recorder)
     if workers is not None:
         raise Ops5Error(
             f"workers={workers} is only meaningful for matcher='parallel', "
             f"not {name!r}"
         )
+    if recorder is not None and recorder.enabled and name in ("rete", "rete-indexed"):
+        from ..rete import RecorderListener
+
+        return matcher_named(name, listener=RecorderListener(recorder))
     return matcher_named(name)
 
 
@@ -83,13 +92,18 @@ class Session:
         workers: Optional[int] = None,
         strategy: str = "lex",
         max_pending: int = DEFAULT_MAX_PENDING,
+        recorder=None,
     ) -> None:
         if max_pending < 1:
             raise Ops5Error("max_pending must be >= 1")
         self.id = session_id
         self.matcher_name = matcher
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.system = ProductionSystem(
-            program, matcher=build_matcher(matcher, workers), strategy=strategy
+            program,
+            matcher=build_matcher(matcher, workers, recorder=self.recorder),
+            strategy=strategy,
+            recorder=self.recorder,
         )
         self.telemetry = Telemetry()
         self.max_pending = max_pending
@@ -194,7 +208,10 @@ class Session:
         if handler is None:
             raise Ops5Error(f"unknown session operation {op!r}")
         self.telemetry.requests += 1
-        return handler(self, request)
+        with self.recorder.span(
+            f"request:{op}", "serve", session=self.id, queue_depth=self.queue_depth
+        ):
+            return handler(self, request)
 
     def _op_assert(self, request: dict) -> dict:
         changes = [
@@ -289,6 +306,13 @@ class Session:
             "halted": self.system.halted,
             "queue_depth": self.queue_depth,
             "max_pending": self.max_pending,
+            # The unified snapshot (repro.obs.metrics) reads matcher
+            # stats via peek_stats, so building it here -- possibly from
+            # the event-loop thread while the worker matches -- cannot
+            # move the parallel flush barrier.
+            "metrics": obs_metrics.snapshot(
+                self.system, telemetry=self.telemetry, recorder=self.recorder
+            ),
             **self.telemetry.snapshot(),
         }
 
@@ -296,8 +320,11 @@ class Session:
 class SessionManager:
     """Creates, resolves, and tears down the server's sessions."""
 
-    def __init__(self, default_max_pending: int = DEFAULT_MAX_PENDING) -> None:
+    def __init__(
+        self, default_max_pending: int = DEFAULT_MAX_PENDING, recorder=None
+    ) -> None:
         self.default_max_pending = default_max_pending
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._sessions: dict[str, Session] = {}
         self._ids = itertools.count(1)
         #: Counters of destroyed sessions, so server-wide totals survive
@@ -331,6 +358,7 @@ class SessionManager:
             max_pending=max_pending
             if max_pending is not None
             else self.default_max_pending,
+            recorder=self.recorder,
         )
         self._sessions[session_id] = session
         return session
@@ -372,4 +400,4 @@ class SessionManager:
         del snapshot["wme_changes_per_second"]
         del snapshot["firings_per_second"]
         del snapshot["latency"]
-        return {"sessions": sessions, "totals": snapshot}
+        return {"schema": obs_metrics.SCHEMA, "sessions": sessions, "totals": snapshot}

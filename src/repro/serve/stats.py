@@ -14,6 +14,7 @@ CPython's atomic attribute updates.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -42,17 +43,20 @@ class LatencyWindow:
     def percentile(self, p: float) -> float:
         """The *p*-th percentile (0..100) of the window; 0.0 when empty.
 
-        Nearest-rank on the sorted window -- monotone in *p* and exact
-        at the sample points, which is all a service dashboard needs.
+        Nearest-rank (``ceil(p/100 * n)``, 1-based) on the sorted
+        window -- monotone in *p* and exact at the sample points, which
+        is all a service dashboard needs.  ``round()`` is *not* a
+        substitute: Python rounds half to even, so e.g. p50 of five
+        samples would land on index 1 instead of the true median.
         """
         if not self._samples:
             return 0.0
         if not 0 <= p <= 100:
             raise ValueError("percentile must be in [0, 100]")
         ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, round(p / 100 * len(ordered)) - 1))
         if p == 0:
-            rank = 0
+            return ordered[0]
+        rank = min(len(ordered) - 1, math.ceil(p / 100 * len(ordered)) - 1)
         return ordered[rank]
 
     @property

@@ -226,3 +226,51 @@ class TestVerifyFlag:
         program = tmp_path / "p.ops5"
         program.write_text("(p go (a) --> (halt))")
         assert main(["run", str(program), "--matcher", "treat", "--verify"]) == 2
+
+
+class TestProfileCommand:
+    def test_profile_demo_emits_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        events = tmp_path / "events.jsonl"
+        assert main(["profile", "--demo", "hanoi", "--trace-out", str(trace),
+                     "--metrics-out", str(metrics),
+                     "--events-out", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics consistent" in out
+        document = json.loads(trace.read_text())
+        assert document["traceEvents"]
+        phases = {row["ph"] for row in document["traceEvents"]}
+        assert "X" in phases and "M" in phases
+        data = json.loads(metrics.read_text())
+        assert data["schema"] == "repro.metrics/1"
+        assert data["engine"]["wme_changes"] == data["match"]["wme_changes"]
+        assert events.read_text().count("\n") == data["recorder"]["events"]
+
+    def test_profile_parallel_labels_shard_lanes(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(["profile", "--demo", "closure", "--matcher", "parallel",
+                     "--workers", "0", "--trace-out", str(trace)]) == 0
+        assert "metrics consistent" in capsys.readouterr().out
+        rows = json.loads(trace.read_text())["traceEvents"]
+        names = {row["args"]["name"] for row in rows
+                 if row["ph"] == "M" and row["name"] == "thread_name"}
+        assert "engine" in names
+        assert any(name.startswith("shard") for name in names)
+        assert any(row["name"] == "shard-batch" for row in rows)
+
+    def test_profile_file_with_wmes(self, capsys, program_file, wmes_file,
+                                    tmp_path):
+        metrics = tmp_path / "m.json"
+        assert main(["profile", "--file", program_file, "--wmes", wmes_file,
+                     "--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "fired 2 productions" in out
+
+    def test_profile_requires_a_workload(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile"])

@@ -1,0 +1,85 @@
+"""Exporters: JSONL round-trips and Chrome trace-event structure."""
+
+import json
+
+from repro.obs import (
+    Event,
+    chrome_trace,
+    event_to_chrome,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.recorder import PH_COMPLETE, PH_INSTANT
+
+
+def _events():
+    return [
+        Event(name="select", cat="engine", ph=PH_COMPLETE, ts=1500, dur=2500),
+        Event(
+            name="wm:add",
+            cat="wm",
+            ph=PH_INSTANT,
+            ts=5000,
+            tid=0,
+            args={"wme_class": "goal", "timetag": 3},
+        ),
+        Event(name="shard-batch", cat="parallel", ph=PH_COMPLETE, ts=0, dur=1000, tid=2),
+    ]
+
+
+class TestChromeConversion:
+    def test_nanoseconds_become_microseconds(self):
+        row = event_to_chrome(_events()[0])
+        assert row["ts"] == 1.5
+        assert row["dur"] == 2.5
+
+    def test_instants_are_thread_scoped_without_duration(self):
+        row = event_to_chrome(_events()[1])
+        assert row["ph"] == "i"
+        assert row["s"] == "t"
+        assert "dur" not in row
+        assert row["args"] == {"wme_class": "goal", "timetag": 3}
+
+    def test_empty_category_defaults(self):
+        row = event_to_chrome(Event(name="x", cat="", ph=PH_INSTANT, ts=0))
+        assert row["cat"] == "repro"
+
+    def test_trace_document_shape(self):
+        doc = chrome_trace(_events(), thread_names={0: "engine", 2: "shard 1"})
+        assert doc["displayTimeUnit"] == "ms"
+        rows = doc["traceEvents"]
+        meta = [r for r in rows if r["ph"] == "M"]
+        names = {
+            r["tid"]: r["args"]["name"] for r in meta if r["name"] == "thread_name"
+        }
+        assert names == {0: "engine", 2: "shard 1"}
+        assert any(r["name"] == "process_name" for r in meta)
+        sort_rows = [r for r in meta if r["name"] == "thread_sort_index"]
+        assert {r["args"]["sort_index"] for r in sort_rows} == {0, 2}
+        # All data rows share one pid -- one process timeline.
+        assert len({r["pid"] for r in rows}) == 1
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        rows = write_chrome_trace(_events(), path, thread_names={0: "engine"})
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert len(doc["traceEvents"]) == rows
+        assert rows == len(_events()) + 3  # process + thread name + sort index
+
+
+class TestJsonl:
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events = _events()
+        assert write_jsonl(events, path) == len(events)
+        back = read_jsonl(path)
+        assert back == events
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        write_jsonl(_events()[:1], path)
+        with open(path, "a") as handle:
+            handle.write("\n")
+        assert len(read_jsonl(path)) == 1

@@ -1,0 +1,100 @@
+"""The unified metrics snapshot and its cross-section consistency."""
+
+from repro.obs import SCHEMA, consistency_problems, snapshot
+from repro.obs.recorder import Recorder
+from repro.ops5 import ProductionSystem
+from repro.parallel import ParallelMatcher
+from repro.serve.stats import Telemetry
+from repro.workloads.programs import hanoi
+
+PROGRAM = """
+(p step (count ^n <x>) --> (modify 1 ^n (compute <x> - 1)))
+"""
+
+
+class TestSnapshotSections:
+    def test_rete_engine_snapshot(self):
+        system = hanoi.build(3)
+        system.run()
+        data = snapshot(system)
+        assert data["schema"] == SCHEMA
+        assert data["engine"]["halted"] is True
+        assert data["engine"]["cycles"] == data["engine"]["firings"]
+        assert data["engine"]["wme_changes"] == data["match"]["wme_changes"]
+        rete = data["rete"]
+        assert rete["nodes"] > 0
+        assert 0.0 <= rete["sharing_ratio"] <= 1.0
+        assert sum(rete["nodes_by_kind"].values()) == rete["nodes"]
+
+    def test_parallel_section(self):
+        with ParallelMatcher(workers=0) as matcher:
+            system = hanoi.build(3, matcher=matcher)
+            system.run()
+            data = snapshot(system)
+        assert "rete" not in data
+        parallel = data["parallel"]
+        assert parallel["workers"] == 0
+        assert parallel["shards"] == 1
+        assert sum(parallel["productions_per_shard"]) == 5
+
+    def test_optional_sections_appear_when_given(self):
+        system = ProductionSystem(PROGRAM)
+        telemetry = Telemetry()
+        telemetry.firings = 0
+        recorder = Recorder()
+        data = snapshot(system, telemetry=telemetry, recorder=recorder)
+        assert "serve" in data
+        assert data["recorder"] == {"enabled": True, "events": 0}
+        bare = snapshot(system)
+        assert "serve" not in bare and "recorder" not in bare
+
+
+class TestPeekStats:
+    def test_peek_does_not_move_the_parallel_flush_barrier(self):
+        with ParallelMatcher(workers=0) as matcher:
+            system = ProductionSystem(PROGRAM, matcher=matcher)
+            system.add("count", n=5)
+            # The change is queued behind the cycle barrier: a metrics
+            # snapshot must observe *without* dispatching it.
+            assert matcher.peek_stats().total_changes == 0
+            before = snapshot(system)
+            assert before["match"]["wme_changes"] == 0
+            # Reading .stats IS the barrier; now the change is counted.
+            assert matcher.stats.total_changes == 1
+            after = snapshot(system)
+            assert after["match"]["wme_changes"] == 1
+
+    def test_serial_matchers_peek_equals_stats(self):
+        system = ProductionSystem(PROGRAM)
+        system.add("count", n=5)
+        assert system.matcher.peek_stats() is system.matcher.stats
+
+
+class TestConsistencyProblems:
+    def test_clean_snapshot_has_none(self):
+        system = hanoi.build(3)
+        system.run()
+        assert consistency_problems(snapshot(system)) == []
+
+    def test_wme_change_disagreement_reported(self):
+        problems = consistency_problems(
+            {"engine": {"wme_changes": 5, "firings": 1, "cycles": 1},
+             "match": {"wme_changes": 3}}
+        )
+        assert len(problems) == 1
+        assert "5" in problems[0] and "3" in problems[0]
+
+    def test_firings_behind_cycles_reported(self):
+        problems = consistency_problems(
+            {"engine": {"wme_changes": 0, "firings": 1, "cycles": 2},
+             "match": {"wme_changes": 0}}
+        )
+        assert any("fell behind" in p for p in problems)
+
+    def test_serve_firings_exceeding_engine_reported(self):
+        problems = consistency_problems(
+            {"engine": {"wme_changes": 0, "firings": 1, "cycles": 1},
+             "match": {"wme_changes": 0},
+             "serve": {"firings": 2}}
+        )
+        assert any("serve telemetry" in p for p in problems)

@@ -1,0 +1,125 @@
+"""The event/span recorder: timing, lanes, and the disabled path."""
+
+import itertools
+
+from repro.obs import NULL_RECORDER, Recorder
+from repro.obs.recorder import PH_COMPLETE, PH_INSTANT, _NULL_SPAN
+
+
+def ticking_recorder(step: int = 10, **kwargs) -> Recorder:
+    """A recorder on a deterministic clock: 0, step, 2*step, ..."""
+    counter = itertools.count(0, step)
+    return Recorder(clock=lambda: next(counter), **kwargs)
+
+
+class TestSpans:
+    def test_span_times_entry_to_exit(self):
+        rec = ticking_recorder()
+        # Clock readings: epoch=0, enter=10, exit=20.
+        with rec.span("work", "engine"):
+            pass
+        [event] = rec.events
+        assert event.name == "work"
+        assert event.cat == "engine"
+        assert event.ph == PH_COMPLETE
+        assert event.ts == 10
+        assert event.dur == 10
+
+    def test_span_kwargs_become_args(self):
+        rec = ticking_recorder()
+        with rec.span("fire", "engine", cycle=3, production="expand"):
+            pass
+        [event] = rec.events
+        assert event.args == {"cycle": 3, "production": "expand"}
+
+    def test_span_without_args_stores_none(self):
+        rec = ticking_recorder()
+        with rec.span("s"):
+            pass
+        assert rec.events[0].args is None
+
+    def test_span_records_even_when_body_raises(self):
+        rec = ticking_recorder()
+        try:
+            with rec.span("explode"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(rec.events) == 1  # the span closed, the error escaped
+
+    def test_nested_spans_share_one_timeline(self):
+        rec = ticking_recorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        inner, outer = rec.events  # inner exits (appends) first
+        assert inner.name == "inner"
+        assert outer.ts <= inner.ts
+        assert outer.ts + outer.dur >= inner.ts + inner.dur
+
+
+class TestInstantsAndComplete:
+    def test_instant_is_a_point_event(self):
+        rec = ticking_recorder()
+        rec.instant("wm:add", "wm", wme_class="goal", timetag=7)
+        [event] = rec.events
+        assert event.ph == PH_INSTANT
+        assert event.dur == 0
+        assert event.ts == 10
+        assert event.args == {"wme_class": "goal", "timetag": 7}
+
+    def test_complete_rebases_raw_clock_onto_epoch(self):
+        rec = ticking_recorder()  # epoch = 0
+        start = rec.now()  # 10
+        rec.complete("ext", "rete", start=start, duration=5, tid=3)
+        [event] = rec.events
+        assert event.ph == PH_COMPLETE
+        assert event.ts == 10
+        assert event.dur == 5
+        assert event.tid == 3
+
+    def test_lanes_are_preserved(self):
+        rec = ticking_recorder()
+        rec.instant("a", tid=0)
+        rec.instant("b", tid=2)
+        assert [e.tid for e in rec.events] == [0, 2]
+
+
+class TestDisabledPath:
+    def test_disabled_records_nothing(self):
+        rec = Recorder(enabled=False)
+        with rec.span("s", "c", cycle=1):
+            pass
+        rec.instant("i")
+        rec.complete("x", start=0, duration=1)
+        assert len(rec) == 0
+
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        rec = Recorder(enabled=False)
+        assert rec.span("a") is _NULL_SPAN
+        assert rec.span("b") is rec.span("c")
+
+    def test_null_recorder_is_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        with NULL_RECORDER.span("anything"):
+            pass
+        assert len(NULL_RECORDER) == 0
+
+
+class TestAccess:
+    def test_len_and_drain(self):
+        rec = ticking_recorder()
+        rec.instant("a")
+        rec.instant("b")
+        assert len(rec) == 2
+        drained = rec.drain()
+        assert [e.name for e in drained] == ["a", "b"]
+        assert len(rec) == 0
+
+    def test_real_clock_timestamps_are_monotone(self):
+        rec = Recorder()
+        with rec.span("outer"):
+            rec.instant("mid")
+        mid, outer = rec.events
+        assert 0 <= outer.ts <= mid.ts
+        assert outer.dur >= 0

@@ -64,6 +64,45 @@ class TestConflictSet:
         snap = cs.snapshot()
         assert snap == frozenset({("p", (3,))})
 
+    def test_snapshot_keys_drive_delete_key_round_trip(self):
+        # The parallel executor retracts by bare key from a shard's edit
+        # stream; a snapshot taken before must replay back to empty.
+        cs = ConflictSet()
+        production = _production("p", ces=2)
+        for tags in ((1, 2), (1, 3), (4, 2)):
+            cs.insert(_inst(production, *tags))
+        keys = cs.snapshot()
+        assert len(keys) == 3
+        for key in keys:
+            assert cs.get(key) is not None
+            cs.delete_key(key)
+        assert len(cs) == 0
+        assert cs.total_deletes == 3
+        assert cs.snapshot() == frozenset()
+
+    def test_snapshot_is_immutable_to_later_edits(self):
+        cs = ConflictSet()
+        inst = _inst(_production("p"), 1)
+        cs.insert(inst)
+        before = cs.snapshot()
+        cs.delete_key(inst.key)
+        assert before == frozenset({inst.key})  # unchanged by the delete
+
+    def test_delete_key_absent_raises_with_key(self):
+        cs = ConflictSet()
+        with pytest.raises(Ops5Error, match="absent key"):
+            cs.delete_key(("ghost", (1,)))
+
+    def test_reinsert_after_delete_key_is_legal(self):
+        cs = ConflictSet()
+        production = _production("p")
+        inst = _inst(production, 7)
+        cs.insert(inst)
+        cs.delete_key(inst.key)
+        cs.insert(_inst(production, 7))  # same identity, fresh entry
+        assert len(cs) == 1
+        assert (cs.total_inserts, cs.total_deletes) == (2, 1)
+
 
 class TestLexOrdering:
     def test_recency_dominates(self):
@@ -119,6 +158,37 @@ class TestMeaOrdering:
         a = _inst(production, 5, 2)
         b = _inst(production, 5, 3)
         assert MeaStrategy().select([a, b], lambda key: False) == b
+
+
+class TestMeaFirstCeIsAlwaysPositive:
+    """MEA's focus element: ``timetags[0]`` is sound because a leading
+    negated CE is rejected at parse time (for every strategy), and
+    negated CEs elsewhere bind no WME so they never shift position 0."""
+
+    def test_leading_negated_ce_rejected_at_parse_time(self):
+        from repro.ops5 import ValidationError, parse_program
+
+        with pytest.raises(ValidationError, match="first condition element"):
+            parse_program("(p bad -(goal ^done yes) (a) --> (halt))")
+
+    def test_mid_lhs_negation_does_not_shift_the_focus(self):
+        from repro.ops5 import ProductionSystem
+
+        program = """
+        (p focus (goal ^id <g>) -(blocked ^id <g>) (item ^id <g>)
+           --> (write picked <g>) (remove 1))
+        """
+        system = ProductionSystem(program, strategy="mea")
+        # goal 2 is older than goal 1 by first-CE recency.
+        system.add("goal", id="b")
+        system.add("item", id="b")
+        system.add("goal", id="a")
+        system.add("item", id="a")
+        system.run(1)
+        # MEA keys on the goal (first CE) timetag: the newest goal wins,
+        # with the negated CE contributing nothing to the key.
+        assert system.output == ["picked a"]
+
 
 
 class TestStrategyLookup:

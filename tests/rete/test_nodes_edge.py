@@ -1,10 +1,11 @@
 """Node-level edge cases: direct exercises of the Rete node classes."""
 
+import pytest
 
-from repro.ops5 import parse_program
+from repro.ops5 import Ops5Error, parse_program
 from repro.ops5.wme import WME, WorkingMemory
 from repro.rete import ReteNetwork, assert_network_consistent
-from repro.rete.nodes import AlphaMemory, JoinNode, NegativeNode
+from repro.rete.nodes import DELETE, AlphaMemory, JoinNode, NegativeNode
 
 
 def _session(source):
@@ -84,6 +85,37 @@ class TestNegativeNodeInternals:
         # The dup element blocks the v=1 match but also matches the
         # positive CE itself (and isn't blocked by itself? it is: its
         # own tag matches the negation with x=1).
+        assert_network_consistent(net)
+
+
+class TestAlphaMemoryCorruptedState:
+    def test_delete_miss_raises_ops5error_with_context(self):
+        # A delete reaching a memory that never stored the WME means the
+        # network state is corrupted; the node must fail loudly with
+        # node/WME context, not leak a bare KeyError.
+        net, memory = _session("(p x (block ^color red) --> (halt))")
+        [amem] = [
+            n for n in net.share_registry.values() if isinstance(n, AlphaMemory)
+        ]
+        ghost = WME("block", {"color": "red"})
+        ghost.timetag = 999
+        with pytest.raises(Ops5Error) as excinfo:
+            amem.activate(ghost, DELETE)
+        message = str(excinfo.value)
+        assert f"node {amem.id}" in message
+        assert "t999" in message
+        assert "block" in message
+        assert "corrupted" in message
+
+    def test_stored_wmes_still_delete_cleanly(self):
+        net, memory = _session("(p x (block ^color red) --> (halt))")
+        wme = _add(net, memory, "block", color="red")
+        [amem] = [
+            n for n in net.share_registry.values() if isinstance(n, AlphaMemory)
+        ]
+        assert wme.timetag in amem.items
+        net.remove_wme(wme)
+        assert wme.timetag not in amem.items
         assert_network_consistent(net)
 
 

@@ -45,6 +45,54 @@ class TestLatencyWindow:
             window.percentile(101)
 
 
+class TestNearestRankSmallWindows:
+    """Regression: ``round()`` half-to-even banker's rounding skewed the
+    rank on small windows (p50 of five samples landed below the median).
+    Nearest-rank is ``ceil(p/100 * n)``, 1-based."""
+
+    @staticmethod
+    def _window(*values):
+        window = LatencyWindow()
+        for value in values:
+            window.record(value)
+        return window
+
+    def test_n1(self):
+        window = self._window(0.7)
+        for p in (0, 1, 50, 99, 100):
+            assert window.percentile(p) == pytest.approx(0.7)
+
+    def test_n2(self):
+        window = self._window(0.1, 0.2)
+        assert window.percentile(50) == pytest.approx(0.1)
+        assert window.percentile(51) == pytest.approx(0.2)
+        assert window.percentile(100) == pytest.approx(0.2)
+        assert window.percentile(0) == pytest.approx(0.1)
+
+    def test_n3(self):
+        window = self._window(0.1, 0.2, 0.3)
+        assert window.percentile(33) == pytest.approx(0.1)
+        assert window.percentile(34) == pytest.approx(0.2)
+        assert window.percentile(50) == pytest.approx(0.2)
+        assert window.percentile(67) == pytest.approx(0.3)
+        assert window.percentile(100) == pytest.approx(0.3)
+
+    def test_n5_median_is_the_middle_sample(self):
+        # The banker's-rounding bug: round(0.5 * 5) == 2 -> index 1,
+        # reporting 0.2 as the median of five samples.
+        window = self._window(0.1, 0.2, 0.3, 0.4, 0.5)
+        assert window.percentile(50) == pytest.approx(0.3)
+        assert window.percentile(20) == pytest.approx(0.1)
+        assert window.percentile(21) == pytest.approx(0.2)
+        assert window.percentile(80) == pytest.approx(0.4)
+        assert window.percentile(81) == pytest.approx(0.5)
+
+    def test_monotone_in_p(self):
+        window = self._window(0.5, 0.1, 0.4, 0.2, 0.3, 0.9, 0.7)
+        values = [window.percentile(p) for p in range(0, 101)]
+        assert values == sorted(values)
+
+
 class TestTelemetry:
     def test_snapshot_shape(self):
         telemetry = Telemetry()
@@ -73,3 +121,26 @@ class TestTelemetry:
         assert total.rejected == 8
         assert total.wme_changes == 14
         assert total.firings == 6
+
+    def test_absorb_leaves_source_untouched(self):
+        total, part = Telemetry(), Telemetry()
+        part.requests = 2
+        part.latency.record(0.5)
+        total.absorb(part)
+        assert part.requests == 2
+        # Latency windows are per-source; the rollup does not merge them.
+        assert total.latency.count == 0
+
+    def test_absorbed_counters_round_trip_through_snapshot(self):
+        total = Telemetry()
+        for requests, firings in ((1, 2), (3, 4), (5, 6)):
+            part = Telemetry()
+            part.requests = requests
+            part.firings = firings
+            total.absorb(part)
+        snapshot = total.snapshot()
+        assert snapshot["requests"] == 9
+        assert snapshot["firings"] == 12
+        assert snapshot["errors"] == 0
+        assert snapshot["latency"]["samples"] == 0
+        assert snapshot["latency"]["p50"] == 0.0
