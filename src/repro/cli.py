@@ -24,6 +24,10 @@ Commands
     Run a program under the observability recorder and export the
     timeline (Chrome trace / JSONL) plus the unified metrics snapshot
     (``docs/observability.md``).
+``chaos``
+    Run a demo on the parallel backend under a seeded fault plan
+    (worker crashes/hangs) and verify the recovered run is bit-identical
+    to the inline reference (``docs/fault-tolerance.md``).
 """
 
 from __future__ import annotations
@@ -183,6 +187,39 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--metrics-out", help="write the unified metrics snapshot as JSON"
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a demo under injected shard faults and verify the "
+             "recovered run is bit-identical (see docs/fault-tolerance.md)",
+    )
+    chaos.add_argument("--demo", choices=sorted(ALL_PROGRAMS), default="closure")
+    chaos.add_argument(
+        "--workers", type=int, default=2,
+        help="shard worker processes for the faulted run",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=42,
+        help="derive the fault plan from this seed (reproducible)",
+    )
+    chaos.add_argument("--crashes", type=int, default=1,
+                       help="worker crashes to schedule")
+    chaos.add_argument("--hangs", type=int, default=1,
+                       help="worker hangs to schedule")
+    chaos.add_argument(
+        "--horizon", type=int, default=16,
+        help="fault positions are drawn from the first N batches per shard",
+    )
+    chaos.add_argument(
+        "--collect-deadline", type=float, default=2.0,
+        help="seconds of shard silence before declaring a hang",
+    )
+    chaos.add_argument(
+        "--checkpoint-every", type=int, default=8,
+        help="checkpoint a shard every N applied batches (0 = never)",
+    )
+    chaos.add_argument("--max-cycles", type=int, default=500)
+    chaos.add_argument("--report-out", help="write the chaos report as JSON")
     return parser
 
 
@@ -485,6 +522,63 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run a demo under injected faults; exit 0 iff bit-identical."""
+    import json
+
+    from .faults import FaultPlan, run_chaos
+    from .parallel import SupervisorConfig
+
+    module = ALL_PROGRAMS[args.demo]
+    try:
+        plan = FaultPlan.seeded(
+            args.seed,
+            shards=max(1, args.workers),
+            horizon=args.horizon,
+            crashes=args.crashes,
+            hangs=args.hangs,
+        )
+        config = SupervisorConfig(
+            collect_deadline=args.collect_deadline,
+            checkpoint_every=args.checkpoint_every or None,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for spec in plan.specs:
+        print(f"-- scheduled {spec.kind} on shard {spec.index} at batch {spec.at}")
+    report = run_chaos(
+        module.PROGRAM,
+        module.setup(),
+        plan,
+        workers=args.workers,
+        supervisor=config,
+        max_cycles=args.max_cycles,
+    )
+    for event in report.recovery_events:
+        print(
+            f"-- shard {event['shard']} {event['cause']} at seq {event['seq']}: "
+            f"{event['action']} after replaying {event['replayed_ops']} ops "
+            f"in {event['replay_seconds'] * 1e3:.1f} ms"
+            + (" (from checkpoint)" if event["used_checkpoint"] else "")
+        )
+    if not report.recovery_events:
+        print("-- no scheduled fault fired (run ended before the horizon)")
+    verdict = "bit-identical" if report.identical else "DIVERGED"
+    print(
+        f"-- faulted run vs inline reference: {verdict} "
+        f"({report.fired_cycles} cycles, halted={report.halted})"
+    )
+    for problem in report.divergences:
+        print(f"--   {problem}")
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            json.dump(report.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"-- wrote chaos report to {args.report_out}")
+    return 0 if report.identical else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -498,6 +592,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "serve": _cmd_serve,
         "profile": _cmd_profile,
+        "chaos": _cmd_chaos,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,46 @@
+"""Fault injection and chaos harnessing for the match fleet.
+
+This package is the failure-side counterpart of :mod:`repro.parallel`'s
+supervision: :class:`FaultPlan` schedules deterministic, seedable
+failures (worker crash, hang, pipe drop, slow shard, session errors)
+that the shard workers and serve sessions consult, and
+:mod:`repro.faults.chaos` runs a program under a plan and proves the
+result bit-identical to the inline fault-free reference.
+
+See ``docs/fault-tolerance.md`` for the supervision model and the
+recovery economics relative to the paper's Section 3.1.
+"""
+
+from .chaos import ChaosReport, run_chaos, seeded_chaos
+from .plan import (
+    CRASH,
+    ERROR,
+    HANG,
+    HANG_FOREVER,
+    PIPE_DROP,
+    SESSION,
+    SESSION_KINDS,
+    SHARD,
+    SHARD_KINDS,
+    SLOW,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "CRASH",
+    "ERROR",
+    "HANG",
+    "HANG_FOREVER",
+    "PIPE_DROP",
+    "SESSION",
+    "SESSION_KINDS",
+    "SHARD",
+    "SHARD_KINDS",
+    "SLOW",
+    "FaultPlan",
+    "FaultSpec",
+    "ChaosReport",
+    "run_chaos",
+    "seeded_chaos",
+]

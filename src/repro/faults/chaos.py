@@ -1,0 +1,142 @@
+"""The chaos harness: run a program under faults, prove it unharmed.
+
+``run_chaos`` is the executable statement of the fault-tolerance
+guarantee: a parallel run with injected worker failures must produce a
+**bit-identical** observable record -- firing sequence, per-cycle
+conflict sets, output, final working memory, halt state -- to the
+inline fault-free reference.  The supervisor may respawn workers,
+replay journals, even demote shards to inline execution; none of that
+is allowed to show up in the result, only in the fault summary.
+
+The comparison rides on :mod:`repro.parallel.validate`'s
+:class:`~repro.parallel.validate.RunRecord` reduction, so "identical"
+here means exactly what the differential test harness means by it.
+
+Used three ways: the chaos-marked test suite asserts on the report, the
+``repro chaos`` CLI command prints it, and CI uploads its JSON snapshot
+as the recovery-trace artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .plan import FaultPlan
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run: the verdict plus the recovery story."""
+
+    workers: int
+    plan_rows: list[dict]
+    identical: bool
+    divergences: list[str]
+    fired_cycles: int
+    halted: bool
+    fault_summary: dict
+    recovery_events: list[dict] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        """Did any scheduled fault actually fire and get repaired?"""
+        return bool(self.recovery_events)
+
+    def snapshot(self) -> dict:
+        """JSON-ready form (the CI recovery-trace artifact)."""
+        return {
+            "schema": "repro.chaos/1",
+            "workers": self.workers,
+            "plan": self.plan_rows,
+            "identical": self.identical,
+            "divergences": self.divergences,
+            "fired_cycles": self.fired_cycles,
+            "halted": self.halted,
+            "fault_summary": self.fault_summary,
+            "recovery_events": self.recovery_events,
+        }
+
+
+def run_chaos(
+    productions,
+    setup: Sequence,
+    plan: FaultPlan,
+    workers: int = 2,
+    strategy: str = "lex",
+    max_cycles: int = 200,
+    supervisor=None,
+    recorder=None,
+) -> ChaosReport:
+    """Run one program twice -- faulted parallel vs. inline reference.
+
+    The reference runs first on an inline (``workers=0``) matcher with
+    no faults; the subject runs on *workers* process shards consulting
+    *plan*.  Both are reduced to
+    :class:`~repro.parallel.validate.RunRecord` and compared field by
+    field.  *supervisor* optionally overrides the
+    :class:`~repro.parallel.supervisor.SupervisorConfig` (chaos tests
+    shrink the collect deadline so injected hangs are detected in
+    milliseconds, not half a minute).
+    """
+    # Imported here, not at module top: repro.parallel's worker imports
+    # this package's plan module, so a top-level import would be cyclic.
+    from ..parallel.executor import ParallelMatcher
+    from ..parallel.validate import DifferentialReport, run_recorded
+
+    report = DifferentialReport()
+    with ParallelMatcher(workers=0) as reference:
+        report.records["inline"] = run_recorded(
+            productions, setup, reference, strategy=strategy, max_cycles=max_cycles
+        )
+    with ParallelMatcher(
+        workers=workers,
+        fault_plan=plan,
+        supervisor=supervisor,
+        recorder=recorder,
+    ) as subject:
+        report.records["parallel+faults"] = run_recorded(
+            productions, setup, subject, strategy=strategy, max_cycles=max_cycles
+        )
+        summary = subject.fault_summary()
+        events = [event.snapshot() for event in subject.fault_events()]
+    return ChaosReport(
+        workers=workers,
+        plan_rows=plan.snapshot(),
+        identical=report.agree,
+        divergences=report.divergences(),
+        fired_cycles=report.records["parallel+faults"].cycles,
+        halted=report.records["parallel+faults"].halted,
+        fault_summary=summary,
+        recovery_events=events,
+    )
+
+
+def seeded_chaos(
+    productions,
+    setup: Sequence,
+    seed: int,
+    workers: int = 2,
+    horizon: int = 16,
+    crashes: int = 1,
+    hangs: int = 0,
+    supervisor=None,
+    max_cycles: int = 200,
+    strategy: str = "lex",
+    recorder=None,
+) -> ChaosReport:
+    """``run_chaos`` with a :meth:`FaultPlan.seeded` plan -- the CLI's
+    one-call entry point for reproducible chaos by integer seed."""
+    plan = FaultPlan.seeded(
+        seed, shards=workers, horizon=horizon, crashes=crashes, hangs=hangs
+    )
+    return run_chaos(
+        productions,
+        setup,
+        plan,
+        workers=workers,
+        strategy=strategy,
+        max_cycles=max_cycles,
+        supervisor=supervisor,
+        recorder=recorder,
+    )

@@ -21,7 +21,10 @@ Snapshot shape (sections appear when their source exists)::
       "rete":     {"nodes", "nodes_by_kind", "sharing_ratio",
                    "alpha_wmes", "beta_tokens"},
       "parallel": {"workers", "shards", "productions_per_shard",
-                   "shard_weights"},
+                   "shard_weights", "degraded_shards"},
+      "faults":   {"crashes", "hangs", "respawns", "demotions",
+                   "checkpoints", "replayed_ops", "replay_seconds",
+                   "checkpoint_seconds", "events", ...},
       "serve":    Telemetry.snapshot(),
       "recorder": {"enabled", "events"},
     }
@@ -102,7 +105,12 @@ def _matcher_sections(matcher) -> dict:
             "shards": len(partitions),
             "productions_per_shard": [len(p.productions) for p in partitions],
             "shard_weights": [p.weight for p in partitions],
+            "degraded_shards": [p.index for p in partitions if p.degraded],
         }
+        # Supervision rollup: failure/recovery counters, replay and
+        # checkpoint timings, recent recovery events.  Reading it does
+        # not flush (it is coordinator-side bookkeeping only).
+        sections["faults"] = matcher.fault_summary()
     return sections
 
 

@@ -20,6 +20,12 @@ Public surface:
 """
 
 from .executor import ParallelMatcher, WorkQueue, default_worker_count
+from .supervisor import (
+    RecoveryEvent,
+    ShardFailure,
+    ShardSupervisor,
+    SupervisorConfig,
+)
 from .partition import (
     Partition,
     SharingLoss,
@@ -34,7 +40,7 @@ from .validate import (
     run_recorded,
     validate_parallel,
 )
-from .worker import RecordingConflictSet, ShardState
+from .worker import RecordingConflictSet, ShardState, rebuild_state
 
 __all__ = [
     "ParallelMatcher",
@@ -52,4 +58,9 @@ __all__ = [
     "validate_parallel",
     "RecordingConflictSet",
     "ShardState",
+    "rebuild_state",
+    "RecoveryEvent",
+    "ShardFailure",
+    "ShardSupervisor",
+    "SupervisorConfig",
 ]

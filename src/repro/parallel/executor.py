@@ -1,4 +1,4 @@
-"""The live parallel match executor: Rete on a real process pool.
+"""The live parallel match executor: Rete on a supervised process pool.
 
 This is the repo's fourth matcher backend -- the first one that
 *executes* match work in parallel instead of simulating it.  The design
@@ -33,14 +33,31 @@ the merged set -- and therefore conflict resolution, firing order, and
 every downstream result -- is bit-identical for every worker count,
 including the inline ``workers=0`` mode that runs the same shard code
 in-process.
+
+**Supervision** (see :mod:`repro.parallel.supervisor` and
+``docs/fault-tolerance.md``): collection waits with a deadline instead
+of blocking forever, so a crashed worker (EOF on the pipe) or a hung
+one (deadline expiry) surfaces as a :class:`ShardFailure`.  The
+coordinator then kills the remains, spawns a replacement, rebuilds its
+match state from the last checkpoint plus the op journal -- match state
+is a deterministic function of the op stream (the paper's Section 3.1
+premise), so the rebuilt shard is bit-identical -- and re-dispatches
+the batch the failure interrupted.  After ``max_failures`` consecutive
+failures a shard is *demoted* to an in-process inline shard, so the run
+always completes.  Because the fault plan keys on batch sequence
+numbers that recovery never reuses, injected faults fire exactly once
+and the recovered run's conflict-set stream matches the fault-free
+reference bit for bit.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Iterable, Sequence
+import time
+from typing import Any, Iterable, Optional, Sequence
 
+from ..faults.plan import FaultPlan
 from ..obs.recorder import NULL_RECORDER
 from ..ops5.errors import Ops5Error
 from ..ops5.conflict import ConflictSet
@@ -49,7 +66,13 @@ from ..ops5.production import Instantiation, Production
 from ..ops5.wme import WME
 from . import messages
 from .partition import Partition, assign_productions, production_weight
-from .worker import ShardState, shard_main
+from .supervisor import (
+    RecoveryEvent,
+    ShardFailure,
+    ShardSupervisor,
+    SupervisorConfig,
+)
+from .worker import ShardState, rebuild_state, shard_main
 
 
 def default_worker_count() -> int:
@@ -70,59 +93,135 @@ def _context():
 
 
 class _ProcessShard:
-    """Coordinator-side handle for one worker process."""
+    """Coordinator-side handle for one worker process.
 
-    def __init__(self, ctx, index: int) -> None:
+    All pipe I/O funnels through :meth:`_send` and :meth:`collect`, which
+    translate the three ways a worker can disappear -- broken pipe on
+    send, EOF on receive, silence past the deadline -- into a
+    :class:`ShardFailure` naming the shard and the cause, so the
+    executor's recovery path sees one exception type everywhere.
+    """
+
+    def __init__(self, ctx, index: int, fault_plan: Optional[FaultPlan] = None) -> None:
         self.index = index
         self.conn, child = ctx.Pipe()
         self.process = ctx.Process(
-            target=shard_main, args=(child,), daemon=True, name=f"repro-shard-{index}"
+            target=shard_main,
+            args=(child, index, fault_plan),
+            daemon=True,
+            name=f"repro-shard-{index}",
         )
         self.process.start()
         child.close()
 
-    def dispatch(self, ops: Sequence[Sequence[Any]]) -> None:
-        self.conn.send(("batch", ops))
-
-    def collect(self) -> tuple[list, list]:
+    def _send(self, payload: tuple) -> None:
         try:
-            reply = self.conn.recv()
+            self.conn.send(payload)
+        except (BrokenPipeError, OSError):
+            raise ShardFailure(self.index, "crash", "pipe broken on send") from None
+
+    def dispatch(self, ops: Sequence[Sequence[Any]], seq: Optional[int] = None) -> None:
+        self._send((messages.BATCH, ops, seq))
+
+    def collect(self, deadline: Optional[float] = None) -> tuple:
+        """Receive one reply; *deadline* seconds of silence is a hang."""
+        if deadline is not None:
+            try:
+                ready = self.conn.poll(deadline)
+            except (OSError, EOFError):
+                raise ShardFailure(self.index, "crash", "pipe closed") from None
+            if not ready:
+                raise ShardFailure(
+                    self.index, "hang", f"no reply within {deadline:g}s"
+                )
+        try:
+            return self.conn.recv()
         except EOFError:
-            raise RuntimeError(f"shard worker {self.index} died") from None
-        if reply[0] == "error":
-            raise RuntimeError(
-                f"shard worker {self.index} failed: {reply[1]}\n{reply[2]}"
-            )
-        return reply[1], reply[2]
+            raise ShardFailure(self.index, "crash", "pipe reached EOF") from None
+
+    def checkpoint(self, deadline: Optional[float] = None) -> Optional[bytes]:
+        """Round-trip a checkpoint request; ``None`` if the worker declined."""
+        self._send((messages.CHECKPOINT,))
+        reply = self.collect(deadline)
+        if reply[0] != messages.CHECKPOINT:
+            return None
+        return reply[1]
+
+    def restore(
+        self,
+        checkpoint: Optional[bytes],
+        journal: Sequence[Sequence[Any]],
+        deadline: Optional[float] = None,
+    ) -> int:
+        """Rebuild the worker's state; returns the replayed op count."""
+        self._send((messages.RESTORE, checkpoint, list(journal)))
+        reply = self.collect(deadline)
+        if reply[0] != messages.RESTORED:
+            detail = reply[1] if len(reply) > 1 else repr(reply)
+            raise ShardFailure(self.index, "crash", f"restore failed: {detail}")
+        return reply[1]
 
     def stop(self) -> None:
+        """Graceful stop, escalating to SIGTERM then SIGKILL.
+
+        A worker wedged in a way SIGTERM cannot reach (e.g. SIGSTOPped)
+        still gets reaped: SIGKILL acts even on stopped processes.  The
+        pipe is closed on every path, including when the sends or joins
+        themselves raise.
+        """
         try:
-            self.conn.send(("stop",))
-        except (BrokenPipeError, OSError):
-            pass
-        self.process.join(timeout=5)
-        if self.process.is_alive():  # pragma: no cover - stuck worker
+            try:
+                self.conn.send((messages.STOP,))
+            except (BrokenPipeError, OSError):
+                pass
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=5.0)
+        finally:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def kill(self) -> None:
+        """Reap the worker without ceremony (recovery path)."""
+        try:
             self.process.terminate()
-        self.conn.close()
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=5.0)
+        finally:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
 
 class _InlineShard:
-    """A shard that runs in-process (``workers=0``): same code, no IPC.
+    """A shard that runs in-process: same code, no IPC.
 
-    The inline mode is the executor's own serial reference -- it goes
-    through the identical routing, batching, and merge path, so timing
-    it against N process shards isolates exactly the parallel part.
+    Serves two roles: the ``workers=0`` serial reference configuration,
+    and the *demotion* target -- a shard whose worker keeps dying is
+    rebuilt from its journal into one of these, trading parallelism for
+    completion.  Inline shards never consult the fault plan: a fault
+    executed in-process would take the coordinator down with it.
     """
 
-    def __init__(self, index: int) -> None:
+    def __init__(self, index: int, state: Optional[ShardState] = None) -> None:
         self.index = index
-        self.state = ShardState()
-        self._reply: tuple[list, list] | None = None
+        self.state = state if state is not None else ShardState()
+        self._reply: Optional[tuple] = None
 
-    def dispatch(self, ops: Sequence[Sequence[Any]]) -> None:
-        self._reply = self.state.apply_batch(ops)
+    def dispatch(self, ops: Sequence[Sequence[Any]], seq: Optional[int] = None) -> None:
+        edits, stat_rows = self.state.apply_batch(ops)
+        self._reply = (messages.OK, edits, stat_rows)
 
-    def collect(self) -> tuple[list, list]:
+    def collect(self, deadline: Optional[float] = None) -> tuple:
         reply, self._reply = self._reply, None
         assert reply is not None
         return reply
@@ -188,16 +287,32 @@ class ParallelMatcher(Matcher):
         flush barrier records a coordinator span (lane 0) and one
         ``shard-batch`` span per dispatched shard on lane ``1 + shard``
         -- coordinator-observed wall-clock from dispatch to collection,
-        with queue depths (ops per batch) and edit counts as args.  A
-        Chrome-trace export of those lanes is the *measured* shard
-        schedule, Perfetto-comparable with the psim Gantt prediction.
+        with queue depths (ops per batch) and edit counts as args.
+        Failures add ``shard-failure`` instants and ``shard-recovery``
+        spans on the failed shard's lane.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`.  Worker processes
+        consult it before serving each batch, keyed by the batch's
+        sequence number, making crashes/hangs/slowdowns land at exact,
+        reproducible points.  Inline shards (``workers=0`` and demoted
+        shards) never consult it.
+    supervisor:
+        Optional :class:`~repro.parallel.supervisor.SupervisorConfig`
+        overriding collect deadlines, checkpoint cadence, and the
+        demotion threshold.
 
     Use as a context manager (or call :meth:`close`) so the worker
     processes are reaped deterministically; they are daemonic, so an
     unclosed matcher still cannot outlive the interpreter.
     """
 
-    def __init__(self, workers: int | None = None, recorder=None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        recorder=None,
+        fault_plan: Optional[FaultPlan] = None,
+        supervisor: Optional[SupervisorConfig] = None,
+    ) -> None:
         # Matcher.__init__ is deliberately not called: `conflict_set` and
         # `stats` are flush-on-read properties here, not attributes.
         if workers is None:
@@ -206,11 +321,16 @@ class ParallelMatcher(Matcher):
             raise Ops5Error("workers must be >= 0")
         self.workers = workers
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.fault_plan = fault_plan
         self._shard_count = max(1, workers)
+        self._supervisor = ShardSupervisor(
+            self._shard_count, supervisor if supervisor is not None else SupervisorConfig()
+        )
         self._conflict_set = ConflictSet()
         self._stats = MatchStats()
         self._queue = WorkQueue(self._shard_count)
         self._shards: list[_ProcessShard | _InlineShard] | None = None
+        self._ctx = None
         self._productions: dict[str, Production] = {}
         #: Production name -> owning shard index.
         self._assignment: dict[str, int] = {}
@@ -242,8 +362,11 @@ class ParallelMatcher(Matcher):
         if self.workers == 0:
             self._shards = [_InlineShard(0)]
         else:
-            ctx = _context()
-            self._shards = [_ProcessShard(ctx, i) for i in range(self._shard_count)]
+            self._ctx = _context()
+            self._shards = [
+                _ProcessShard(self._ctx, i, self.fault_plan)
+                for i in range(self._shard_count)
+            ]
         for partition in assign_productions(self._unpartitioned, self._shard_count):
             for production in partition.productions:
                 self._place(production, partition.index)
@@ -363,7 +486,15 @@ class ParallelMatcher(Matcher):
         return self._stats
 
     def flush(self) -> None:
-        """Dispatch all queued ops and merge the shards' results."""
+        """Dispatch all queued ops and merge the shards' results.
+
+        Shard failures (crash, hang) are recovered *inside* the flush --
+        the barrier completes with a bit-identical merged result, just
+        later.  Engine errors reported by a worker (a bad op) restore
+        the worker from the journal so the pool survives, then raise
+        after every other shard's reply has been drained, so no stale
+        reply can desynchronise the next flush.
+        """
         if self._unpartitioned and self._shards is None:
             self._ensure_started()
         if self._shards is None or not self._queue.dirty:
@@ -377,16 +508,27 @@ class ParallelMatcher(Matcher):
 
         active = [i for i, ops in enumerate(pending) if ops]
         dispatch_at: dict[int, int] = {}
+        seqs: dict[int, int] = {}
         for i in active:
             if rec.enabled:
                 dispatch_at[i] = rec.now()
-            self._shards[i].dispatch(pending[i])
+            seqs[i] = self._supervisor.next_seq(i)
+            try:
+                self._shards[i].dispatch(pending[i], seqs[i])
+            except ShardFailure as failure:
+                # Worker died before this flush (e.g. crashed between
+                # cycles); recover and hand the batch to the replacement.
+                self._recover(failure, seq=seqs[i], redispatch=pending[i])
 
         merged = [
             ChangeRecord(kind=kind, wme_class=cls) for kind, cls in changes
         ]
+        errors: list[RuntimeError] = []
         for i in active:
-            edits, stat_rows = self._shards[i].collect()
+            edits, stat_rows, error = self._collect_shard(i, pending[i], seqs[i])
+            if error is not None:
+                errors.append(error)
+                continue
             if rec.enabled:
                 # Coordinator-observed shard-batch wall-clock: dispatch
                 # to collection, serialised by collection order.
@@ -417,6 +559,8 @@ class ParallelMatcher(Matcher):
             self._wmes.pop(timetag, None)
         self._pending_removals = []
 
+        self._maybe_checkpoint(active)
+
         if rec.enabled:
             rec.complete(
                 "flush",
@@ -430,28 +574,163 @@ class ParallelMatcher(Matcher):
                     "ops": sum(len(pending[i]) for i in active),
                 },
             )
+        if errors:
+            raise errors[0]
 
-    def _merge_edits(self, edits: Sequence[tuple]) -> None:
-        for edit in edits:
-            if edit[0] == messages.INSERT:
-                _, name, timetags, bindings = edit
-                production = self._productions.get(name)
-                if production is None:
-                    # The production was removed after this WME op was
-                    # queued but before the flush; the shard's "-p"
-                    # retraction follows in the same edit stream, so
-                    # suppress the insert and excuse its paired delete.
-                    self._skipped_inserts.add((name, tuple(timetags)))
-                    continue
-                wmes = tuple(self._wmes[t] for t in timetags)
-                self._conflict_set.insert(Instantiation(production, wmes, bindings))
+    def _collect_shard(
+        self, i: int, ops: Sequence[Sequence[Any]], seq: int
+    ) -> tuple[list, list, Optional[RuntimeError]]:
+        """Collect shard *i*'s reply for *ops*, recovering as needed.
+
+        Returns ``(edits, stat_rows, error)``; ``error`` is set for an
+        engine error the worker reported (the batch is then *not*
+        journalled, and the worker has been restored to pre-batch state).
+        """
+        config = self._supervisor.config
+        while True:
+            shard = self._shards[i]
+            if isinstance(shard, _InlineShard):
+                reply = shard.collect()
             else:
-                _, name, timetags = edit
-                key = (name, tuple(timetags))
-                if key in self._skipped_inserts:
-                    self._skipped_inserts.discard(key)
+                try:
+                    reply = shard.collect(config.collect_deadline)
+                except ShardFailure as failure:
+                    self._recover(failure, seq=seq, redispatch=ops)
                     continue
-                self._conflict_set.delete_key(key)
+            if reply[0] == messages.OK:
+                self._supervisor.committed(i, ops)
+                self._supervisor.reset_failures(i)
+                return reply[1], reply[2], None
+            # An engine error inside the batch: the worker reset itself
+            # to a fresh state; put its journalled state back so the
+            # pool stays usable, then report the error to the caller.
+            error = RuntimeError(
+                f"shard worker {i} failed: {reply[1]}\n{reply[2]}"
+            )
+            self._restore_worker(i)
+            return [], [], error
+
+    # -- recovery ---------------------------------------------------------------
+
+    def _recover(
+        self,
+        failure: ShardFailure,
+        seq: Optional[int],
+        redispatch: Optional[Sequence[Sequence[Any]]],
+    ) -> None:
+        """Replace a failed shard worker and rebuild its match state.
+
+        Respawns a fresh process and replays checkpoint + journal into
+        it; after ``max_failures`` consecutive failures the shard is
+        demoted to an inline shard instead (same rebuild, no process).
+        *redispatch* is the batch the failure interrupted -- it was
+        never journalled, so the rebuilt state predates it and it is
+        re-sent (with no sequence number: injected faults never refire).
+        """
+        i = failure.shard
+        sup = self._supervisor
+        rec = self.recorder
+        failures = sup.record_failure(i, failure.cause)
+        if rec.enabled:
+            rec.instant(
+                "shard-failure",
+                "faults",
+                tid=1 + i,
+                shard=i,
+                cause=failure.cause,
+                detail=failure.detail,
+                consecutive=failures,
+            )
+        started = time.perf_counter()
+        recovery_start = rec.now() if rec.enabled else 0
+        shard = self._shards[i]
+        if isinstance(shard, _ProcessShard):
+            shard.kill()
+        checkpoint, journal = sup.recovery_payload(i)
+        attempts = 0
+        while True:
+            attempts += 1
+            if failures >= sup.config.max_failures:
+                replay_started = time.perf_counter()
+                state = rebuild_state(checkpoint, journal)
+                replay_seconds = time.perf_counter() - replay_started
+                self._shards[i] = _InlineShard(i, state)
+                action = "demoted"
+                break
+            if self._ctx is None:  # pragma: no cover - workers=0 guard
+                self._ctx = _context()
+            replacement = _ProcessShard(self._ctx, i, self.fault_plan)
+            try:
+                replay_started = time.perf_counter()
+                replacement.restore(
+                    checkpoint, journal, sup.config.recovery_deadline
+                )
+                replay_seconds = time.perf_counter() - replay_started
+            except ShardFailure as again:
+                # The replacement died during restore; count it and
+                # either try once more or fall through to demotion.
+                replacement.kill()
+                failures = sup.record_failure(i, again.cause)
+                continue
+            self._shards[i] = replacement
+            action = "respawned"
+            break
+        if redispatch is not None:
+            self._shards[i].dispatch(list(redispatch), None)
+        event = RecoveryEvent(
+            shard=i,
+            cause=failure.cause,
+            action=action,
+            seq=seq,
+            replayed_ops=len(journal),
+            used_checkpoint=checkpoint is not None,
+            replay_seconds=replay_seconds,
+            total_seconds=time.perf_counter() - started,
+            attempts=attempts,
+        )
+        sup.record_recovery(event)
+        if rec.enabled:
+            rec.complete(
+                "shard-recovery",
+                "faults",
+                start=recovery_start,
+                duration=rec.now() - recovery_start,
+                tid=1 + i,
+                args=event.snapshot(),
+            )
+
+    def _restore_worker(self, i: int) -> None:
+        """Put shard *i*'s journalled state back after an error reply."""
+        shard = self._shards[i]
+        if not isinstance(shard, _ProcessShard):
+            return
+        checkpoint, journal = self._supervisor.recovery_payload(i)
+        try:
+            shard.restore(
+                checkpoint, journal, self._supervisor.config.recovery_deadline
+            )
+        except ShardFailure as failure:
+            self._recover(failure, seq=None, redispatch=None)
+
+    def _maybe_checkpoint(self, shards: Iterable[int]) -> None:
+        """Take due checkpoints (only ever at a batch boundary, when the
+        workers' edit journals are drained -- state, never output)."""
+        sup = self._supervisor
+        for i in shards:
+            if not sup.wants_checkpoint(i):
+                continue
+            shard = self._shards[i]
+            started = time.perf_counter()
+            if isinstance(shard, _InlineShard):
+                blob = shard.state.checkpoint()
+            else:
+                try:
+                    blob = shard.checkpoint(sup.config.recovery_deadline)
+                except ShardFailure as failure:
+                    self._recover(failure, seq=None, redispatch=None)
+                    continue
+            if blob is not None:
+                sup.store_checkpoint(i, blob, time.perf_counter() - started)
 
     # -- bulk control ----------------------------------------------------------
 
@@ -480,6 +759,19 @@ class ParallelMatcher(Matcher):
 
     # -- introspection ----------------------------------------------------------
 
+    def fault_events(self) -> list[RecoveryEvent]:
+        """All recovery events so far, in occurrence order."""
+        return list(self._supervisor.events)
+
+    def fault_summary(self) -> dict:
+        """JSON-ready rollup of failures, recoveries, and their costs."""
+        return self._supervisor.summary()
+
+    @property
+    def degraded_shards(self) -> list[int]:
+        """Indices of shards demoted to inline execution."""
+        return [i for i, down in enumerate(self._supervisor.demoted) if down]
+
     def partition_snapshot(self) -> list[Partition]:
         """The current production -> shard distribution.
 
@@ -492,4 +784,28 @@ class ParallelMatcher(Matcher):
         for name, shard in sorted(self._assignment.items()):
             partitions[shard].productions.append(self._productions[name])
             partitions[shard].weight += production_weight(self._productions[name])
+        for i, down in enumerate(self._supervisor.demoted):
+            partitions[i].degraded = down
         return partitions
+
+    def _merge_edits(self, edits: Sequence[tuple]) -> None:
+        for edit in edits:
+            if edit[0] == messages.INSERT:
+                _, name, timetags, bindings = edit
+                production = self._productions.get(name)
+                if production is None:
+                    # The production was removed after this WME op was
+                    # queued but before the flush; the shard's "-p"
+                    # retraction follows in the same edit stream, so
+                    # suppress the insert and excuse its paired delete.
+                    self._skipped_inserts.add((name, tuple(timetags)))
+                    continue
+                wmes = tuple(self._wmes[t] for t in timetags)
+                self._conflict_set.insert(Instantiation(production, wmes, bindings))
+            else:
+                _, name, timetags = edit
+                key = (name, tuple(timetags))
+                if key in self._skipped_inserts:
+                    self._skipped_inserts.discard(key)
+                    continue
+                self._conflict_set.delete_key(key)

@@ -9,8 +9,16 @@ directly, which is how a shard receives its rules.
 
 Command stream (coordinator -> worker), one batch per flush::
 
-    ("batch", [op, op, ...])      apply ops in order, then reply
+    ("batch", [op, op, ...], seq) apply ops in order, then reply
+    ("checkpoint",)               pickle current state, reply with bytes
+    ("restore", blob, [op, ...])  rebuild state: unpickle blob (or start
+                                  fresh when None), replay ops quietly
     ("stop",)                     exit the worker loop
+
+``seq`` is the coordinator-assigned per-shard batch sequence number --
+the address fault injection fires on (:mod:`repro.faults`).  It is
+``None`` for recovery re-dispatches, which must never re-trigger the
+fault that killed the previous incarnation of the worker.
 
 Ops inside a batch::
 
@@ -20,9 +28,11 @@ Ops inside a batch::
     ("-w", timetag)               working-memory deletion
     ("reset",)                    discard all match state, keep nothing
 
-Reply (worker -> coordinator), one per batch::
+Reply (worker -> coordinator), one per command::
 
-    ("ok", edits, stat_rows)
+    ("ok", edits, stat_rows)      a served batch
+    ("checkpoint", blob)          pickled ShardState bytes
+    ("restored", op_count)        state rebuilt (checkpoint + replay)
     ("error", repr, traceback_text)
 
 ``edits`` is the ordered conflict-set edit stream the batch produced:
@@ -52,6 +62,17 @@ REMOVE_PRODUCTION = "-p"
 ADD_WME = "+w"
 REMOVE_WME = "-w"
 RESET = "reset"
+
+#: Command tags (coordinator -> worker).
+BATCH = "batch"
+CHECKPOINT = "checkpoint"
+RESTORE = "restore"
+STOP = "stop"
+
+#: Reply tags (worker -> coordinator).
+OK = "ok"
+RESTORED = "restored"
+ERROR = "error"
 
 INSERT = "i"
 DELETE = "d"

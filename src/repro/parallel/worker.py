@@ -11,13 +11,31 @@ different shards run truly concurrently, in different processes.
 The worker reports its work back as a *conflict-set edit stream* (the
 same currency Rete terminals trade in) plus per-change measurement
 rows, both pure-primitive tuples (see :mod:`repro.parallel.messages`).
+
+Recovery support (see :mod:`repro.parallel.supervisor`): a worker can
+``checkpoint`` -- pickle its whole :class:`ShardState`, match state and
+all -- and a *replacement* worker can ``restore`` from a checkpoint
+blob plus a journal of ops to replay.  Replay is quiet: the edits it
+produces were already merged by the coordinator before the failure, so
+they are drained and discarded.  Both rest on the paper's Section 3.1
+observation that match state is a deterministic function of the op
+stream -- which is also what makes the rebuilt shard bit-identical.
+
+Workers consult an optional :class:`~repro.faults.FaultPlan` before
+serving each batch, keyed by the coordinator-assigned sequence number,
+so chaos tests can schedule a crash, hang, pipe drop, or slow-down at
+an exact, reproducible point in the run.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import time
 import traceback
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
+from ..faults.plan import CRASH, HANG, HANG_FOREVER, PIPE_DROP, SLOW, FaultPlan
 from ..ops5.conflict import ConflictSet
 from ..ops5.production import Instantiation
 from ..ops5.wme import WME
@@ -64,7 +82,11 @@ class ShardState:
 
     Keeping the op-application logic process-free makes it unit-testable
     and lets the executor fall back to an inline shard when processes
-    are unavailable (``workers=0``).
+    are unavailable (``workers=0``) -- or when a shard is *demoted*
+    after repeated failures.  The whole object pickles (nothing in the
+    network holds closures or OS resources), which is what makes the
+    supervisor's checkpoints a pure state snapshot rather than a
+    recompilation recipe.
     """
 
     def __init__(self) -> None:
@@ -109,6 +131,15 @@ class ShardState:
                 raise ValueError(f"unknown op {tag!r}")
         return self.conflict_set.drain(), stat_rows
 
+    def checkpoint(self) -> bytes:
+        """Pickle the complete match state (network, conflict set, WMEs).
+
+        Taken at batch boundaries only, when the recording conflict
+        set's edit journal is empty -- a checkpoint captures *state*,
+        never undelivered output.
+        """
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
     def _stat_row(self, op_index: int) -> StatRow:
         record = self.network.stats.changes[-1]
         return (
@@ -120,12 +151,49 @@ class ShardState:
         )
 
 
-def shard_main(conn) -> None:
-    """Worker process entry point: serve batches until told to stop.
+def rebuild_state(
+    checkpoint: Optional[bytes], journal: Sequence[Sequence[Any]]
+) -> ShardState:
+    """Reconstruct a shard's state: unpickle + quiet journal replay.
+
+    This is the paper's ``c3`` (state re-derivation) measured live: a
+    fresh state replays the whole journal; a checkpointed one unpickles
+    and replays only the tail.  Replay output (edits, stat rows) is
+    discarded -- the coordinator merged it before the failure.
+    """
+    state = pickle.loads(checkpoint) if checkpoint is not None else ShardState()
+    if journal:
+        state.apply_batch(list(journal))
+    return state
+
+
+def _perform_fault(spec, conn) -> None:
+    """Execute an injected fault inside the worker process.
+
+    ``crash`` and ``pipe-drop`` do not return.  ``hang`` and ``slow``
+    sleep and return, letting the batch proceed -- for a real hang the
+    supervisor's deadline expires long before the sleep does and the
+    process is killed mid-sleep.
+    """
+    if spec.kind == CRASH:
+        # The observable behaviour of kill -9: no reply, no cleanup.
+        os._exit(1)
+    elif spec.kind == PIPE_DROP:
+        conn.close()
+        os._exit(1)
+    elif spec.kind == HANG:
+        time.sleep(spec.seconds or HANG_FOREVER)
+    elif spec.kind == SLOW:
+        time.sleep(spec.seconds)
+
+
+def shard_main(conn, index: int = 0, fault_plan: Optional[FaultPlan] = None) -> None:
+    """Worker process entry point: serve commands until told to stop.
 
     Any exception while applying a batch is reported to the coordinator
-    (which raises it there) instead of silently killing the process;
-    the worker keeps serving, so a failed differential-test example
+    instead of silently killing the process; the worker resets to a
+    fresh state (its own may be torn mid-batch) and the coordinator
+    restores it from the journal, so a failed differential-test example
     does not poison the next one.
     """
     state = ShardState()
@@ -134,18 +202,38 @@ def shard_main(conn) -> None:
             message = conn.recv()
         except EOFError:
             break
-        if message[0] == "stop":
+        tag = message[0]
+        if tag == messages.STOP:
             break
-        if message[0] != "batch":  # pragma: no cover - protocol misuse
-            conn.send(("error", f"unknown message {message[0]!r}", ""))
-            continue
-        try:
-            edits, stat_rows = state.apply_batch(message[1])
-        except BaseException as error:  # noqa: BLE001 - forwarded verbatim
-            conn.send(("error", repr(error), traceback.format_exc()))
-            # The shard's state may be torn mid-batch; start clean so the
-            # coordinator can reset and continue deterministically.
-            state = ShardState()
-            continue
-        conn.send(("ok", edits, stat_rows))
+        if tag == messages.BATCH:
+            ops = message[1]
+            seq = message[2] if len(message) > 2 else None
+            if fault_plan is not None:
+                spec = fault_plan.shard_fault(index, seq)
+                if spec is not None:
+                    _perform_fault(spec, conn)
+            try:
+                edits, stat_rows = state.apply_batch(ops)
+            except BaseException as error:  # noqa: BLE001 - forwarded verbatim
+                conn.send((messages.ERROR, repr(error), traceback.format_exc()))
+                # The shard's state may be torn mid-batch; start clean.
+                # The coordinator follows up with a restore.
+                state = ShardState()
+                continue
+            conn.send((messages.OK, edits, stat_rows))
+        elif tag == messages.CHECKPOINT:
+            try:
+                conn.send((messages.CHECKPOINT, state.checkpoint()))
+            except Exception as error:  # noqa: BLE001 - forwarded verbatim
+                conn.send((messages.ERROR, repr(error), traceback.format_exc()))
+        elif tag == messages.RESTORE:
+            try:
+                state = rebuild_state(message[1], message[2])
+            except BaseException as error:  # noqa: BLE001 - forwarded verbatim
+                conn.send((messages.ERROR, repr(error), traceback.format_exc()))
+                state = ShardState()
+                continue
+            conn.send((messages.RESTORED, len(message[2])))
+        else:  # pragma: no cover - protocol misuse
+            conn.send((messages.ERROR, f"unknown message {tag!r}", ""))
     conn.close()

@@ -50,26 +50,48 @@ if TYPE_CHECKING:  # pragma: no cover
     from .network import ReteNetwork
 
 
-def _attribute_test_predicate(attribute: str, test: Test):
+class _ClassRootPredicate:
+    """The per-class entry point's predicate: every routed WME passes.
+
+    Alpha predicates are plain picklable callables (not closures) so a
+    whole compiled network -- and therefore a shard's match state -- can
+    be checkpointed with ``pickle`` for crash recovery.
+    """
+
+    __slots__ = ()
+
+    def __call__(self, wme: WME) -> bool:
+        return True
+
+
+class _AttributeTestPredicate:
     """A WME predicate for one (attribute, test) pair.
 
     Only constant-operand tests reach the alpha network, so evaluation
     with empty bindings is complete.
     """
 
-    def predicate(wme: WME) -> bool:
-        return test.evaluate(wme.get(attribute), {}) is not None
+    __slots__ = ("attribute", "test")
 
-    return predicate
+    def __init__(self, attribute: str, test: Test) -> None:
+        self.attribute = attribute
+        self.test = test
+
+    def __call__(self, wme: WME) -> bool:
+        return self.test.evaluate(wme.get(self.attribute), {}) is not None
 
 
-def _intra_test_predicate(attr_a: str, attr_b: str):
+class _IntraTestPredicate:
     """A WME predicate for intra-CE variable consistency."""
 
-    def predicate(wme: WME) -> bool:
-        return values_equal(wme.get(attr_a), wme.get(attr_b))
+    __slots__ = ("attr_a", "attr_b")
 
-    return predicate
+    def __init__(self, attr_a: str, attr_b: str) -> None:
+        self.attr_a = attr_a
+        self.attr_b = attr_b
+
+    def __call__(self, wme: WME) -> bool:
+        return values_equal(wme.get(self.attr_a), wme.get(self.attr_b))
 
 
 def _test_share_key(attribute: str, test: Test) -> tuple:
@@ -160,7 +182,7 @@ class NetworkBuilder:
 
         root = net.class_roots.get(cls)
         if root is None:
-            root = AlphaTestNode(net, ("class", cls), lambda wme: True)
+            root = AlphaTestNode(net, ("class", cls), _ClassRootPredicate())
             # The per-class entry point is the change's root task in the
             # activation trace; its cost model differs from plain
             # constant tests.
@@ -178,10 +200,10 @@ class NetworkBuilder:
             analysis.alpha_tests, key=lambda pair: (pair[0], repr(pair[1]))
         ):
             keys.append(_test_share_key(attribute, test))
-            predicates.append(_attribute_test_predicate(attribute, test))
+            predicates.append(_AttributeTestPredicate(attribute, test))
         for attr_a, attr_b in sorted(analysis.intra_tests):
             keys.append(("intra", attr_a, attr_b))
-            predicates.append(_intra_test_predicate(attr_a, attr_b))
+            predicates.append(_IntraTestPredicate(attr_a, attr_b))
 
         for key, predicate in zip(keys, predicates):
             full_key = ("alpha", parent.id) + key

@@ -12,12 +12,13 @@ Error handling mirrors the server's reply contract:
 * -- except backpressure rejections, which raise
   :class:`BackpressureError` carrying the server's ``retry_after`` hint;
 * :meth:`RuleClient.call` wraps :meth:`request` in a retry loop that
-  sleeps out backpressure, which is how well-behaved clients are
-  expected to ingest under load.
+  sleeps out backpressure with exponential backoff and jitter, which is
+  how well-behaved clients are expected to ingest under load.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any, Optional, Sequence, Union
@@ -73,22 +74,58 @@ class RuleClient:
         return reply
 
     def call(
-        self, op: str, retries: int = 64, on_retry=None, **fields: Any
+        self,
+        op: str,
+        retries: int = 64,
+        on_retry=None,
+        max_total_wait: float = 30.0,
+        backoff_base: float = 2.0,
+        rng: Optional[random.Random] = None,
+        **fields: Any,
     ) -> dict:
         """Like :meth:`request`, but sleeps out backpressure rejections.
 
-        *on_retry* (if given) is called with the :class:`BackpressureError`
-        before each sleep -- the load generator counts rejections there.
+        The sleep before attempt *n* is the server's ``retry_after``
+        hint scaled by ``backoff_base ** (n - 1)``, with full jitter
+        (a uniform draw over ``(0, interval]``): a fleet of clients
+        rejected together must not retry together, or they re-arrive as
+        the same thundering herd that filled the queue.  Two budgets
+        bound the loop -- *retries* attempts and *max_total_wait*
+        cumulative sleep seconds -- and exhausting either raises a
+        :class:`BackpressureError` whose reply reports ``attempts`` and
+        ``total_wait``, so callers see how hard the client actually
+        tried.  *on_retry* (if given) is called with each rejection --
+        the load generator counts them there.  *rng* pins the jitter
+        for deterministic tests.
         """
-        for _ in range(retries):
+        draw = rng.uniform if rng is not None else random.uniform
+        total_wait = 0.0
+        attempts = 0
+        while attempts < retries and total_wait < max_total_wait:
             try:
                 return self.request(op, **fields)
             except BackpressureError as rejection:
+                attempts += 1
                 if on_retry is not None:
                     on_retry(rejection)
-                time.sleep(rejection.retry_after)
+                if attempts >= retries:
+                    break
+                interval = rejection.retry_after * backoff_base ** (attempts - 1)
+                pause = draw(0.0, interval)
+                pause = min(pause, max_total_wait - total_wait)
+                if pause > 0:
+                    time.sleep(pause)
+                total_wait += pause
         raise BackpressureError(
-            {"error": "backpressure", "detail": f"still rejected after {retries} tries"}
+            {
+                "error": "backpressure",
+                "detail": (
+                    f"still rejected after {attempts} attempts and "
+                    f"{total_wait:.3f}s of backoff"
+                ),
+                "attempts": attempts,
+                "total_wait": total_wait,
+            }
         )
 
     def close(self) -> None:

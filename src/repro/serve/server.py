@@ -55,12 +55,13 @@ class RuleServer:
         unix_path: Optional[str] = None,
         max_pending: int = DEFAULT_MAX_PENDING,
         recorder=None,
+        fault_plan=None,
     ) -> None:
         self.host = host
         self.port = port
         self.unix_path = unix_path
         self.sessions = SessionManager(
-            default_max_pending=max_pending, recorder=recorder
+            default_max_pending=max_pending, recorder=recorder, fault_plan=fault_plan
         )
         self.telemetry = Telemetry()
         self.connections = 0

@@ -26,6 +26,18 @@ arriving at a full queue is rejected *immediately* (never enqueued,
 session state untouched) with ``error: "backpressure"`` and a
 ``retry_after`` hint derived from the session's median latency and
 current queue depth.  Clients retry; nothing is silently dropped.
+
+Deadlines and degradation
+-------------------------
+A request may carry ``"deadline": seconds``; if the reply is not ready
+in time the *caller* gets ``error: "deadline"`` immediately.  The
+request itself is not interrupted -- the worker thread cannot be
+preempted mid-engine-op -- so its side effects still land in order; only
+the reply is abandoned.  Sessions backed by the parallel matcher also
+surface that matcher's supervision story: every shard recovery becomes
+a structured ``recovered``/``degraded`` notice in the session's stats
+row, so an operator sees at the RPC surface that a worker died, what
+the rebuild cost, and whether the session is now running degraded.
 """
 
 from __future__ import annotations
@@ -33,9 +45,12 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Optional
 
+from ..faults.plan import SLOW as FAULT_SLOW
+from ..faults.plan import FaultPlan
 from ..obs import metrics as obs_metrics
 from ..obs.recorder import NULL_RECORDER
 from ..ops5 import Ops5Error, ProductionSystem, matcher_named
@@ -53,7 +68,12 @@ class SessionClosed(Ops5Error):
     """The session was destroyed while the request waited."""
 
 
-def build_matcher(name: str, workers: Optional[int] = None, recorder=None):
+def build_matcher(
+    name: str,
+    workers: Optional[int] = None,
+    recorder=None,
+    fault_plan: Optional[FaultPlan] = None,
+):
     """Build a matcher backend for a session via the engine registry.
 
     ``workers`` is honoured for the parallel backend and rejected for
@@ -61,9 +81,14 @@ def build_matcher(name: str, workers: Optional[int] = None, recorder=None):
     is threaded into backends that can use it: the parallel executor
     takes it directly (shard-batch spans), Rete backends get a
     :class:`~repro.rete.RecorderListener` (per-activation spans).
+    ``fault_plan`` reaches only the parallel backend (its shard workers
+    consult it); session-site faults are injected by the session itself,
+    for any matcher.
     """
     if name == "parallel":
-        return matcher_named(name, workers=workers, recorder=recorder)
+        return matcher_named(
+            name, workers=workers, recorder=recorder, fault_plan=fault_plan
+        )
     if workers is not None:
         raise Ops5Error(
             f"workers={workers} is only meaningful for matcher='parallel', "
@@ -93,20 +118,29 @@ class Session:
         strategy: str = "lex",
         max_pending: int = DEFAULT_MAX_PENDING,
         recorder=None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if max_pending < 1:
             raise Ops5Error("max_pending must be >= 1")
         self.id = session_id
         self.matcher_name = matcher
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.fault_plan = fault_plan
         self.system = ProductionSystem(
             program,
-            matcher=build_matcher(matcher, workers, recorder=self.recorder),
+            matcher=build_matcher(
+                matcher, workers, recorder=self.recorder, fault_plan=fault_plan
+            ),
             strategy=strategy,
             recorder=self.recorder,
         )
         self.telemetry = Telemetry()
         self.max_pending = max_pending
+        #: Executed-request ordinal stream (session-site fault addresses).
+        self._request_ordinal = 0
+        #: Structured degraded/recovered notices surfaced via ``stats``.
+        self._fault_notices: deque[dict] = deque(maxlen=64)
+        self._fault_events_seen = 0
         self._queue: asyncio.Queue[tuple[dict, asyncio.Future]] = asyncio.Queue(
             maxsize=max_pending
         )
@@ -129,6 +163,12 @@ class Session:
         loop = asyncio.get_running_loop()
         while True:
             request, future = await self._queue.get()
+            if future.cancelled():
+                # The caller's deadline expired while the request was
+                # still queued; nothing has executed, so skipping it
+                # entirely is safe (and keeps the queue moving).
+                self._queue.task_done()
+                continue
             try:
                 reply = await loop.run_in_executor(
                     self._executor, self.perform, request
@@ -155,10 +195,19 @@ class Session:
 
         Returns the backpressure rejection (without enqueueing) when the
         queue is full; converts engine errors into error replies so one
-        bad request never tears down the connection or the session.
+        bad request never tears down the connection or the session.  A
+        ``"deadline"`` field bounds the wait: expiry answers the caller
+        with ``error: "deadline"`` right away, cancelling the queued
+        request if it has not started (a started request still completes
+        on the worker thread; only its reply is dropped).
         """
         if self._closed:
             return {"ok": False, "error": f"session {self.id!r} is closed"}
+        deadline = request.get("deadline")
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            return {"ok": False, "error": "deadline must be a positive number"}
         if self._queue.full():
             self.telemetry.rejected += 1
             return {
@@ -172,7 +221,18 @@ class Session:
         started = time.perf_counter()
         self._queue.put_nowait((request, future))
         try:
-            reply = await future
+            if deadline is not None:
+                reply = await asyncio.wait_for(future, timeout=deadline)
+            else:
+                reply = await future
+        except asyncio.TimeoutError:
+            self.telemetry.deadline_exceeded += 1
+            return {
+                "ok": False,
+                "error": "deadline",
+                "deadline": deadline,
+                "queue_depth": self.queue_depth,
+            }
         except Ops5Error as error:
             self.telemetry.errors += 1
             return {"ok": False, "error": str(error)}
@@ -208,6 +268,17 @@ class Session:
         if handler is None:
             raise Ops5Error(f"unknown session operation {op!r}")
         self.telemetry.requests += 1
+        ordinal = self._request_ordinal
+        self._request_ordinal += 1
+        if self.fault_plan is not None:
+            spec = self.fault_plan.session_fault(ordinal)
+            if spec is not None:
+                if spec.kind == FAULT_SLOW:
+                    time.sleep(spec.seconds)
+                else:
+                    raise Ops5Error(
+                        f"injected session fault at request {ordinal}"
+                    )
         with self.recorder.span(
             f"request:{op}", "serve", session=self.id, queue_depth=self.queue_depth
         ):
@@ -294,8 +365,31 @@ class Session:
 
     # -- introspection -------------------------------------------------------
 
+    def _sync_fault_notices(self) -> None:
+        """Fold new matcher recovery events into the notice stream.
+
+        ``respawned`` recoveries become ``recovered`` notices (the shard
+        is whole again), demotions become ``degraded`` ones (the session
+        keeps running, inline).  Reading the matcher's event list does
+        not flush it, so this is safe from the event-loop thread.
+        """
+        events = getattr(self.system.matcher, "fault_events", None)
+        if events is None:
+            return
+        rows = events()
+        for event in rows[self._fault_events_seen:]:
+            kind = "degraded" if event.action == "demoted" else "recovered"
+            self._fault_notices.append({"type": kind, **event.snapshot()})
+        self._fault_events_seen = len(rows)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any of the matcher's shards runs demoted."""
+        return bool(getattr(self.system.matcher, "degraded_shards", ()))
+
     def describe(self) -> dict:
         """JSON-ready session status (one row of the ``stats`` reply)."""
+        self._sync_fault_notices()
         return {
             "id": self.id,
             "matcher": self.matcher_name,
@@ -306,6 +400,8 @@ class Session:
             "halted": self.system.halted,
             "queue_depth": self.queue_depth,
             "max_pending": self.max_pending,
+            "degraded": self.degraded,
+            "fault_notices": list(self._fault_notices),
             # The unified snapshot (repro.obs.metrics) reads matcher
             # stats via peek_stats, so building it here -- possibly from
             # the event-loop thread while the worker matches -- cannot
@@ -321,10 +417,14 @@ class SessionManager:
     """Creates, resolves, and tears down the server's sessions."""
 
     def __init__(
-        self, default_max_pending: int = DEFAULT_MAX_PENDING, recorder=None
+        self,
+        default_max_pending: int = DEFAULT_MAX_PENDING,
+        recorder=None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.default_max_pending = default_max_pending
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.fault_plan = fault_plan
         self._sessions: dict[str, Session] = {}
         self._ids = itertools.count(1)
         #: Counters of destroyed sessions, so server-wide totals survive
@@ -359,6 +459,7 @@ class SessionManager:
             if max_pending is not None
             else self.default_max_pending,
             recorder=self.recorder,
+            fault_plan=self.fault_plan,
         )
         self._sessions[session_id] = session
         return session

@@ -82,6 +82,8 @@ class Telemetry:
     errors: int = 0
     #: Requests rejected with backpressure (never enqueued).
     rejected: int = 0
+    #: Requests whose caller-supplied deadline expired before the reply.
+    deadline_exceeded: int = 0
     #: WME changes processed: ingested batches plus changes made by
     #: production firings (the paper's wme-changes metric).
     wme_changes: int = 0
@@ -110,6 +112,7 @@ class Telemetry:
         self.requests += other.requests
         self.errors += other.errors
         self.rejected += other.rejected
+        self.deadline_exceeded += other.deadline_exceeded
         self.wme_changes += other.wme_changes
         self.firings += other.firings
 
@@ -119,6 +122,7 @@ class Telemetry:
             "requests": self.requests,
             "errors": self.errors,
             "rejected": self.rejected,
+            "deadline_exceeded": self.deadline_exceeded,
             "wme_changes": self.wme_changes,
             "firings": self.firings,
             "uptime_seconds": self.uptime,

@@ -57,6 +57,12 @@ def tree(depth: int, fanout: int = 2) -> list[WME]:
     return wmes
 
 
+def setup(length: int = 6) -> list[WME]:
+    """The default initial memory (chain), under the name every other
+    bundled program exposes -- callers can treat all programs uniformly."""
+    return chain(length)
+
+
 def expected_chain_facts(length: int) -> int:
     """Ancestor pairs of a chain with *length* parent edges."""
     return length * (length + 1) // 2

@@ -206,6 +206,37 @@ def test_closed_matcher_rejects_new_work():
         matcher.add_wme(WorkingMemory().add(WME("a", {})))
 
 
+def test_stop_reaps_a_sigstopped_worker():
+    """`close` must escalate past SIGTERM: a SIGSTOPped worker leaves
+    SIGTERM pending forever, and only SIGKILL acts on a stopped process.
+    Regression test for the old stop() that never escalated."""
+    import os
+    import signal
+
+    matcher = ParallelMatcher(workers=1)
+    matcher.add_production(_closure_productions()[0])
+    matcher.flush()  # make sure the pool is started and serving
+    shard = matcher._shards[0]
+    os.kill(shard.process.pid, signal.SIGSTOP)
+    matcher.close()
+    assert not shard.process.is_alive()
+    assert shard.conn.closed
+
+
+def test_stop_closes_pipe_even_when_worker_already_died():
+    import os
+    import signal
+
+    matcher = ParallelMatcher(workers=1)
+    matcher.add_production(_closure_productions()[0])
+    matcher.flush()
+    shard = matcher._shards[0]
+    os.kill(shard.process.pid, signal.SIGKILL)
+    shard.process.join(timeout=5)
+    matcher.close()  # send fails on the dead pipe; must not leak it
+    assert shard.conn.closed
+
+
 def test_negative_worker_count_rejected():
     with pytest.raises(Ops5Error):
         ParallelMatcher(workers=-1)

@@ -1,0 +1,226 @@
+"""Serve-layer fault behaviour: mid-batch errors, deadlines, backoff,
+and the degraded/recovered notices a faulted parallel session surfaces.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.faults import CRASH, ERROR, SESSION, SLOW, FaultPlan, FaultSpec
+from repro.serve.client import BackpressureError, RuleClient
+from repro.serve.session import Session
+
+CLOSURE = """
+(p base (parent ^from <x> ^to <y>) - (anc ^from <x> ^to <y>)
+   --> (make anc ^from <x> ^to <y>))
+(p step (anc ^from <x> ^to <y>) (parent ^from <y> ^to <z>)
+        - (anc ^from <x> ^to <z>)
+   --> (make anc ^from <x> ^to <z>))
+"""
+
+
+def _edges(n):
+    return [["parent", {"from": f"n{i}", "to": f"n{i + 1}"}] for i in range(n)]
+
+
+async def _closing(session, body):
+    try:
+        return await body(session)
+    finally:
+        await session.drain_and_close()
+
+
+# -- engine errors mid-batch --------------------------------------------------
+
+
+def test_engine_error_mid_batch_leaves_session_usable():
+    """A bad change inside a batch answers with a structured error; the
+    session keeps serving and its queue returns to zero."""
+
+    async def body(session):
+        good = await session.submit({"op": "assert", "wmes": _edges(2)})
+        assert good["ok"]
+        bad = await session.submit(
+            {"op": "apply", "changes": [["assert", "parent", {}], ["retract", 9999]]}
+        )
+        assert bad["ok"] is False
+        assert "9999" in bad["error"]
+        after = await session.submit({"op": "assert", "wmes": _edges(3), "run": True})
+        assert after["ok"]
+        assert session.queue_depth == 0
+        assert session.telemetry.errors == 1
+        return after
+
+    asyncio.run(_closing(Session("t", program=CLOSURE), body))
+
+
+def test_injected_session_fault_is_a_structured_error():
+    """A session-site ERROR fault exercises the same reply path."""
+    plan = FaultPlan([FaultSpec(kind=ERROR, site=SESSION, at=1)])
+
+    async def body(session):
+        first = await session.submit({"op": "assert", "wmes": _edges(1)})
+        assert first["ok"]
+        second = await session.submit({"op": "assert", "wmes": _edges(1)})
+        assert second["ok"] is False
+        assert "injected session fault" in second["error"]
+        third = await session.submit({"op": "query", "what": "wm"})
+        assert third["ok"]
+        assert session.queue_depth == 0
+
+    asyncio.run(_closing(Session("t", program=CLOSURE, fault_plan=plan), body))
+
+
+# -- per-request deadlines ----------------------------------------------------
+
+
+def test_deadline_expiry_answers_immediately_and_is_counted():
+    plan = FaultPlan([FaultSpec(kind=SLOW, site=SESSION, at=0, seconds=0.4)])
+
+    async def body(session):
+        slow = await session.submit(
+            {"op": "query", "what": "wm", "deadline": 0.05}
+        )
+        assert slow == {
+            "ok": False,
+            "error": "deadline",
+            "deadline": 0.05,
+            "queue_depth": 0,
+        }
+        assert session.telemetry.deadline_exceeded == 1
+        # The session is still healthy afterwards (the slow request
+        # finished on the worker thread; only its reply was dropped).
+        fine = await session.submit({"op": "assert", "wmes": _edges(1)})
+        assert fine["ok"]
+        assert session.queue_depth == 0
+
+    asyncio.run(_closing(Session("t", program=CLOSURE, fault_plan=plan), body))
+
+
+def test_deadline_must_be_positive():
+    async def body(session):
+        reply = await session.submit({"op": "query", "what": "wm", "deadline": -1})
+        assert reply["ok"] is False and "deadline" in reply["error"]
+
+    asyncio.run(_closing(Session("t", program=CLOSURE), body))
+
+
+def test_expired_queued_request_never_executes():
+    """A request whose deadline lapses while still queued is skipped at
+    dequeue time -- it must not burn worker time or count as executed."""
+    plan = FaultPlan([FaultSpec(kind=SLOW, site=SESSION, at=0, seconds=0.3)])
+
+    async def body(session):
+        blocker = asyncio.create_task(
+            session.submit({"op": "query", "what": "wm"})
+        )
+        await asyncio.sleep(0.05)  # let the blocker start executing
+        doomed = await session.submit(
+            {"op": "assert", "wmes": _edges(1), "deadline": 0.05}
+        )
+        assert doomed["error"] == "deadline"
+        assert (await blocker)["ok"]
+        # Only the blocker executed: the doomed request was skipped.
+        final = await session.submit({"op": "query", "what": "wm"})
+        assert final["wmes"] == []
+        assert session.telemetry.requests == 2
+
+    asyncio.run(_closing(Session("t", program=CLOSURE, fault_plan=plan), body))
+
+
+# -- client backoff -----------------------------------------------------------
+
+
+def _stub_client(replies):
+    """A RuleClient with no socket whose request() pops scripted replies."""
+    client = RuleClient.__new__(RuleClient)
+
+    def request(op, **fields):
+        outcome = replies.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client.request = request
+    return client
+
+
+def _rejection(retry_after=0.001):
+    return BackpressureError(
+        {"error": "backpressure", "retry_after": retry_after}
+    )
+
+
+def test_call_retries_until_success():
+    client = _stub_client([_rejection(), _rejection(), {"ok": True, "n": 3}])
+    seen = []
+    reply = client.call("ping", on_retry=seen.append, rng=random.Random(1))
+    assert reply == {"ok": True, "n": 3}
+    assert len(seen) == 2
+
+
+def test_call_reports_attempts_and_total_wait_when_exhausted():
+    client = _stub_client([_rejection() for _ in range(4)])
+    with pytest.raises(BackpressureError) as info:
+        client.call("ping", retries=4, rng=random.Random(2))
+    assert info.value.reply["attempts"] == 4
+    assert info.value.reply["total_wait"] >= 0
+
+
+def test_call_backoff_grows_and_respects_total_wait_budget(monkeypatch):
+    client = _stub_client([_rejection(0.1) for _ in range(64)])
+    sleeps = []
+    monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+
+    class TopDraw:
+        """Deterministic 'jitter': always the full interval."""
+
+        def uniform(self, low, high):
+            return high
+
+    with pytest.raises(BackpressureError) as info:
+        client.call("ping", max_total_wait=1.0, rng=TopDraw())
+    # Exponential intervals 0.1, 0.2, 0.4, ... clipped by the budget.
+    assert sleeps[:3] == [0.1, 0.2, 0.4]
+    assert sum(sleeps) <= 1.0 + 1e-9
+    assert info.value.reply["total_wait"] <= 1.0 + 1e-9
+    assert info.value.reply["attempts"] < 64
+
+
+def test_call_jitter_draws_below_the_interval():
+    client = _stub_client([_rejection(0.5), {"ok": True}])
+    drawn = []
+
+    class Recorder:
+        def uniform(self, low, high):
+            drawn.append((low, high))
+            return 0.0  # no actual sleeping in tests
+
+    assert client.call("ping", rng=Recorder())["ok"]
+    assert drawn == [(0.0, 0.5)]
+
+
+# -- recovery notices ---------------------------------------------------------
+
+
+def test_faulted_parallel_session_surfaces_recovered_notice():
+    """A shard crash under a session becomes a structured ``recovered``
+    notice in the session's stats row."""
+    plan = FaultPlan([FaultSpec(kind=CRASH, index=0, at=2)])
+    session = Session(
+        "t", program=CLOSURE, matcher="parallel", workers=1, fault_plan=plan
+    )
+    try:
+        session.perform({"op": "assert", "wmes": _edges(4)})
+        session.perform({"op": "run"})
+        row = session.describe()
+    finally:
+        session.close_resources()
+    assert row["degraded"] is False
+    notices = row["fault_notices"]
+    assert len(notices) == 1
+    assert notices[0]["type"] == "recovered"
+    assert notices[0]["cause"] == "crash"
+    assert notices[0]["replay_seconds"] > 0
+    assert row["metrics"]["faults"]["crashes"] == 1
