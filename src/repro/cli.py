@@ -49,12 +49,17 @@ def _build_matcher(args):
     """Construct the requested matcher through the engine registry.
 
     Every backend -- current and future -- goes through
-    :func:`~repro.ops5.engine.matcher_named`; ``--workers`` is forwarded
-    to the parallel backend (the only one that takes it).
+    :func:`~repro.ops5.engine.matcher_named`; ``--workers`` and
+    ``--transport`` are forwarded to the parallel backend (the only one
+    that takes them).
     """
     from .serve.session import build_matcher
 
-    return build_matcher(args.matcher, workers=getattr(args, "workers", None))
+    return build_matcher(
+        args.matcher,
+        workers=getattr(args, "workers", None),
+        transport=getattr(args, "transport", None),
+    )
 
 
 def _close_matcher(matcher) -> None:
@@ -80,6 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes for --matcher parallel (0 = inline)",
     )
+    run.add_argument(
+        "--transport", choices=["auto", "ring", "pipe"], default=None,
+        help="shard transport for --matcher parallel "
+             "(auto = shared-memory ring when available)",
+    )
     run.add_argument("--strategy", choices=["lex", "mea"], default="lex")
     run.add_argument("--max-cycles", type=int, default=None)
     run.add_argument("--stats", action="store_true", help="print match statistics")
@@ -95,6 +105,10 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--workers", type=int, default=None,
         help="worker processes for --matcher parallel (0 = inline)",
+    )
+    demo.add_argument(
+        "--transport", choices=["auto", "ring", "pipe"], default=None,
+        help="shard transport for --matcher parallel",
     )
 
     sim = sub.add_parser("simulate", help="replay a workload on the PSM model")
@@ -175,6 +189,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes for --matcher parallel (0 = inline)",
     )
+    profile.add_argument(
+        "--transport", choices=["auto", "ring", "pipe"], default=None,
+        help="shard transport for --matcher parallel",
+    )
     profile.add_argument("--strategy", choices=["lex", "mea"], default="lex")
     profile.add_argument("--max-cycles", type=int, default=None)
     profile.add_argument(
@@ -197,6 +215,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--workers", type=int, default=2,
         help="shard worker processes for the faulted run",
+    )
+    chaos.add_argument(
+        "--transport", choices=["auto", "ring", "pipe"], default="auto",
+        help="shard transport for the faulted run (recovery must be "
+             "bit-identical over either)",
     )
     chaos.add_argument(
         "--seed", type=int, default=42,
@@ -554,6 +577,7 @@ def _cmd_chaos(args) -> int:
         workers=args.workers,
         supervisor=config,
         max_cycles=args.max_cycles,
+        transport=args.transport,
     )
     for event in report.recovery_events:
         print(
@@ -566,8 +590,8 @@ def _cmd_chaos(args) -> int:
         print("-- no scheduled fault fired (run ended before the horizon)")
     verdict = "bit-identical" if report.identical else "DIVERGED"
     print(
-        f"-- faulted run vs inline reference: {verdict} "
-        f"({report.fired_cycles} cycles, halted={report.halted})"
+        f"-- faulted run ({report.transport} transport) vs inline reference: "
+        f"{verdict} ({report.fired_cycles} cycles, halted={report.halted})"
     )
     for problem in report.divergences:
         print(f"--   {problem}")

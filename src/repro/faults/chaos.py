@@ -37,6 +37,7 @@ class ChaosReport:
     halted: bool
     fault_summary: dict
     recovery_events: list[dict] = field(default_factory=list)
+    transport: str = "auto"
 
     @property
     def recovered(self) -> bool:
@@ -55,6 +56,7 @@ class ChaosReport:
             "halted": self.halted,
             "fault_summary": self.fault_summary,
             "recovery_events": self.recovery_events,
+            "transport": self.transport,
         }
 
 
@@ -67,6 +69,7 @@ def run_chaos(
     max_cycles: int = 200,
     supervisor=None,
     recorder=None,
+    transport: str = "auto",
 ) -> ChaosReport:
     """Run one program twice -- faulted parallel vs. inline reference.
 
@@ -77,7 +80,10 @@ def run_chaos(
     field.  *supervisor* optionally overrides the
     :class:`~repro.parallel.supervisor.SupervisorConfig` (chaos tests
     shrink the collect deadline so injected hangs are detected in
-    milliseconds, not half a minute).
+    milliseconds, not half a minute).  *transport* selects the subject's
+    shard transport (the reference is inline, so it has none): recovery
+    must be bit-identical over the shared-memory ring exactly as over
+    pickled pipes.
     """
     # Imported here, not at module top: repro.parallel's worker imports
     # this package's plan module, so a top-level import would be cyclic.
@@ -94,12 +100,14 @@ def run_chaos(
         fault_plan=plan,
         supervisor=supervisor,
         recorder=recorder,
+        transport=transport,
     ) as subject:
         report.records["parallel+faults"] = run_recorded(
             productions, setup, subject, strategy=strategy, max_cycles=max_cycles
         )
         summary = subject.fault_summary()
         events = [event.snapshot() for event in subject.fault_events()]
+        resolved = subject.transport_summary().get("kind", transport)
     return ChaosReport(
         workers=workers,
         plan_rows=plan.snapshot(),
@@ -109,6 +117,7 @@ def run_chaos(
         halted=report.records["parallel+faults"].halted,
         fault_summary=summary,
         recovery_events=events,
+        transport=resolved,
     )
 
 
@@ -124,6 +133,7 @@ def seeded_chaos(
     max_cycles: int = 200,
     strategy: str = "lex",
     recorder=None,
+    transport: str = "auto",
 ) -> ChaosReport:
     """``run_chaos`` with a :meth:`FaultPlan.seeded` plan -- the CLI's
     one-call entry point for reproducible chaos by integer seed."""
@@ -139,4 +149,5 @@ def seeded_chaos(
         max_cycles=max_cycles,
         supervisor=supervisor,
         recorder=recorder,
+        transport=transport,
     )

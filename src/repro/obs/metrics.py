@@ -25,6 +25,10 @@ Snapshot shape (sections appear when their source exists)::
       "faults":   {"crashes", "hangs", "respawns", "demotions",
                    "checkpoints", "replayed_ops", "replay_seconds",
                    "checkpoint_seconds", "events", ...},
+      "transport": {"kind", "dispatches", "eager_dispatches",
+                   "frames_sent", "bytes_sent", "frames_received",
+                   "bytes_received", "pickle_fallbacks", "ring_stalls",
+                   "mean_dispatch_latency_us", "symbols", ...},
       "serve":    Telemetry.snapshot(),
       "recorder": {"enabled", "events"},
     }
@@ -111,6 +115,10 @@ def _matcher_sections(matcher) -> dict:
         # checkpoint timings, recent recovery events.  Reading it does
         # not flush (it is coordinator-side bookkeeping only).
         sections["faults"] = matcher.fault_summary()
+        # Dispatch-path rollup: frames/bytes per direction, pickle
+        # fallbacks, ring stall episodes, intern-table size, and the
+        # per-dispatch latency the batching is trying to amortise.
+        sections["transport"] = matcher.transport_summary()
     return sections
 
 

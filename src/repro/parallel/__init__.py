@@ -16,10 +16,21 @@ Public surface:
   partitioner and the live sharing-loss measurement;
 * :func:`~repro.parallel.validate.compare_backends` /
   :func:`~repro.parallel.validate.validate_parallel` -- differential
-  validation of any backend set.
+  validation of any backend set;
+* the transport layer -- :data:`~repro.parallel.transport.TRANSPORTS`
+  (``auto``/``ring``/``pipe``), :class:`~repro.parallel.ring.Ring`, the
+  struct codec, and :class:`DispatchConfig` for batched dispatch
+  tuning.
 """
 
-from .executor import ParallelMatcher, WorkQueue, default_worker_count
+from .executor import (
+    DispatchConfig,
+    ParallelMatcher,
+    WorkQueue,
+    default_worker_count,
+)
+from .ring import Ring, RingStall
+from .transport import TRANSPORTS, TransportStats, resolve_transport, ring_available
 from .supervisor import (
     RecoveryEvent,
     ShardFailure,
@@ -46,6 +57,13 @@ __all__ = [
     "ParallelMatcher",
     "WorkQueue",
     "default_worker_count",
+    "DispatchConfig",
+    "Ring",
+    "RingStall",
+    "TRANSPORTS",
+    "TransportStats",
+    "resolve_transport",
+    "ring_available",
     "Partition",
     "SharingLoss",
     "assign_productions",

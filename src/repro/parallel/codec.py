@@ -1,0 +1,386 @@
+"""Struct-packed frames for the shared-memory ring transport.
+
+The pipe transport pickles whole command tuples; fine at large batch
+sizes, but the per-op constant -- pickling a dict of strings, a pipe
+write, a read, an unpickle -- is exactly the dispatch overhead the
+paper's hardware scheduler argument says must shrink (Sections 4-5).
+This codec packs the two hot frame kinds by hand:
+
+* **batch frames** (coordinator -> worker): every symbol string crosses
+  as a fixed-width u32 intern id against the coordinator's
+  :class:`~repro.ops5.symbols.SymbolTable`; each frame carries the
+  table *delta* (the symbols the worker's mirror has not seen yet), so
+  a steady-state frame for ``(+w, class, {attr: sym}, tag)`` is a few
+  dozen bytes with no string handling at all;
+* **ok frames** (worker -> coordinator): the conflict-set edit stream
+  and stat rows, symbols encoded by id when the worker's mirror knows
+  them and inline otherwise (a mirror never allocates ids -- the
+  coordinator owns the id space).
+
+Anything else -- checkpoints, restores, errors, productions inside a
+batch -- rides as a pickle frame; those are rare control-plane events.
+Values keep OPS5 semantics: numbers are never interned (``1 == 1.0``
+but symbol ``|1|`` equals neither), every value is type-tagged, and
+ints beyond i64 fall back to a decimal-string encoding.  A codec error
+on the encode side is never fatal: the transport catches it and ships
+the frame as a pickle instead.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Optional, Sequence
+
+from ..ops5.symbols import SymbolTable
+from . import messages
+
+__all__ = [
+    "FRAME_PICKLE",
+    "FRAME_BATCH",
+    "FRAME_OK",
+    "encode_batch",
+    "decode_batch",
+    "encode_reply",
+    "decode_reply",
+]
+
+#: First byte of every ring message.
+FRAME_PICKLE = 0
+FRAME_BATCH = 1
+FRAME_OK = 2
+
+_OP_ADD_WME = 1
+_OP_REMOVE_WME = 2
+_OP_RESET = 3
+_OP_ADD_PROD = 4
+_OP_REMOVE_PROD = 5
+
+_VAL_INT = 1
+_VAL_FLOAT = 2
+_VAL_SYM = 3
+_VAL_STR = 4
+_VAL_BIGINT = 5
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+_U8 = struct.Struct("<B")
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+#: Pre-packed one-byte tag for the encode slow path.
+_BIGINT_TAG = _U8.pack(_VAL_BIGINT)
+
+#: Combined structs covering whole hot-path records in one pack/unpack:
+#: the ADD_WME fixed header (after the op tag) and the three fixed-width
+#: attribute encodings.  Same byte layout as the field-at-a-time form --
+#: "<" disables padding -- just fewer interpreter round trips.
+_WME_HDR = struct.Struct("<BIqH")  # op tag, class id, timetag, nattrs
+_WME_BODY = struct.Struct("<IqH")  # the same header once the tag is read
+_ATTR_SYM = struct.Struct("<IBI")  # attr id, VAL_SYM, symbol id
+_ATTR_INT = struct.Struct("<IBq")  # attr id, VAL_INT, i64
+_ATTR_FLOAT = struct.Struct("<IBd")  # attr id, VAL_FLOAT, f64
+_ATTR_HDR = struct.Struct("<IB")  # attr id + value tag (decode side)
+
+
+def _put_str(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8", "surrogatepass")
+    out += _U32.pack(len(raw))
+    out += raw
+
+
+def _get_str(buf: bytes, pos: int) -> tuple[str, int]:
+    (n,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    return buf[pos : pos + n].decode("utf-8", "surrogatepass"), pos + n
+
+
+def _put_value(out: bytearray, value: Any, table: SymbolTable, allocate: bool) -> None:
+    """Type-tagged value encoding (symbols by id where possible).
+
+    *allocate* distinguishes the two sides of the wire: the coordinator
+    interns freely (its frame carries the delta), a worker mirror only
+    uses ids it already has and ships unknown strings inline.
+    """
+    kind = type(value)
+    if kind is str:
+        if allocate:
+            out += _U8.pack(_VAL_SYM)
+            out += _U32.pack(table.intern_id(value))
+        else:
+            ident = table.try_id(value)
+            if ident is not None:
+                out += _U8.pack(_VAL_SYM)
+                out += _U32.pack(ident)
+            else:
+                out += _U8.pack(_VAL_STR)
+                _put_str(out, value)
+    elif kind is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            out += _U8.pack(_VAL_INT)
+            out += _I64.pack(value)
+        else:
+            out += _U8.pack(_VAL_BIGINT)
+            _put_str(out, str(value))
+    elif kind is float:
+        out += _U8.pack(_VAL_FLOAT)
+        out += _F64.pack(value)
+    else:
+        # bool, None, anything exotic: no wire form.  The transport
+        # falls back to a pickle frame for the whole message.
+        raise TypeError(f"value {value!r} has no packed encoding")
+
+
+def _get_value(buf: bytes, pos: int, table: SymbolTable) -> tuple[Any, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == _VAL_SYM:
+        (ident,) = _U32.unpack_from(buf, pos)
+        return table.text_of(ident), pos + 4
+    if tag == _VAL_INT:
+        (v,) = _I64.unpack_from(buf, pos)
+        return v, pos + 8
+    if tag == _VAL_FLOAT:
+        (f,) = _F64.unpack_from(buf, pos)
+        return f, pos + 8
+    if tag == _VAL_STR:
+        return _get_str(buf, pos)
+    if tag == _VAL_BIGINT:
+        text, pos = _get_str(buf, pos)
+        return int(text), pos
+    raise ValueError(f"unknown value tag {tag}")
+
+
+# ---------------------------------------------------------------------------
+# Batch frames (coordinator -> worker)
+# ---------------------------------------------------------------------------
+
+
+def encode_batch(
+    ops: Sequence[Sequence[Any]],
+    seq: Optional[int],
+    table: SymbolTable,
+    watermark: int,
+    op_cache: Optional[dict] = None,
+) -> tuple[bytes, int]:
+    """Pack ``("batch", ops, seq)``; returns ``(frame, new_watermark)``.
+
+    The body is encoded first (interning may allocate ids), then the
+    symbol delta since *watermark* is prepended so the worker's mirror
+    is current before it decodes a single op.  *op_cache* (timetag ->
+    encoded body) lets the executor reuse a WME op's bytes when one
+    change fans out to several shards; it must not outlive one flush
+    epoch (timetags restart on ``clear``).
+    """
+    intern = table.intern_id
+    pack_u32 = _U32.pack
+    body = bytearray()
+    body += pack_u32(len(ops))
+    for op in ops:
+        tag = op[0]
+        if tag == messages.ADD_WME:
+            _, cls, attrs, timetag = op
+            cached = op_cache.get(timetag) if op_cache is not None else None
+            if cached is not None:
+                body += cached
+                continue
+            # The value encoding of _put_value, inlined with *allocate*
+            # resolved and whole records packed in one struct call: this
+            # loop runs once per attribute of every WME the run
+            # dispatches, and is what the dispatch-cost bench times.
+            op_body = bytearray(_WME_HDR.pack(_OP_ADD_WME, intern(cls), timetag, len(attrs)))
+            for attr, value in attrs.items():
+                kind = type(value)
+                if kind is str:
+                    op_body += _ATTR_SYM.pack(intern(attr), _VAL_SYM, intern(value))
+                elif kind is int:
+                    if _I64_MIN <= value <= _I64_MAX:
+                        op_body += _ATTR_INT.pack(intern(attr), _VAL_INT, value)
+                    else:
+                        op_body += pack_u32(intern(attr))
+                        op_body += _BIGINT_TAG
+                        _put_str(op_body, str(value))
+                elif kind is float:
+                    op_body += _ATTR_FLOAT.pack(intern(attr), _VAL_FLOAT, value)
+                else:
+                    raise TypeError(f"value {value!r} has no packed encoding")
+            if op_cache is not None:
+                op_cache[timetag] = bytes(op_body)
+            body += op_body
+        elif tag == messages.REMOVE_WME:
+            body += _U8.pack(_OP_REMOVE_WME)
+            body += _I64.pack(op[1])
+        elif tag == messages.RESET:
+            body += _U8.pack(_OP_RESET)
+        elif tag == messages.ADD_PRODUCTION:
+            production = op[1]
+            # Intern the name now: the worker's edit stream will name
+            # this production, and the mirror can then sym-encode it.
+            table.intern_id(production.name)
+            blob = pickle.dumps(production, protocol=pickle.HIGHEST_PROTOCOL)
+            body += _U8.pack(_OP_ADD_PROD)
+            body += _U32.pack(len(blob))
+            body += blob
+        elif tag == messages.REMOVE_PRODUCTION:
+            body += _U8.pack(_OP_REMOVE_PROD)
+            body += _U32.pack(table.intern_id(op[1]))
+        else:
+            raise TypeError(f"op {tag!r} has no packed encoding")
+
+    new_watermark = len(table)
+    frame = bytearray()
+    frame += _U8.pack(FRAME_BATCH)
+    delta = table.delta(watermark)
+    frame += _U32.pack(len(delta))
+    for text in delta:
+        _put_str(frame, text)
+    frame += _I64.pack(-1 if seq is None else seq)
+    frame += body
+    return bytes(frame), new_watermark
+
+
+def decode_batch(frame: bytes, mirror: SymbolTable) -> tuple[list, Optional[int]]:
+    """Unpack a batch frame into ``(ops, seq)`` in wire-tuple format.
+
+    Ops come out exactly as :mod:`repro.parallel.messages` specifies
+    them, so :meth:`ShardState.apply_batch` and the journal never see a
+    difference between transports.
+    """
+    assert frame[0] == FRAME_BATCH
+    pos = 1
+    (ndelta,) = _U32.unpack_from(frame, pos)
+    pos += 4
+    if ndelta:
+        texts = []
+        for _ in range(ndelta):
+            text, pos = _get_str(frame, pos)
+            texts.append(text)
+        mirror.extend(texts)
+    (seq,) = _I64.unpack_from(frame, pos)
+    pos += 8
+    (nops,) = _U32.unpack_from(frame, pos)
+    pos += 4
+    ops: list = []
+    ops_append = ops.append
+    text_of = mirror.text_of
+    unpack_attr = _ATTR_HDR.unpack_from
+    for _ in range(nops):
+        tag = frame[pos]
+        pos += 1
+        if tag == _OP_ADD_WME:
+            cls_id, timetag, nattrs = _WME_BODY.unpack_from(frame, pos)
+            pos += 14
+            attrs = {}
+            for _ in range(nattrs):
+                attr_id, vtag = unpack_attr(frame, pos)
+                pos += 5
+                if vtag == _VAL_SYM:
+                    (ident,) = _U32.unpack_from(frame, pos)
+                    pos += 4
+                    value = text_of(ident)
+                elif vtag == _VAL_INT:
+                    (value,) = _I64.unpack_from(frame, pos)
+                    pos += 8
+                elif vtag == _VAL_FLOAT:
+                    (value,) = _F64.unpack_from(frame, pos)
+                    pos += 8
+                else:
+                    # Rare tags (inline string, bigint): re-read from
+                    # the tag byte through the shared slow path.
+                    value, pos = _get_value(frame, pos - 1, mirror)
+                attrs[text_of(attr_id)] = value
+            ops_append((messages.ADD_WME, text_of(cls_id), attrs, timetag))
+        elif tag == _OP_REMOVE_WME:
+            (timetag,) = _I64.unpack_from(frame, pos)
+            pos += 8
+            ops.append((messages.REMOVE_WME, timetag))
+        elif tag == _OP_RESET:
+            ops.append((messages.RESET,))
+        elif tag == _OP_ADD_PROD:
+            (n,) = _U32.unpack_from(frame, pos)
+            pos += 4
+            production = pickle.loads(frame[pos : pos + n])
+            pos += n
+            ops.append((messages.ADD_PRODUCTION, production))
+        elif tag == _OP_REMOVE_PROD:
+            (name_id,) = _U32.unpack_from(frame, pos)
+            pos += 4
+            ops.append((messages.REMOVE_PRODUCTION, mirror.text_of(name_id)))
+        else:
+            raise ValueError(f"unknown op tag {tag}")
+    return ops, None if seq == -1 else seq
+
+
+# ---------------------------------------------------------------------------
+# OK replies (worker -> coordinator)
+# ---------------------------------------------------------------------------
+
+
+def encode_reply(
+    edits: Sequence[tuple], stat_rows: Sequence[tuple], mirror: SymbolTable
+) -> bytes:
+    """Pack ``("ok", edits, stat_rows)`` against the worker's mirror."""
+    out = bytearray()
+    out += _U8.pack(FRAME_OK)
+    out += _U32.pack(len(edits))
+    for edit in edits:
+        kind = edit[0]
+        out += _U8.pack(0 if kind == messages.INSERT else 1)
+        _put_value(out, edit[1], mirror, allocate=False)
+        timetags = edit[2]
+        out += _U16.pack(len(timetags))
+        for timetag in timetags:
+            out += _I64.pack(timetag)
+        if kind == messages.INSERT:
+            bindings = edit[3]
+            out += _U16.pack(len(bindings))
+            for key, value in bindings.items():
+                _put_value(out, key, mirror, allocate=False)
+                _put_value(out, value, mirror, allocate=False)
+    out += _U32.pack(len(stat_rows))
+    for row in stat_rows:
+        for cell in row:
+            out += _I64.pack(cell)
+    return bytes(out)
+
+
+def decode_reply(frame: bytes, table: SymbolTable) -> tuple[list, list]:
+    """Unpack an OK frame into ``(edits, stat_rows)`` wire tuples."""
+    assert frame[0] == FRAME_OK
+    pos = 1
+    (nedits,) = _U32.unpack_from(frame, pos)
+    pos += 4
+    edits: list = []
+    for _ in range(nedits):
+        is_delete = frame[pos]
+        pos += 1
+        name, pos = _get_value(frame, pos, table)
+        (ntags,) = _U16.unpack_from(frame, pos)
+        pos += 2
+        timetags = []
+        for _ in range(ntags):
+            (timetag,) = _I64.unpack_from(frame, pos)
+            pos += 8
+            timetags.append(timetag)
+        if is_delete:
+            edits.append((messages.DELETE, name, tuple(timetags)))
+        else:
+            (nbind,) = _U16.unpack_from(frame, pos)
+            pos += 2
+            bindings = {}
+            for _ in range(nbind):
+                key, pos = _get_value(frame, pos, table)
+                value, pos = _get_value(frame, pos, table)
+                bindings[key] = value
+            edits.append((messages.INSERT, name, tuple(timetags), bindings))
+    (nrows,) = _U32.unpack_from(frame, pos)
+    pos += 4
+    stat_rows: list = []
+    for _ in range(nrows):
+        row = struct.unpack_from("<5q", frame, pos)
+        pos += 40
+        stat_rows.append(row)
+    return edits, stat_rows

@@ -55,6 +55,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
 
 from ..faults.plan import FaultPlan
@@ -63,15 +64,18 @@ from ..ops5.errors import Ops5Error
 from ..ops5.conflict import ConflictSet
 from ..ops5.matcher import ChangeRecord, Matcher, MatchStats
 from ..ops5.production import Instantiation, Production
+from ..ops5.symbols import SYMBOLS
 from ..ops5.wme import WME
 from . import messages
 from .partition import Partition, assign_productions, production_weight
+from .ring import RingStall
 from .supervisor import (
     RecoveryEvent,
     ShardFailure,
     ShardSupervisor,
     SupervisorConfig,
 )
+from .transport import TRANSPORTS, TransportStats, create_endpoint, resolve_transport
 from .worker import ShardState, rebuild_state, shard_main
 
 
@@ -92,6 +96,47 @@ def _context():
     return multiprocessing.get_context()
 
 
+@dataclass(frozen=True)
+class DispatchConfig:
+    """Batched-dispatch tuning: when to wake a shard before the barrier.
+
+    The paper's scheduler argument cuts both ways: dispatch must be
+    cheap, *and* a worker should start chewing while the coordinator is
+    still routing the rest of the cycle's changes.  ``eager_ops`` is
+    the queue depth at which a shard's pending batch is dispatched
+    early (``None`` restores pure barrier dispatch); with ``adaptive``
+    the threshold tracks half the shard's recent ops-per-cycle (EWMA),
+    clamped to ``[min_ops, max_ops]``, so small cycles stay single-batch
+    while bulk loads pipeline.  Eager dispatch only applies to process
+    shards -- inline shards gain nothing from starting early.
+    """
+
+    eager_ops: Optional[int] = 64
+    adaptive: bool = True
+    min_ops: int = 16
+    max_ops: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.eager_ops is not None and self.eager_ops < 1:
+            raise ValueError("eager_ops must be >= 1 (or None to disable)")
+        if self.min_ops < 1 or self.max_ops < self.min_ops:
+            raise ValueError("need 1 <= min_ops <= max_ops")
+
+
+class _InflightBatch:
+    """One dispatched-but-uncollected batch (the executor's send window)."""
+
+    __slots__ = ("ops", "change_map", "seq", "sent_at", "start", "eager")
+
+    def __init__(self, ops, change_map, seq, sent_at, start, eager):
+        self.ops = ops
+        self.change_map = change_map
+        self.seq = seq
+        self.sent_at = sent_at  # recorder clock (0 when disabled)
+        self.start = start  # perf_counter at dispatch
+        self.eager = eager
+
+
 class _ProcessShard:
     """Coordinator-side handle for one worker process.
 
@@ -102,22 +147,48 @@ class _ProcessShard:
     executor's recovery path sees one exception type everywhere.
     """
 
-    def __init__(self, ctx, index: int, fault_plan: Optional[FaultPlan] = None) -> None:
+    def __init__(
+        self,
+        ctx,
+        index: int,
+        fault_plan: Optional[FaultPlan] = None,
+        transport_kind: str = "pipe",
+        send_timeout: Optional[float] = 30.0,
+        op_cache: Optional[dict] = None,
+    ) -> None:
         self.index = index
-        self.conn, child = ctx.Pipe()
+        conn, child = ctx.Pipe()
+        self.endpoint = create_endpoint(transport_kind, conn, send_timeout)
+        if op_cache is not None and hasattr(self.endpoint, "op_cache"):
+            # Share the matcher-wide epoch cache: op bodies reference the
+            # process-global symbol table, so the bytes for a WME op are
+            # identical no matter which shard receives them.  Fanning the
+            # same op to N shards then encodes it once, not N times.
+            self.endpoint.op_cache = op_cache
+        spec = self.endpoint.worker_spec(child)
         self.process = ctx.Process(
             target=shard_main,
-            args=(child, index, fault_plan),
+            args=(spec, index, fault_plan),
             daemon=True,
             name=f"repro-shard-{index}",
         )
         self.process.start()
         child.close()
 
+    @property
+    def conn(self):
+        """The liveness/data pipe (tests and tooling peek at it)."""
+        return self.endpoint.conn
+
     def _send(self, payload: tuple) -> None:
         try:
-            self.conn.send(payload)
-        except (BrokenPipeError, OSError):
+            self.endpoint.send(payload)
+        except RingStall:
+            cause = "hang" if self.process.is_alive() else "crash"
+            raise ShardFailure(
+                self.index, cause, "command ring full (worker not draining)"
+            ) from None
+        except (EOFError, BrokenPipeError, OSError):
             raise ShardFailure(self.index, "crash", "pipe broken on send") from None
 
     def dispatch(self, ops: Sequence[Sequence[Any]], seq: Optional[int] = None) -> None:
@@ -127,7 +198,7 @@ class _ProcessShard:
         """Receive one reply; *deadline* seconds of silence is a hang."""
         if deadline is not None:
             try:
-                ready = self.conn.poll(deadline)
+                ready = self.endpoint.poll(deadline)
             except (OSError, EOFError):
                 raise ShardFailure(self.index, "crash", "pipe closed") from None
             if not ready:
@@ -135,7 +206,12 @@ class _ProcessShard:
                     self.index, "hang", f"no reply within {deadline:g}s"
                 )
         try:
-            return self.conn.recv()
+            return self.endpoint.recv()
+        except RingStall:
+            cause = "hang" if self.process.is_alive() else "crash"
+            raise ShardFailure(
+                self.index, cause, "reply frame stalled mid-message"
+            ) from None
         except EOFError:
             raise ShardFailure(self.index, "crash", "pipe reached EOF") from None
 
@@ -145,6 +221,23 @@ class _ProcessShard:
         reply = self.collect(deadline)
         if reply[0] != messages.CHECKPOINT:
             return None
+        return reply[1]
+
+    def restore_pickled(self, payload: bytes, deadline: Optional[float] = None) -> int:
+        """Rebuild the worker's state from a pre-pickled restore command
+        (see ``ShardSupervisor.restore_message_bytes``); returns the
+        replayed op count."""
+        try:
+            self.endpoint.send_pickled(payload)
+        except RingStall:
+            cause = "hang" if self.process.is_alive() else "crash"
+            raise ShardFailure(self.index, cause, "ring full during restore") from None
+        except (EOFError, BrokenPipeError, OSError):
+            raise ShardFailure(self.index, "crash", "pipe broken on restore") from None
+        reply = self.collect(deadline)
+        if reply[0] != messages.RESTORED:
+            detail = reply[1] if len(reply) > 1 else repr(reply)
+            raise ShardFailure(self.index, "crash", f"restore failed: {detail}")
         return reply[1]
 
     def restore(
@@ -161,18 +254,21 @@ class _ProcessShard:
             raise ShardFailure(self.index, "crash", f"restore failed: {detail}")
         return reply[1]
 
+    def transport_stats(self) -> TransportStats:
+        return self.endpoint.stats_snapshot()
+
     def stop(self) -> None:
         """Graceful stop, escalating to SIGTERM then SIGKILL.
 
         A worker wedged in a way SIGTERM cannot reach (e.g. SIGSTOPped)
         still gets reaped: SIGKILL acts even on stopped processes.  The
-        pipe is closed on every path, including when the sends or joins
-        themselves raise.
+        endpoint is closed on every path, including when the sends or
+        joins themselves raise.
         """
         try:
             try:
-                self.conn.send((messages.STOP,))
-            except (BrokenPipeError, OSError):
+                self.endpoint.send((messages.STOP,))
+            except (RingStall, EOFError, BrokenPipeError, OSError):
                 pass
             self.process.join(timeout=1.0)
             if self.process.is_alive():
@@ -182,10 +278,7 @@ class _ProcessShard:
                 self.process.kill()
                 self.process.join(timeout=5.0)
         finally:
-            try:
-                self.conn.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
+            self.endpoint.close()
 
     def kill(self) -> None:
         """Reap the worker without ceremony (recovery path)."""
@@ -196,10 +289,7 @@ class _ProcessShard:
                 self.process.kill()
                 self.process.join(timeout=5.0)
         finally:
-            try:
-                self.conn.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
+            self.endpoint.close()
 
 
 class _InlineShard:
@@ -215,19 +305,20 @@ class _InlineShard:
     def __init__(self, index: int, state: Optional[ShardState] = None) -> None:
         self.index = index
         self.state = state if state is not None else ShardState()
-        self._reply: Optional[tuple] = None
+        #: FIFO of uncollected replies (recovery re-dispatch can queue
+        #: several batches before the collect loop drains them).
+        self._replies: list[tuple] = []
 
     def dispatch(self, ops: Sequence[Sequence[Any]], seq: Optional[int] = None) -> None:
         edits, stat_rows = self.state.apply_batch(ops)
-        self._reply = (messages.OK, edits, stat_rows)
+        self._replies.append((messages.OK, edits, stat_rows))
 
     def collect(self, deadline: Optional[float] = None) -> tuple:
-        reply, self._reply = self._reply, None
-        assert reply is not None
-        return reply
+        assert self._replies
+        return self._replies.pop(0)
 
     def stop(self) -> None:
-        self._reply = None
+        self._replies = []
 
 
 class WorkQueue:
@@ -266,6 +357,17 @@ class WorkQueue:
         self.changes = []
         return pending, change_map, changes
 
+    def take_shard(self, shard: int) -> tuple[list, list[int]]:
+        """Detach one shard's pending batch (eager dispatch path).
+
+        The change log stays put: change indices stay valid for the
+        whole flush epoch, eager batches included.
+        """
+        ops, change_map = self.pending[shard], self.change_map[shard]
+        self.pending[shard] = []
+        self.change_map[shard] = []
+        return ops, change_map
+
 
 #: Backfill WME ops carry this change index: their (zero-work) stat rows
 #: belong to no engine-visible change and are dropped at merge time.
@@ -300,6 +402,17 @@ class ParallelMatcher(Matcher):
         Optional :class:`~repro.parallel.supervisor.SupervisorConfig`
         overriding collect deadlines, checkpoint cadence, and the
         demotion threshold.
+    transport:
+        ``"pipe"`` (pickled tuples over ``multiprocessing.Pipe``),
+        ``"ring"`` (struct-packed frames over shared-memory SPSC rings,
+        symbols interned -- the PSM-style cheap scheduler), or
+        ``"auto"`` (ring where shared memory works, else pipe).  The
+        merged results are bit-identical across transports; only the
+        dispatch cost changes (``benchmarks/bench_transport.py``).
+    dispatch:
+        Optional :class:`DispatchConfig` tuning eager batched dispatch
+        (dispatching a shard's queue before the cycle barrier once it
+        is deep enough, so workers overlap with coordinator routing).
 
     Use as a context manager (or call :meth:`close`) so the worker
     processes are reaped deterministically; they are daemonic, so an
@@ -312,6 +425,8 @@ class ParallelMatcher(Matcher):
         recorder=None,
         fault_plan: Optional[FaultPlan] = None,
         supervisor: Optional[SupervisorConfig] = None,
+        transport: str = "auto",
+        dispatch: Optional[DispatchConfig] = None,
     ) -> None:
         # Matcher.__init__ is deliberately not called: `conflict_set` and
         # `stats` are flush-on-read properties here, not attributes.
@@ -319,7 +434,14 @@ class ParallelMatcher(Matcher):
             workers = default_worker_count()
         if workers < 0:
             raise Ops5Error("workers must be >= 0")
+        if transport not in TRANSPORTS:
+            raise Ops5Error(
+                f"unknown transport {transport!r}; expected one of "
+                + ", ".join(TRANSPORTS)
+            )
         self.workers = workers
+        self.transport = transport
+        self.dispatch_config = dispatch if dispatch is not None else DispatchConfig()
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.fault_plan = fault_plan
         self._shard_count = max(1, workers)
@@ -347,6 +469,29 @@ class ParallelMatcher(Matcher):
         self._wmes: dict[int, WME] = {}
         self._pending_removals: list[int] = []
         self._closed = False
+        #: Resolved transport kind ("ring"/"pipe"), set at pool start;
+        #: stays None for workers=0 (everything inline, nothing on a wire).
+        self._transport_kind: Optional[str] = None
+        #: Dispatched-but-uncollected batches, FIFO per shard.
+        self._inflight: list[list[_InflightBatch]] = [
+            [] for _ in range(self._shard_count)
+        ]
+        #: EWMA of WME+production ops per flush epoch, per shard (drives
+        #: the adaptive eager threshold).
+        self._ewma: list[float] = [
+            float(2 * (self.dispatch_config.eager_ops or 64))
+        ] * self._shard_count
+        self._epoch_ops: list[int] = [0] * self._shard_count
+        self._dispatches = 0
+        self._eager_dispatches = 0
+        self._latency_seconds = 0.0
+        self._latency_count = 0
+        #: Wire stats of endpoints that no longer exist (killed,
+        #: stopped, demoted) -- folded into transport_summary().
+        self._retired_stats = TransportStats()
+        #: Epoch-scoped WME op byte cache shared by every ring endpoint
+        #: (fanout encodes each op once); cleared at each flush boundary.
+        self._op_cache: dict[int, bytes] = {}
 
     # -- pool lifecycle ------------------------------------------------------
 
@@ -362,21 +507,40 @@ class ParallelMatcher(Matcher):
         if self.workers == 0:
             self._shards = [_InlineShard(0)]
         else:
+            try:
+                self._transport_kind = resolve_transport(self.transport)
+            except ValueError as error:
+                raise Ops5Error(str(error)) from None
             self._ctx = _context()
             self._shards = [
-                _ProcessShard(self._ctx, i, self.fault_plan)
-                for i in range(self._shard_count)
+                self._new_process_shard(i) for i in range(self._shard_count)
             ]
         for partition in assign_productions(self._unpartitioned, self._shard_count):
             for production in partition.productions:
                 self._place(production, partition.index)
         self._unpartitioned = []
 
+    def _new_process_shard(self, index: int) -> _ProcessShard:
+        return _ProcessShard(
+            self._ctx,
+            index,
+            self.fault_plan,
+            transport_kind=self._transport_kind or "pipe",
+            send_timeout=self._supervisor.config.collect_deadline,
+            op_cache=self._op_cache,
+        )
+
+    def _absorb_shard_stats(self, shard) -> None:
+        """Fold a doomed endpoint's wire stats into the retired rollup."""
+        if isinstance(shard, _ProcessShard):
+            self._retired_stats.absorb(shard.transport_stats())
+
     def close(self) -> None:
         """Stop the worker pool.  Further matching raises; stats and the
         last flushed conflict set stay readable."""
         if self._shards is not None:
             for shard in self._shards:
+                self._absorb_shard_stats(shard)
                 shard.stop()
             self._shards = None
         self._closed = True
@@ -451,8 +615,10 @@ class ParallelMatcher(Matcher):
         self._ensure_started()
         self._wmes[wme.timetag] = wme
         change = self._queue.open_change("add", wme.cls)
-        for shard in self._route(wme.cls):
+        targets = self._route(wme.cls)
+        for shard in targets:
             self._queue.push(shard, messages.encode_wme(wme), change=change)
+        self._maybe_eager(targets)
 
     def remove_wme(self, wme: WME) -> None:
         self._ensure_started()
@@ -460,8 +626,59 @@ class ParallelMatcher(Matcher):
             raise Ops5Error(f"WME {wme!r} was never added to this matcher")
         self._pending_removals.append(wme.timetag)
         change = self._queue.open_change("remove", wme.cls)
-        for shard in self._route(wme.cls):
+        targets = self._route(wme.cls)
+        for shard in targets:
             self._queue.push(shard, (messages.REMOVE_WME, wme.timetag), change=change)
+        self._maybe_eager(targets)
+
+    # -- eager batched dispatch ---------------------------------------------
+
+    def _eager_threshold(self, shard: int) -> int:
+        config = self.dispatch_config
+        if not config.adaptive:
+            return config.eager_ops  # type: ignore[return-value]
+        return min(config.max_ops, max(config.min_ops, int(self._ewma[shard] / 2)))
+
+    def _maybe_eager(self, shards: Sequence[int]) -> None:
+        """Dispatch any deep-enough pending batch before the barrier.
+
+        Only for process shards: the point is overlapping worker match
+        time with coordinator routing, which an inline shard (same
+        process, synchronous apply) cannot do.
+        """
+        if self.dispatch_config.eager_ops is None or self.workers == 0:
+            return
+        for i in shards:
+            if len(self._queue.pending[i]) >= self._eager_threshold(i):
+                self._dispatch_shard(i, eager=True)
+
+    def _dispatch_shard(self, i: int, eager: bool = False) -> None:
+        """Hand shard *i* its pending batch and add it to the in-flight
+        window.  The record is appended *before* the send so a dispatch-
+        time failure finds the batch in the window and re-dispatches it
+        with everything else."""
+        ops, change_map = self._queue.take_shard(i)
+        if not ops:
+            return
+        rec = self.recorder
+        seq = self._supervisor.next_seq(i)
+        record = _InflightBatch(
+            ops=ops,
+            change_map=change_map,
+            seq=seq,
+            sent_at=rec.now() if rec.enabled else 0,
+            start=time.perf_counter(),
+            eager=eager,
+        )
+        self._inflight[i].append(record)
+        self._epoch_ops[i] += len(ops)
+        self._dispatches += 1
+        if eager:
+            self._eager_dispatches += 1
+        try:
+            self._shards[i].dispatch(ops, seq)
+        except ShardFailure as failure:
+            self._recover(failure, seq=seq)
 
     # -- the flush barrier -------------------------------------------------------
 
@@ -488,78 +705,61 @@ class ParallelMatcher(Matcher):
     def flush(self) -> None:
         """Dispatch all queued ops and merge the shards' results.
 
-        Shard failures (crash, hang) are recovered *inside* the flush --
-        the barrier completes with a bit-identical merged result, just
-        later.  Engine errors reported by a worker (a bad op) restore
-        the worker from the journal so the pool survives, then raise
-        after every other shard's reply has been drained, so no stale
-        reply can desynchronise the next flush.
+        With eager dispatch some batches are already in flight when the
+        barrier hits; the flush dispatches the remainders and collects
+        every in-flight batch FIFO per shard.  Shard failures (crash,
+        hang) are recovered *inside* the flush -- the barrier completes
+        with a bit-identical merged result, just later.  Engine errors
+        reported by a worker (a bad op) restore the worker from the
+        journal so the pool survives, then raise after every other
+        shard's reply has been drained, so no stale reply can
+        desynchronise the next flush.
         """
         if self._unpartitioned and self._shards is None:
             self._ensure_started()
-        if self._shards is None or not self._queue.dirty:
+        if self._shards is None or not (
+            self._queue.dirty or any(self._inflight)
+        ):
             return
         rec = self.recorder
         flush_start = rec.now() if rec.enabled else 0
-        pending, change_maps, changes = self._queue.take()
+        changes = self._queue.changes
+        self._queue.changes = []
         #: Insert edits suppressed because their production was removed
         #: in this same batch; the paired delete is excused, nothing else.
         self._skipped_inserts: set[tuple] = set()
 
-        active = [i for i, ops in enumerate(pending) if ops]
-        dispatch_at: dict[int, int] = {}
-        seqs: dict[int, int] = {}
-        for i in active:
-            if rec.enabled:
-                dispatch_at[i] = rec.now()
-            seqs[i] = self._supervisor.next_seq(i)
-            try:
-                self._shards[i].dispatch(pending[i], seqs[i])
-            except ShardFailure as failure:
-                # Worker died before this flush (e.g. crashed between
-                # cycles); recover and hand the batch to the replacement.
-                self._recover(failure, seq=seqs[i], redispatch=pending[i])
+        for i in range(self._shard_count):
+            if self._queue.pending[i]:
+                self._dispatch_shard(i)
 
         merged = [
             ChangeRecord(kind=kind, wme_class=cls) for kind, cls in changes
         ]
         errors: list[RuntimeError] = []
+        active = [i for i in range(self._shard_count) if self._inflight[i]]
+        total_ops = 0
         for i in active:
-            edits, stat_rows, error = self._collect_shard(i, pending[i], seqs[i])
+            total_ops += self._epoch_ops[i]
+            error = self._collect_inflight(i, merged)
             if error is not None:
                 errors.append(error)
-                continue
-            if rec.enabled:
-                # Coordinator-observed shard-batch wall-clock: dispatch
-                # to collection, serialised by collection order.
-                rec.complete(
-                    "shard-batch",
-                    "parallel",
-                    start=dispatch_at[i],
-                    duration=rec.now() - dispatch_at[i],
-                    tid=1 + i,
-                    args={"shard": i, "ops": len(pending[i]), "edits": len(edits)},
-                )
-            self._merge_edits(edits)
-            for local_index, affected, activations, comparisons, tokens in stat_rows:
-                change = change_maps[i][local_index] if local_index < len(
-                    change_maps[i]
-                ) else _BACKFILL
-                if change == _BACKFILL:
-                    continue
-                record = merged[change]
-                record.affected_productions += affected
-                record.node_activations += activations
-                record.comparisons += comparisons
-                record.tokens_built += tokens
         for record in merged:
             self._stats.record(record)
+
+        for i in range(self._shard_count):
+            if self._epoch_ops[i]:
+                self._ewma[i] = 0.8 * self._ewma[i] + 0.2 * self._epoch_ops[i]
+                self._epoch_ops[i] = 0
 
         for timetag in self._pending_removals:
             self._wmes.pop(timetag, None)
         self._pending_removals = []
 
         self._maybe_checkpoint(active)
+        for shard in self._shards:
+            if isinstance(shard, _ProcessShard):
+                shard.endpoint.end_epoch()
 
         if rec.enabled:
             rec.complete(
@@ -571,23 +771,27 @@ class ParallelMatcher(Matcher):
                 args={
                     "changes": len(changes),
                     "shards_active": len(active),
-                    "ops": sum(len(pending[i]) for i in active),
+                    "ops": total_ops,
                 },
             )
         if errors:
             raise errors[0]
 
-    def _collect_shard(
-        self, i: int, ops: Sequence[Sequence[Any]], seq: int
-    ) -> tuple[list, list, Optional[RuntimeError]]:
-        """Collect shard *i*'s reply for *ops*, recovering as needed.
+    def _collect_inflight(self, i: int, merged: list) -> Optional[RuntimeError]:
+        """Collect and merge every in-flight batch of shard *i*, FIFO.
 
-        Returns ``(edits, stat_rows, error)``; ``error`` is set for an
-        engine error the worker reported (the batch is then *not*
-        journalled, and the worker has been restored to pre-batch state).
+        On an engine-error reply the remaining in-flight replies are
+        worthless -- the worker reset itself to a *fresh* state after
+        the error, so later batches ran against the wrong state -- they
+        are drained and discarded, the worker is restored from the
+        journal, and the error is returned for the flush to raise.
         """
         config = self._supervisor.config
-        while True:
+        sup = self._supervisor
+        rec = self.recorder
+        records = self._inflight[i]
+        while records:
+            record = records[0]
             shard = self._shards[i]
             if isinstance(shard, _InlineShard):
                 reply = shard.collect()
@@ -595,37 +799,86 @@ class ParallelMatcher(Matcher):
                 try:
                     reply = shard.collect(config.collect_deadline)
                 except ShardFailure as failure:
-                    self._recover(failure, seq=seq, redispatch=ops)
+                    self._recover(failure, seq=record.seq)
                     continue
-            if reply[0] == messages.OK:
-                self._supervisor.committed(i, ops)
-                self._supervisor.reset_failures(i)
-                return reply[1], reply[2], None
-            # An engine error inside the batch: the worker reset itself
-            # to a fresh state; put its journalled state back so the
-            # pool stays usable, then report the error to the caller.
-            error = RuntimeError(
-                f"shard worker {i} failed: {reply[1]}\n{reply[2]}"
-            )
-            self._restore_worker(i)
-            return [], [], error
+            if reply[0] != messages.OK:
+                error = RuntimeError(
+                    f"shard worker {i} failed: {reply[1]}\n{reply[2]}"
+                )
+                records.pop(0)
+                self._drain_discard(i, len(records))
+                records.clear()
+                self._restore_worker(i)
+                return error
+            records.pop(0)
+            sup.committed(i, record.ops)
+            sup.reset_failures(i)
+            self._latency_seconds += time.perf_counter() - record.start
+            self._latency_count += 1
+            edits, stat_rows = reply[1], reply[2]
+            if rec.enabled:
+                # Coordinator-observed batch wall-clock: dispatch to
+                # collection, serialised by collection order.
+                rec.complete(
+                    "shard-batch",
+                    "parallel",
+                    start=record.sent_at,
+                    duration=rec.now() - record.sent_at,
+                    tid=1 + i,
+                    args={
+                        "shard": i,
+                        "ops": len(record.ops),
+                        "edits": len(edits),
+                        "eager": record.eager,
+                    },
+                )
+            self._merge_edits(edits)
+            change_map = record.change_map
+            for local_index, affected, activations, comparisons, tokens in stat_rows:
+                change = (
+                    change_map[local_index]
+                    if local_index < len(change_map)
+                    else _BACKFILL
+                )
+                if change == _BACKFILL:
+                    continue
+                change_record = merged[change]
+                change_record.affected_productions += affected
+                change_record.node_activations += activations
+                change_record.comparisons += comparisons
+                change_record.tokens_built += tokens
+        return None
+
+    def _drain_discard(self, i: int, count: int) -> None:
+        """Consume *count* replies from shard *i* without using them
+        (post-error garbage; see :meth:`_collect_inflight`)."""
+        deadline = self._supervisor.config.collect_deadline
+        for _ in range(count):
+            shard = self._shards[i]
+            try:
+                if isinstance(shard, _InlineShard):
+                    shard.collect()
+                else:
+                    shard.collect(deadline)
+            except (ShardFailure, AssertionError):
+                # Dead, hung, or short on replies: the follow-up restore
+                # rebuilds it regardless; stop draining.
+                break
 
     # -- recovery ---------------------------------------------------------------
 
-    def _recover(
-        self,
-        failure: ShardFailure,
-        seq: Optional[int],
-        redispatch: Optional[Sequence[Sequence[Any]]],
-    ) -> None:
+    def _recover(self, failure: ShardFailure, seq: Optional[int]) -> None:
         """Replace a failed shard worker and rebuild its match state.
 
         Respawns a fresh process and replays checkpoint + journal into
-        it; after ``max_failures`` consecutive failures the shard is
+        it (as one cached, pre-pickled restore message -- serialised
+        once per journal change, however many retries this takes);
+        after ``max_failures`` consecutive failures the shard is
         demoted to an inline shard instead (same rebuild, no process).
-        *redispatch* is the batch the failure interrupted -- it was
-        never journalled, so the rebuilt state predates it and it is
-        re-sent (with no sequence number: injected faults never refire).
+        The shard's whole in-flight window is then re-dispatched: none
+        of those batches were journalled, so the rebuilt state predates
+        all of them (re-sent with no sequence number: injected faults
+        never refire).
         """
         i = failure.shard
         sup = self._supervisor
@@ -645,45 +898,52 @@ class ParallelMatcher(Matcher):
         recovery_start = rec.now() if rec.enabled else 0
         shard = self._shards[i]
         if isinstance(shard, _ProcessShard):
+            self._absorb_shard_stats(shard)
             shard.kill()
-        checkpoint, journal = sup.recovery_payload(i)
+        journal_ops = sup.journal_length(i)
+        used_checkpoint = sup.checkpoints[i] is not None
         attempts = 0
         while True:
             attempts += 1
             if failures >= sup.config.max_failures:
                 replay_started = time.perf_counter()
+                checkpoint, journal = sup.recovery_payload(i)
                 state = rebuild_state(checkpoint, journal)
                 replay_seconds = time.perf_counter() - replay_started
                 self._shards[i] = _InlineShard(i, state)
+                for record in self._inflight[i]:
+                    self._shards[i].dispatch(record.ops, None)
                 action = "demoted"
                 break
             if self._ctx is None:  # pragma: no cover - workers=0 guard
                 self._ctx = _context()
-            replacement = _ProcessShard(self._ctx, i, self.fault_plan)
+            replacement = self._new_process_shard(i)
             try:
                 replay_started = time.perf_counter()
-                replacement.restore(
-                    checkpoint, journal, sup.config.recovery_deadline
+                replacement.restore_pickled(
+                    sup.restore_message_bytes(i), sup.config.recovery_deadline
                 )
                 replay_seconds = time.perf_counter() - replay_started
+                for record in self._inflight[i]:
+                    replacement.dispatch(record.ops, None)
             except ShardFailure as again:
-                # The replacement died during restore; count it and
-                # either try once more or fall through to demotion.
+                # The replacement died during restore or re-dispatch;
+                # count it and either try once more or fall through to
+                # demotion.
+                self._absorb_shard_stats(replacement)
                 replacement.kill()
                 failures = sup.record_failure(i, again.cause)
                 continue
             self._shards[i] = replacement
             action = "respawned"
             break
-        if redispatch is not None:
-            self._shards[i].dispatch(list(redispatch), None)
         event = RecoveryEvent(
             shard=i,
             cause=failure.cause,
             action=action,
             seq=seq,
-            replayed_ops=len(journal),
-            used_checkpoint=checkpoint is not None,
+            replayed_ops=journal_ops,
+            used_checkpoint=used_checkpoint,
             replay_seconds=replay_seconds,
             total_seconds=time.perf_counter() - started,
             attempts=attempts,
@@ -704,13 +964,13 @@ class ParallelMatcher(Matcher):
         shard = self._shards[i]
         if not isinstance(shard, _ProcessShard):
             return
-        checkpoint, journal = self._supervisor.recovery_payload(i)
         try:
-            shard.restore(
-                checkpoint, journal, self._supervisor.config.recovery_deadline
+            shard.restore_pickled(
+                self._supervisor.restore_message_bytes(i),
+                self._supervisor.config.recovery_deadline,
             )
         except ShardFailure as failure:
-            self._recover(failure, seq=None, redispatch=None)
+            self._recover(failure, seq=None)
 
     def _maybe_checkpoint(self, shards: Iterable[int]) -> None:
         """Take due checkpoints (only ever at a batch boundary, when the
@@ -741,6 +1001,14 @@ class ParallelMatcher(Matcher):
         harness loads hundreds of generated programs through a single
         matcher without re-forking workers.
         """
+        # Eagerly dispatched batches are already applied worker-side and
+        # owe replies; drain them (results are moot once every shard
+        # resets, and so is any engine error a doomed batch reports).
+        if any(self._inflight):
+            try:
+                self.flush()
+            except RuntimeError:
+                pass
         # Undispatched ops are moot once every shard resets; drop them.
         self._queue = WorkQueue(self._shard_count)
         self._conflict_set = ConflictSet()
@@ -758,6 +1026,34 @@ class ParallelMatcher(Matcher):
             self.flush()
 
     # -- introspection ----------------------------------------------------------
+
+    def transport_summary(self) -> dict:
+        """JSON-ready wire accounting for the metrics ``transport``
+        section: frames/bytes both directions, ring stalls, pickle
+        fallbacks, intern-table size, and dispatch counts/latency."""
+        totals = TransportStats()
+        totals.absorb(self._retired_stats)
+        if self._shards is not None:
+            for shard in self._shards:
+                if isinstance(shard, _ProcessShard):
+                    totals.absorb(shard.transport_stats())
+        mean_latency_us = (
+            self._latency_seconds / self._latency_count * 1e6
+            if self._latency_count
+            else 0.0
+        )
+        config = self.dispatch_config
+        return {
+            "kind": self._transport_kind
+            or ("inline" if self.workers == 0 else self.transport),
+            "dispatches": self._dispatches,
+            "eager_dispatches": self._eager_dispatches,
+            "eager_ops": config.eager_ops,
+            "adaptive": config.adaptive,
+            "mean_dispatch_latency_us": mean_latency_us,
+            "symbols": len(SYMBOLS),
+            **totals.snapshot(),
+        }
 
     def fault_events(self) -> list[RecoveryEvent]:
         """All recovery events so far, in occurrence order."""

@@ -48,6 +48,14 @@ working-memory view without productions or WMEs ever travelling back.
 the coordinator sums rows across shards (shards hold disjoint
 production sets, so "affected productions" adds correctly) into the
 :class:`~repro.ops5.matcher.MatchStats` record stream.
+
+These tuples are the protocol's *logical* form.  How they cross the
+process boundary is the transport's business
+(:mod:`repro.parallel.transport`): the pipe transport pickles them
+verbatim, while the shared-memory ring transport packs ``batch`` and
+``ok`` messages into compact struct frames with interned symbols
+(:mod:`repro.parallel.codec`) and falls back to pickle for everything
+else.  Workers see identical tuples either way.
 """
 
 from __future__ import annotations

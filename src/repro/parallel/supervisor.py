@@ -28,6 +28,7 @@ story.  It does no I/O itself -- the executor owns pipes and processes
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
@@ -149,6 +150,13 @@ class ShardSupervisor:
         self.replay_seconds = 0.0
         self.checkpoint_seconds = 0.0
         self._next_seq: list[int] = [0] * n
+        #: Pickled ``(RESTORE, checkpoint, journal)`` message per shard,
+        #: invalidated whenever the journal or checkpoint moves.  Restore
+        #: messages are the biggest thing on the wire (the journal holds
+        #: whole productions), and one recovery can send the same bytes
+        #: several times (respawn retries, post-error restores) -- the
+        #: cache makes re-serialisation a once-per-journal-change cost.
+        self._restore_cache: list[Optional[bytes]] = [None] * n
 
     # -- sequence numbers ----------------------------------------------------
 
@@ -181,10 +189,24 @@ class ShardSupervisor:
         else:
             self.journals[shard].extend(ops)
             self.since_checkpoint[shard] += 1
+        self._restore_cache[shard] = None
 
     def recovery_payload(self, shard: int) -> tuple[Optional[bytes], list]:
         """What a replacement worker needs: (checkpoint blob, journal)."""
         return self.checkpoints[shard], list(self.journals[shard])
+
+    def restore_message_bytes(self, shard: int) -> bytes:
+        """The pickled restore command for *shard*, serialised at most
+        once per journal/checkpoint change and reused across respawn
+        retries and error-recovery restores."""
+        cached = self._restore_cache[shard]
+        if cached is None:
+            cached = pickle.dumps(
+                (messages.RESTORE, self.checkpoints[shard], list(self.journals[shard])),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self._restore_cache[shard] = cached
+        return cached
 
     def journal_length(self, shard: int) -> int:
         return len(self.journals[shard])
@@ -203,6 +225,7 @@ class ShardSupervisor:
         self.checkpoints[shard] = blob
         self.journals[shard] = []
         self.since_checkpoint[shard] = 0
+        self._restore_cache[shard] = None
         self.counters["checkpoints"] += 1
         self.checkpoint_seconds += seconds
 

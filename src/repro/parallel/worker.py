@@ -161,7 +161,13 @@ def rebuild_state(
     and replays only the tail.  Replay output (edits, stat rows) is
     discarded -- the coordinator merged it before the failure.
     """
-    state = pickle.loads(checkpoint) if checkpoint is not None else ShardState()
+    if checkpoint is not None:
+        state = pickle.loads(checkpoint)
+        # Indexed join buckets are keyed by process-local symbol intern
+        # ids; rekey them against this process's table before replay.
+        state.network.rebuild_join_indexes()
+    else:
+        state = ShardState()
     if journal:
         state.apply_batch(list(journal))
     return state
@@ -187,8 +193,14 @@ def _perform_fault(spec, conn) -> None:
         time.sleep(spec.seconds)
 
 
-def shard_main(conn, index: int = 0, fault_plan: Optional[FaultPlan] = None) -> None:
+def shard_main(spec, index: int = 0, fault_plan: Optional[FaultPlan] = None) -> None:
     """Worker process entry point: serve commands until told to stop.
+
+    *spec* is a :class:`~repro.parallel.transport.WorkerTransportSpec`
+    (or a bare ``Connection``, kept working for direct harnesses): the
+    worker connects the matching endpoint and from there the loop is
+    transport-blind -- ``recv`` yields the same command tuples whether
+    they arrived as a pickled pipe message or a packed ring frame.
 
     Any exception while applying a batch is reported to the coordinator
     instead of silently killing the process; the worker resets to a
@@ -196,10 +208,15 @@ def shard_main(conn, index: int = 0, fault_plan: Optional[FaultPlan] = None) -> 
     restores it from the journal, so a failed differential-test example
     does not poison the next one.
     """
+    from .transport import WorkerTransportSpec, connect_worker
+
+    if not isinstance(spec, WorkerTransportSpec):
+        spec = WorkerTransportSpec("pipe", spec)
+    endpoint = connect_worker(spec)
     state = ShardState()
     while True:
         try:
-            message = conn.recv()
+            message = endpoint.recv()
         except EOFError:
             break
         tag = message[0]
@@ -209,31 +226,31 @@ def shard_main(conn, index: int = 0, fault_plan: Optional[FaultPlan] = None) -> 
             ops = message[1]
             seq = message[2] if len(message) > 2 else None
             if fault_plan is not None:
-                spec = fault_plan.shard_fault(index, seq)
-                if spec is not None:
-                    _perform_fault(spec, conn)
+                fault = fault_plan.shard_fault(index, seq)
+                if fault is not None:
+                    _perform_fault(fault, spec.conn)
             try:
                 edits, stat_rows = state.apply_batch(ops)
             except BaseException as error:  # noqa: BLE001 - forwarded verbatim
-                conn.send((messages.ERROR, repr(error), traceback.format_exc()))
+                endpoint.send((messages.ERROR, repr(error), traceback.format_exc()))
                 # The shard's state may be torn mid-batch; start clean.
                 # The coordinator follows up with a restore.
                 state = ShardState()
                 continue
-            conn.send((messages.OK, edits, stat_rows))
+            endpoint.send((messages.OK, edits, stat_rows))
         elif tag == messages.CHECKPOINT:
             try:
-                conn.send((messages.CHECKPOINT, state.checkpoint()))
+                endpoint.send((messages.CHECKPOINT, state.checkpoint()))
             except Exception as error:  # noqa: BLE001 - forwarded verbatim
-                conn.send((messages.ERROR, repr(error), traceback.format_exc()))
+                endpoint.send((messages.ERROR, repr(error), traceback.format_exc()))
         elif tag == messages.RESTORE:
             try:
                 state = rebuild_state(message[1], message[2])
             except BaseException as error:  # noqa: BLE001 - forwarded verbatim
-                conn.send((messages.ERROR, repr(error), traceback.format_exc()))
+                endpoint.send((messages.ERROR, repr(error), traceback.format_exc()))
                 state = ShardState()
                 continue
-            conn.send((messages.RESTORED, len(message[2])))
+            endpoint.send((messages.RESTORED, len(message[2])))
         else:  # pragma: no cover - protocol misuse
-            conn.send((messages.ERROR, f"unknown message {tag!r}", ""))
-    conn.close()
+            endpoint.send((messages.ERROR, f"unknown message {tag!r}", ""))
+    endpoint.close()

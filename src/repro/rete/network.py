@@ -99,6 +99,22 @@ class ReteNetwork(Matcher):
         self.nodes_created += 1
         return node_id
 
+    def rebuild_join_indexes(self) -> None:
+        """Rekey every indexed join's hash buckets in this process.
+
+        Index keys embed process-local symbol intern ids, so a network
+        that was pickled in one process and loaded in another carries
+        buckets keyed against a table that no longer exists.  Callers
+        that unpickle a network (worker restore, checkpoint round-trip
+        tests) must invoke this before the next activation.  Cheap when
+        nothing is indexed: one isinstance scan over the registry.
+        """
+        from .nodes import JoinNode  # local to avoid cycle noise
+
+        for node in self.share_registry.values():
+            if isinstance(node, JoinNode) and node.indexed:
+                node.rebuild_indexes()
+
     def start_event(self, node: ReteNode, direction: str, side: str = "") -> ActivationEvent:
         """Open an activation event; nested events record it as parent."""
         parent = self._event_stack[-1].seq if self._event_stack else None

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from ..ops5.condition import JoinTest
 from ..ops5.errors import Ops5Error
 from ..ops5.production import Instantiation, Production
+from ..ops5.symbols import intern_id
 from ..ops5.wme import WME
 from .token import Token
 
@@ -40,17 +41,34 @@ DELETE = "delete"
 
 
 class ReteNode:
-    """Common base: identity, children, and production refcounting."""
+    """Common base: identity, children, and production refcounting.
 
-    kind = "node"
+    Every node class declares ``__slots__``: nodes sit on the
+    per-activation hot path and a network holds thousands of them, so
+    dropping the per-instance ``__dict__`` buys both attribute-access
+    speed and memory (measured in ``benchmarks/bench_transport.py``'s
+    slots micro-bench).  ``parent`` and ``share_key_full`` live on the
+    base because the builder assigns them across several node kinds.
+    """
+
+    __slots__ = ("id", "net", "children", "refcount", "parent", "share_key_full", "kind")
+
+    #: Node kind tag.  An instance slot (not a class attribute) because
+    #: the builder retags a per-class alpha root as ``"root"``.
+    KIND = "node"
 
     def __init__(self, net: "ReteNetwork") -> None:
+        self.kind = self.KIND
         self.id = net.allocate_node_id()
         self.net = net
         #: Downstream nodes receiving this node's output.
         self.children: list[ReteNode] = []
         #: Number of productions whose compilation uses this node.
         self.refcount = 0
+        #: Upstream node (assigned by the builder where meaningful).
+        self.parent = None
+        #: The sharing-registry key this node is registered under.
+        self.share_key_full: tuple | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -66,7 +84,9 @@ class AlphaTestNode(ReteNode):
     node (the paper's network-sharing property).
     """
 
-    kind = "const"
+    KIND = "const"
+
+    __slots__ = ("share_key", "predicate")
 
     def __init__(
         self, net: "ReteNetwork", share_key: tuple, predicate: Callable[[WME], bool]
@@ -85,7 +105,9 @@ class AlphaTestNode(ReteNode):
 class AlphaMemory(ReteNode):
     """Stores the WMEs passing one condition element's alpha tests."""
 
-    kind = "amem"
+    KIND = "amem"
+
+    __slots__ = ("items", "successors", "production_names")
 
     def __init__(self, net: "ReteNetwork") -> None:
         super().__init__(net)
@@ -131,7 +153,9 @@ class BetaMemory(ReteNode):
     token and never receives activations.
     """
 
-    kind = "bmem"
+    KIND = "bmem"
+
+    __slots__ = ("items",)
 
     def __init__(self, net: "ReteNetwork", parent: Optional[ReteNode]) -> None:
         super().__init__(net)
@@ -204,7 +228,19 @@ class JoinNode(ReteNode):
     comparison counts (and therefore the modelled cost) change.
     """
 
-    kind = "join"
+    KIND = "join"
+
+    __slots__ = (
+        "left_memory",
+        "amem",
+        "tests",
+        "ce_index",
+        "eq_tests",
+        "residual_tests",
+        "indexed",
+        "left_index",
+        "right_index",
+    )
 
     def __init__(
         self,
@@ -229,29 +265,69 @@ class JoinNode(ReteNode):
         )
         self.residual_tests = tuple(t for t in tests if t not in self.eq_tests)
         self.indexed = indexed and bool(self.eq_tests)
-        #: eq-value tuple -> {token.key: token} (left input index).
+        #: eq-key tuple -> {token.key: token} (left input index).
         self.left_index: dict[tuple, dict[tuple, Token]] = {}
-        #: eq-value tuple -> {timetag: wme} (right input index).
+        #: eq-key tuple -> {timetag: wme} (right input index).
         self.right_index: dict[tuple, dict[int, WME]] = {}
-        if self.indexed:
-            for token in left_memory.items.values():
-                self.left_index.setdefault(self._token_key(token), {})[
-                    token.key
-                ] = token
-            for wme in amem.items.values():
-                self.right_index.setdefault(self._wme_key(wme), {})[
-                    wme.timetag
-                ] = wme
+        self.rebuild_indexes()
+
+    # Join keys intern symbol strings to dense ints (one dict probe on a
+    # table that converges to the program's vocabulary), so bucket lookup
+    # hashes and compares machine ints instead of strings.  Interned ids
+    # could collide with genuine numeric values (id 5 vs the number 5),
+    # and OPS5 equality makes 1 == 1.0 but never symbol == number, so the
+    # key carries a bitmask of which positions hold interned symbols as
+    # its final element: (id 5, mask bit set) never equals (number 5,
+    # bit clear), while raw numbers keep Python's cross-type hash/eq.
+    # Ids are process-local, so pickled indexed networks must call
+    # ``rebuild_indexes`` after loading (see
+    # ``ReteNetwork.rebuild_join_indexes``).
 
     def _token_key(self, token: Token) -> tuple:
         values = []
-        for test in self.eq_tests:
+        mask = 0
+        for i, test in enumerate(self.eq_tests):
             other = token.wme_at(test.other_ce)
-            values.append(other.get(test.other_attribute) if other else None)
+            v = other.get(test.other_attribute) if other else None
+            if type(v) is str:
+                v = intern_id(v)
+                mask |= 1 << i
+            values.append(v)
+        values.append(mask)
         return tuple(values)
 
     def _wme_key(self, wme: WME) -> tuple:
-        return tuple(wme.get(test.own_attribute) for test in self.eq_tests)
+        values = []
+        mask = 0
+        for i, test in enumerate(self.eq_tests):
+            v = wme.get(test.own_attribute)
+            if type(v) is str:
+                v = intern_id(v)
+                mask |= 1 << i
+            values.append(v)
+        values.append(mask)
+        return tuple(values)
+
+    def rebuild_indexes(self) -> None:
+        """Recompute both hash indexes from the backing memories.
+
+        Called at construction, and again after unpickling a network in
+        another process: index keys embed process-local intern ids, so a
+        restored network's buckets must be rekeyed against the loading
+        process's table before any activation probes them.
+        """
+        self.left_index.clear()
+        self.right_index.clear()
+        if not self.indexed:
+            return
+        for token in self.left_memory.items.values():
+            self.left_index.setdefault(self._token_key(token), {})[
+                token.key
+            ] = token
+        for wme in self.amem.items.values():
+            self.right_index.setdefault(self._wme_key(wme), {})[
+                wme.timetag
+            ] = wme
 
     def matches(self, token: Token, wme: WME) -> bool:
         return _evaluate_join_tests(self.tests, token, wme, self.ce_index)
@@ -328,7 +404,9 @@ class NegativeNode(ReteNode):
     entry to keep LHS positions aligned) exactly while its count is zero.
     """
 
-    kind = "neg"
+    KIND = "neg"
+
+    __slots__ = ("left_memory", "amem", "tests", "ce_index", "stored")
 
     def __init__(
         self,
@@ -405,7 +483,9 @@ class TerminalNode(ReteNode):
     carry the bindings the RHS needs.
     """
 
-    kind = "term"
+    KIND = "term"
+
+    __slots__ = ("production", "binding_specs")
 
     def __init__(
         self,

@@ -12,7 +12,7 @@ so the loop stays free to answer pings, report stats, and -- crucially
 Server-level operations (handled inline on the loop)::
 
     {"op": "create_session", "program": ..., "matcher": ..., "workers": ...,
-     "strategy": ..., "max_pending": ..., "name": ...}
+     "strategy": ..., "max_pending": ..., "name": ..., "transport": ...}
     {"op": "destroy_session", "session": id}
     {"op": "list_sessions"}
     {"op": "stats"}                      # server-wide rollup
@@ -169,6 +169,7 @@ class RuleServer:
             strategy=request.get("strategy", "lex"),
             max_pending=request.get("max_pending"),
             name=request.get("name"),
+            transport=request.get("transport"),
         )
         session.start()
         return {"ok": True, "session": session.id}

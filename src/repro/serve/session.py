@@ -73,26 +73,33 @@ def build_matcher(
     workers: Optional[int] = None,
     recorder=None,
     fault_plan: Optional[FaultPlan] = None,
+    transport: Optional[str] = None,
 ):
     """Build a matcher backend for a session via the engine registry.
 
-    ``workers`` is honoured for the parallel backend and rejected for
-    every other one rather than silently ignored.  An enabled *recorder*
-    is threaded into backends that can use it: the parallel executor
-    takes it directly (shard-batch spans), Rete backends get a
-    :class:`~repro.rete.RecorderListener` (per-activation spans).
-    ``fault_plan`` reaches only the parallel backend (its shard workers
-    consult it); session-site faults are injected by the session itself,
-    for any matcher.
+    ``workers`` and ``transport`` are honoured for the parallel backend
+    and rejected for every other one rather than silently ignored.  An
+    enabled *recorder* is threaded into backends that can use it: the
+    parallel executor takes it directly (shard-batch spans), Rete
+    backends get a :class:`~repro.rete.RecorderListener` (per-activation
+    spans).  ``fault_plan`` reaches only the parallel backend (its shard
+    workers consult it); session-site faults are injected by the session
+    itself, for any matcher.
     """
     if name == "parallel":
+        kwargs = {} if transport is None else {"transport": transport}
         return matcher_named(
-            name, workers=workers, recorder=recorder, fault_plan=fault_plan
+            name, workers=workers, recorder=recorder, fault_plan=fault_plan, **kwargs
         )
     if workers is not None:
         raise Ops5Error(
             f"workers={workers} is only meaningful for matcher='parallel', "
             f"not {name!r}"
+        )
+    if transport is not None:
+        raise Ops5Error(
+            f"transport={transport!r} is only meaningful for "
+            f"matcher='parallel', not {name!r}"
         )
     if recorder is not None and recorder.enabled and name in ("rete", "rete-indexed"):
         from ..rete import RecorderListener
@@ -119,6 +126,7 @@ class Session:
         max_pending: int = DEFAULT_MAX_PENDING,
         recorder=None,
         fault_plan: Optional[FaultPlan] = None,
+        transport: Optional[str] = None,
     ) -> None:
         if max_pending < 1:
             raise Ops5Error("max_pending must be >= 1")
@@ -129,7 +137,11 @@ class Session:
         self.system = ProductionSystem(
             program,
             matcher=build_matcher(
-                matcher, workers, recorder=self.recorder, fault_plan=fault_plan
+                matcher,
+                workers,
+                recorder=self.recorder,
+                fault_plan=fault_plan,
+                transport=transport,
             ),
             strategy=strategy,
             recorder=self.recorder,
@@ -445,6 +457,7 @@ class SessionManager:
         strategy: str = "lex",
         max_pending: Optional[int] = None,
         name: Optional[str] = None,
+        transport: Optional[str] = None,
     ) -> Session:
         session_id = name if name is not None else f"s{next(self._ids)}"
         if session_id in self._sessions:
@@ -455,6 +468,7 @@ class SessionManager:
             matcher=matcher,
             workers=workers,
             strategy=strategy,
+            transport=transport,
             max_pending=max_pending
             if max_pending is not None
             else self.default_max_pending,

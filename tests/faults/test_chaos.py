@@ -117,6 +117,40 @@ def test_slow_shard_within_deadline_is_not_a_failure():
     assert report.fault_summary["hangs"] == 0
 
 
+def test_crash_recovery_over_ring_transport_is_bit_identical():
+    """The transport acceptance criterion: seeded crash-plus-hang
+    recovery must be bit-identical over the shared-memory ring exactly
+    as over pickled pipes -- restore replays cross the control pipe,
+    steady-state batches cross the ring, and neither path may leak into
+    the observables."""
+    from repro.parallel import ring_available
+
+    if not ring_available():
+        pytest.skip("shared_memory unavailable on this host")
+    reports = {
+        kind: seeded_chaos(
+            CLOSURE,
+            CHAIN,
+            seed=13,
+            workers=2,
+            crashes=1,
+            hangs=1,
+            supervisor=FAST,
+            transport=kind,
+        )
+        for kind in ("ring", "pipe")
+    }
+    for kind, report in reports.items():
+        assert report.identical, (kind, report.divergences)
+        assert report.transport == kind
+        assert report.recovery_events, kind
+    keyed = [
+        [(e["shard"], e["seq"], e["cause"], e["action"]) for e in r.recovery_events]
+        for r in reports.values()
+    ]
+    assert keyed[0] == keyed[1]  # same plan, same recovery story
+
+
 def test_seeded_chaos_is_reproducible():
     """Equal seeds fault the same (shard, seq) slots and recover the
     same way -- the property that makes a chaos failure debuggable."""

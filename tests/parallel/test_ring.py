@@ -1,0 +1,130 @@
+"""Unit tests for the shared-memory SPSC ring.
+
+The ring is the transport's load-bearing primitive: monotonic head/tail
+counters, progressive (chunked) writes, and producer backpressure.  The
+transport and differential tests prove the end-to-end story; these pin
+the byte-level mechanics -- especially the two paths that only trigger
+under pressure: wraparound and the full-ring stall.
+"""
+
+import threading
+
+import pytest
+
+from repro.parallel.ring import DATA, Ring, RingStall
+
+
+def make_ring(capacity=1024):
+    ring = Ring.create(capacity=capacity)
+    yield_ring.append(ring)
+    return ring
+
+
+yield_ring: list = []
+
+
+@pytest.fixture(autouse=True)
+def _reap_rings():
+    yield
+    while yield_ring:
+        yield_ring.pop().close()
+
+
+def test_messages_round_trip_in_order():
+    ring = make_ring(capacity=8192)  # holds the whole burst unread
+    payloads = [bytes([i % 251]) * (i * 7 % 90 + 1) for i in range(40)]
+    for payload in payloads:
+        ring.write(payload, timeout=1.0)
+    assert ring.available() > 0
+    out = [ring.read_message(timeout=1.0) for _ in payloads]
+    assert out == payloads
+    assert ring.available() == 0
+
+
+def test_wraparound_preserves_content():
+    """Messages crossing the physical end of the buffer must come out
+    intact: total traffic here is many times the ring's capacity, so
+    every offset (and both the write and read wrap paths) gets hit."""
+    ring = make_ring(capacity=1024)
+    for i in range(200):
+        payload = bytes([(i * 31 + j) % 256 for j in range(i % 97 + 1)])
+        ring.write(payload, timeout=1.0)
+        assert ring.read_message(timeout=1.0) == payload
+
+
+def test_message_larger_than_ring_streams_through():
+    """Progressive writes mean capacity bounds memory, not message size:
+    a concurrent reader drains while the producer is still writing."""
+    ring = make_ring(capacity=1024)
+    payload = bytes(range(256)) * 64  # 16 KiB through a 1 KiB ring
+    result = []
+    reader = threading.Thread(
+        target=lambda: result.append(ring.read_message(timeout=10.0))
+    )
+    reader.start()
+    ring.write(payload, timeout=10.0)
+    reader.join(timeout=10.0)
+    assert result == [payload]
+    assert ring.stalls() >= 1  # the producer necessarily waited
+
+
+def test_full_ring_write_raises_ring_stall_and_counts_it():
+    ring = make_ring(capacity=1024)
+    ring.write(bytes(900), timeout=1.0)
+    before = ring.stalls()
+    with pytest.raises(RingStall):
+        ring.write(bytes(900), timeout=0.05)
+    assert ring.stalls() == before + 1
+
+
+def test_write_waiter_runs_while_blocked():
+    """The waiter hook is how a blocked worker notices a dead peer."""
+    ring = make_ring(capacity=1024)
+    ring.write(bytes(900), timeout=1.0)
+    calls = []
+
+    def waiter():
+        calls.append(1)
+        if len(calls) >= 3:
+            raise EOFError("peer gone")
+
+    with pytest.raises(EOFError):
+        ring.write(bytes(900), timeout=5.0, waiter=waiter)
+    assert len(calls) == 3
+
+
+def test_read_timeout_raises_ring_stall():
+    ring = make_ring()
+    with pytest.raises(RingStall):
+        ring.read_message(timeout=0.05)
+
+
+def test_poll_sees_pending_message_and_times_out_empty():
+    ring = make_ring()
+    assert not ring.poll(timeout=0.02)
+    ring.write(b"x", timeout=1.0)
+    assert ring.poll(timeout=0.02)
+    assert ring.read_message(timeout=1.0) == b"x"
+
+
+def test_attach_shares_the_segment():
+    ring = make_ring()
+    other = Ring.attach(ring.name)
+    try:
+        ring.write(b"hello across", timeout=1.0)
+        assert other.read_message(timeout=1.0) == b"hello across"
+    finally:
+        other.close()
+
+
+def test_capacity_floor_rejected():
+    with pytest.raises(ValueError):
+        Ring.create(capacity=10)
+
+
+def test_header_is_off_data_region():
+    ring = make_ring()
+    # Counters live in the header, below DATA; a fresh ring starts zeroed.
+    assert ring.available() == 0
+    assert ring.stalls() == 0
+    assert len(ring.shm.buf) >= DATA + 1024

@@ -1,0 +1,177 @@
+"""Properties of the symbol intern table and the packed value codec.
+
+The transport's compression rests on two invariants: (1) the intern
+table is a bijection between texts and dense ids, and a worker mirror
+fed only deltas agrees with the coordinator's table id-for-id; (2) any
+legal OPS5 value -- symbol, int (any magnitude), float -- survives the
+packed batch/reply encoding bit-for-bit.  Hypothesis drives both, plus
+the checkpoint path: an indexed Rete network whose join buckets key on
+process-local intern ids must rebuild those buckets after unpickling.
+"""
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+
+def make_wme(cls, attrs, timetag):
+    wme = WME(cls, attrs)
+    wme.timetag = timetag
+    return wme
+
+from repro.ops5 import parse_program
+from repro.ops5.symbols import SYMBOLS, SymbolTable
+from repro.ops5.wme import WME
+from repro.parallel import messages
+from repro.parallel.codec import decode_batch, decode_reply, encode_batch, encode_reply
+
+# OPS5 values: symbols (any text), i64 and beyond-i64 ints, finite floats.
+ops5_values = st.one_of(
+    st.text(min_size=0, max_size=30),
+    st.integers(),
+    st.integers(min_value=1 << 64, max_value=1 << 80),
+    st.floats(allow_nan=False, allow_infinity=False),
+)
+
+attr_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(st.lists(st.text(max_size=20), max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_intern_table_is_a_bijection(texts):
+    table = SymbolTable()
+    ids = [table.intern_id(t) for t in texts]
+    # Same text -> same id; every id resolves back to its text.
+    assert ids == [table.intern_id(t) for t in texts]
+    for text, ident in zip(texts, ids):
+        assert table.text_of(ident) == text
+        assert table.try_id(text) == ident
+    assert len(table) == len(set(texts))
+
+
+@given(st.lists(st.text(max_size=20), max_size=40), st.integers(0, 40))
+@settings(max_examples=50, deadline=None)
+def test_mirror_fed_deltas_agrees_id_for_id(texts, split):
+    """The worker-mirror protocol: grow only by coordinator deltas."""
+    table = SymbolTable()
+    mirror = SymbolTable()
+    for t in texts[:split]:
+        table.intern_id(t)
+    mirror.extend(table.delta(0))
+    watermark = len(table)
+    for t in texts[split:]:
+        table.intern_id(t)
+    mirror.extend(table.delta(watermark))
+    assert len(mirror) == len(table)
+    for t in texts:
+        assert mirror.try_id(t) == table.try_id(t)
+
+
+@given(
+    st.lists(
+        st.tuples(attr_names, ops5_values).map(lambda kv: {kv[0]: kv[1]}),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_batch_frame_round_trips_every_ops5_value(attr_dicts):
+    table = SymbolTable()
+    mirror = SymbolTable()
+    ops = [
+        (messages.ADD_WME, f"cls{i}", attrs, i + 1)
+        for i, attrs in enumerate(attr_dicts)
+    ] + [(messages.REMOVE_WME, 1), (messages.RESET,)]
+    frame, watermark = encode_batch(ops, 7, table, 0)
+    decoded, seq = decode_batch(frame, mirror)
+    assert seq == 7
+    assert decoded == ops
+    # Values must come back with their exact types (1 vs 1.0 vs "1").
+    for (_, _, attrs, _), (_, _, out, _) in zip(
+        ops[: len(attr_dicts)], decoded[: len(attr_dicts)]
+    ):
+        for key in attrs:
+            assert type(out[key]) is type(attrs[key])
+    assert watermark == len(table)
+
+
+@given(st.lists(st.tuples(st.text(min_size=1, max_size=15), ops5_values), max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_reply_frame_round_trips_even_with_unknown_symbols(bindings):
+    """A mirror never allocates ids: names it has not seen go inline."""
+    mirror = SymbolTable()
+    mirror.intern_id("known-production")
+    edits = [
+        (messages.INSERT, "known-production", (1, 2), dict(bindings)),
+        (messages.DELETE, "never-interned", (3,)),
+    ]
+    rows = [(0, 1, 2, 3, 4), (1, 0, 0, 0, 0)]
+    table = SymbolTable()
+    table.extend(mirror.delta(0))
+    out_edits, out_rows = decode_reply(encode_reply(edits, rows, mirror), table)
+    assert out_edits == edits
+    assert out_rows == rows
+
+
+def test_symbol_ids_never_collide_with_numbers_in_join_keys():
+    """The regression the key bitmask exists for: a symbol whose intern
+    id happens to equal a numeric join value must not hash-collide into
+    the same bucket and produce phantom matches."""
+    from repro.rete.network import ReteNetwork
+
+    program = parse_program(
+        """
+        (p pair (left ^v <x>) (right ^v <x>) --> (make hit))
+        """
+    )
+    network = ReteNetwork()
+    for production in program.productions:
+        network.add_production(production)
+    sym = "collider"
+    ident = SYMBOLS.intern_id(sym)
+    # A number equal to the symbol's intern id on the opposite side.
+    network.add_wme(make_wme("left", {"v": sym}, 1))
+    network.add_wme(make_wme("right", {"v": ident}, 2))
+    assert len(network.conflict_set) == 0
+    network.add_wme(make_wme("right", {"v": sym}, 3))
+    assert len(network.conflict_set) == 1
+
+
+def test_checkpoint_restore_rebuilds_interned_join_indexes():
+    """Pickle an indexed network, reload it, and keep matching: the
+    rebuilt join indexes must answer exactly like the originals (this
+    is the executor's checkpoint/restore path in miniature)."""
+    from repro.rete.network import ReteNetwork
+
+    program = parse_program(
+        """
+        (p link (node ^name <a>) (edge ^from <a> ^to <b>) (node ^name <b>)
+           --> (make reach ^to <b>))
+        """
+    )
+
+    def fresh():
+        network = ReteNetwork()
+        for production in program.productions:
+            network.add_production(production)
+        return network
+
+    live = fresh()
+    wmes = []
+    for i in range(4):
+        wmes.append(make_wme("node", {"name": f"n{i}"}, len(wmes) + 1))
+    wmes.append(make_wme("edge", {"from": "n0", "to": "n1"}, len(wmes) + 1))
+    for wme in wmes:
+        live.add_wme(wme)
+
+    resumed = pickle.loads(pickle.dumps(live, protocol=pickle.HIGHEST_PROTOCOL))
+    resumed.rebuild_join_indexes()
+
+    extra = make_wme("edge", {"from": "n2", "to": "n3"}, 99)
+    live.add_wme(extra)
+    resumed.add_wme(extra)
+    assert len(resumed.conflict_set) == len(live.conflict_set) == 2
