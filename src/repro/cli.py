@@ -28,6 +28,10 @@ Commands
     Run a demo on the parallel backend under a seeded fault plan
     (worker crashes/hangs) and verify the recovered run is bit-identical
     to the inline reference (``docs/fault-tolerance.md``).
+``fuzz``
+    Differential-fuzz every matcher backend with generated OPS5
+    programs; mismatches are shrunk to minimal (ruleset, stream) pairs
+    and written to a JSON report (``docs/workloads.md``).
 """
 
 from __future__ import annotations
@@ -243,6 +247,50 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--max-cycles", type=int, default=500)
     chaos.add_argument("--report-out", help="write the chaos report as JSON")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz all matcher backends with generated OPS5 "
+             "programs and shrink any mismatch (see docs/workloads.md)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; case i uses a seed derived from (seed, i)",
+    )
+    fuzz.add_argument(
+        "--budget", type=float, default=60.0,
+        help="wall-clock budget in seconds (generation + runs + shrinking)",
+    )
+    fuzz.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N cases even if budget remains",
+    )
+    fuzz.add_argument(
+        "--profile", default="default",
+        help="generator profile: 'default' or a paper system "
+             "(vt, ilog, mud, daa, r1-soar, ep-soar)",
+    )
+    fuzz.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes per parallel backend",
+    )
+    fuzz.add_argument(
+        "--transports", default="pipe,ring",
+        help="comma-separated parallel transports to include "
+             "(ring is skipped with a note when unavailable)",
+    )
+    fuzz.add_argument("--max-cycles", type=int, default=40)
+    fuzz.add_argument(
+        "--shrink-attempts", type=int, default=250,
+        help="shrink budget per counterexample",
+    )
+    fuzz.add_argument(
+        "--case-seed", type=int, default=None,
+        help="replay one case seed from a report (skips the campaign)",
+    )
+    fuzz.add_argument(
+        "--report-out", help="write the fuzz report as JSON (the CI artifact)"
+    )
     return parser
 
 
@@ -603,6 +651,87 @@ def _cmd_chaos(args) -> int:
     return 0 if report.identical else 1
 
 
+def _cmd_fuzz(args) -> int:
+    """Differential-fuzz the matcher fleet; exit 0 iff no mismatches."""
+    import json
+
+    from .workloads.generator import (
+        FUZZ_PROFILES,
+        MatcherFleet,
+        case_from_seed,
+        fuzz,
+        run_case,
+    )
+
+    profile = FUZZ_PROFILES.get(args.profile)
+    if profile is None:
+        print(
+            f"error: unknown profile {args.profile!r} "
+            f"(choose from {', '.join(sorted(FUZZ_PROFILES))})",
+            file=sys.stderr,
+        )
+        return 2
+    transports = tuple(t.strip() for t in args.transports.split(",") if t.strip())
+
+    if args.case_seed is not None:
+        # Replay mode: one seed from a report, full source + verdict.
+        case = case_from_seed(profile, args.case_seed)
+        print(case.source())
+        print()
+        print(case.stream_text())
+        with MatcherFleet(workers=args.workers, transports=transports) as fleet:
+            for note in fleet.notes:
+                print(f"-- {note}")
+            outcome = run_case(case, fleet.backends(), max_cycles=args.max_cycles)
+        if outcome.ok:
+            print(f"-- case seed {args.case_seed}: all backends agree")
+            return 0
+        print(f"-- case seed {args.case_seed}: {outcome.kind}")
+        for line in outcome.divergences():
+            print(f"--   {line}")
+        return 1
+
+    def progress(iteration: int, outcome) -> None:
+        if not outcome.ok:
+            print(f"-- case {iteration} (seed {outcome.case.case_seed}): {outcome.kind}")
+
+    report = fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        profile=profile,
+        workers=args.workers,
+        transports=transports,
+        max_cycles=args.max_cycles,
+        iterations=args.iterations,
+        shrink_attempts=args.shrink_attempts,
+        on_case=progress,
+    )
+    for note in report.notes:
+        print(f"-- {note}")
+    print(
+        f"-- profile {report.profile}: {report.iterations} cases in "
+        f"{report.elapsed:.1f}s across {len(report.backends)} backends "
+        f"({', '.join(report.backends)})"
+    )
+    for counter in report.counterexamples:
+        shrunk = counter.shrunk
+        print(
+            f"-- counterexample (case seed {counter.case_seed}, {counter.kind}): "
+            f"shrunk to {len(shrunk.productions)} rule(s) / "
+            f"{len(shrunk.stream)} op(s) in {counter.shrink_attempts} attempts"
+        )
+        for line in counter.divergences[:4]:
+            print(f"--   {line}")
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            json.dump(report.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"-- wrote fuzz report to {args.report_out}")
+    verdict = "no mismatches" if report.ok else f"{len(report.counterexamples)} mismatch(es)"
+    print(f"-- verdict: {verdict}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -617,6 +746,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "profile": _cmd_profile,
         "chaos": _cmd_chaos,
+        "fuzz": _cmd_fuzz,
     }
     try:
         return handlers[args.command](args)

@@ -12,6 +12,9 @@ produced in the first place.
 
 from __future__ import annotations
 
+import re
+from decimal import Decimal
+
 from .actions import (
     Action,
     Bind,
@@ -39,9 +42,41 @@ from .production import Production
 from .wme import Value
 
 
+# What the lexer will read back as a single symbol token.
+_SYMBOL_RE = re.compile(r"[A-Za-z0-9_*+/!?.$%&\\-]+\Z")
+# What the lexer will read back as a number token (so a *symbol* with
+# this shape would silently change type on re-parse).
+_NUMBER_RE = re.compile(r"-?\d+(?:\.\d+)?\Z")
+
+
 def unparse_value(value: Value) -> str:
-    """A constant as source text (symbols verbatim, numbers as written)."""
-    return str(value)
+    """A constant as source text (symbols verbatim, numbers as written).
+
+    Raises :class:`ValueError` for values the lexer cannot read back as
+    the same constant: non-finite floats, floats whose shortest repr
+    needs an exponent (rendered fixed-point instead when possible), and
+    symbols that are unlexable or number-shaped.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"cannot unparse boolean constant {value!r}")
+    if isinstance(value, float):
+        text = repr(value)
+        if _NUMBER_RE.match(text):
+            return text
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"cannot unparse non-finite number {value!r}")
+        # Exponent reprs ("1e-05") lex as symbols; expand to fixed-point.
+        text = format(Decimal(repr(value)), "f")
+        if "." not in text:
+            text += ".0"
+        return text
+    if isinstance(value, int):
+        return str(value)
+    if not _SYMBOL_RE.match(value):
+        raise ValueError(f"symbol {value!r} is not lexable")
+    if _NUMBER_RE.match(value):
+        raise ValueError(f"symbol {value!r} would re-parse as a number")
+    return value
 
 
 def unparse_test(test: Test) -> str:

@@ -8,7 +8,10 @@ Two sources of match work drive the evaluation:
   original traces are CMU-internal;
 * :mod:`repro.workloads.programs` -- real OPS5 programs (Tower of
   Hanoi, blocks world, monkey & bananas, eight puzzle, transitive
-  closure) run through the instrumented Rete network.
+  closure) plus six generated *system-class* programs, run through the
+  instrumented matchers;
+* :mod:`repro.workloads.generator` -- the property-based OPS5 program
+  generator and differential fuzzing harness (``docs/workloads.md``).
 """
 
 from .profiles import (
@@ -23,11 +26,13 @@ from .profiles import (
     VT,
     profile_named,
 )
+from .generator import GENERATOR_PROFILES, case_from_seed, emit_system_program, fuzz
 from .synthetic import SyntheticGenerator, generate_trace
 from .programs import ALL_PROGRAMS
 
 __all__ = [
     "ALL_PROGRAMS",
+    "GENERATOR_PROFILES",
     "DAA",
     "EP_SOAR",
     "ILOG",
@@ -38,6 +43,9 @@ __all__ = [
     "SyntheticGenerator",
     "SystemProfile",
     "VT",
+    "case_from_seed",
+    "emit_system_program",
+    "fuzz",
     "generate_trace",
     "profile_named",
 ]

@@ -155,6 +155,36 @@ PAPER_SYSTEMS: tuple[SystemProfile, ...] = (R1_SOAR, EP_SOAR, ILOG, MUD, DAA, VT
 PARALLEL_FIRING_SYSTEMS: tuple[SystemProfile, ...] = (R1_SOAR, EP_SOAR)
 
 
+# ---------------------------------------------------------------------------
+# Published anchors the calibration targets (the numbers the paper states
+# directly, as opposed to the per-system knobs derived from them).
+# ---------------------------------------------------------------------------
+
+#: Section 6: peak working-memory changes processed per second.
+PAPER_WME_CHANGES_PER_SECOND = 9400
+#: Section 6: peak production firings per second.
+PAPER_FIRINGS_PER_SECOND = 3800
+#: Section 4: mean productions affected per working-memory change.
+PAPER_AFFECTED_PER_CHANGE = 30.0
+#: Section 3.1: serial instructions per change on a uniprocessor (c1).
+PAPER_SERIAL_COST_C1 = 1800
+
+
+def implied_changes_per_firing() -> float:
+    """Changes per firing implied by the paper's two Section 6 rates."""
+    return PAPER_WME_CHANGES_PER_SECOND / PAPER_FIRINGS_PER_SECOND
+
+
+def fleet_mean(attribute: str, systems: tuple[SystemProfile, ...] = PAPER_SYSTEMS) -> float:
+    """Unweighted mean of one numeric profile field across systems."""
+    return sum(getattr(profile, attribute) for profile in systems) / len(systems)
+
+
+def expected_trace_changes(profile: SystemProfile) -> int:
+    """Working-memory changes a generated trace of this profile carries."""
+    return round(profile.firings * profile.changes_per_firing)
+
+
 def profile_named(name: str) -> SystemProfile:
     """Look up a paper system profile by name."""
     for profile in PAPER_SYSTEMS:

@@ -3,9 +3,29 @@
 Each module exposes ``PROGRAM`` (OPS5 source), ``setup(...)`` (initial
 WMEs), ``build(...)`` (a loaded :class:`ProductionSystem`), and
 ``run(...)``.
+
+Two families live here: hand-written classics (Hanoi, blocks world,
+monkey & bananas, ...) and six *system-class* programs (``vt``,
+``ilog``, ``mud``, ``daa``, ``r1-soar``, ``ep-soar``) generated from
+the paper's per-system Section 6 statistics -- see
+:mod:`repro.workloads.programs._generated`.
 """
 
-from . import blocks, closure, eight_puzzle, elevator, hanoi, monkey, router
+from . import (
+    blocks,
+    closure,
+    daa,
+    eight_puzzle,
+    elevator,
+    ep_soar,
+    hanoi,
+    ilog,
+    monkey,
+    mud,
+    r1_soar,
+    router,
+    vt,
+)
 
 ALL_PROGRAMS = {
     "hanoi": hanoi,
@@ -15,15 +35,37 @@ ALL_PROGRAMS = {
     "closure": closure,
     "router": router,
     "elevator": elevator,
+    "vt": vt,
+    "ilog": ilog,
+    "mud": mud,
+    "daa": daa,
+    "r1-soar": r1_soar,
+    "ep-soar": ep_soar,
+}
+
+SYSTEM_PROGRAMS = {
+    "vt": vt,
+    "ilog": ilog,
+    "mud": mud,
+    "daa": daa,
+    "r1-soar": r1_soar,
+    "ep-soar": ep_soar,
 }
 
 __all__ = [
     "ALL_PROGRAMS",
+    "SYSTEM_PROGRAMS",
     "blocks",
     "closure",
+    "daa",
     "eight_puzzle",
     "elevator",
+    "ep_soar",
     "hanoi",
+    "ilog",
     "monkey",
+    "mud",
+    "r1_soar",
     "router",
+    "vt",
 ]

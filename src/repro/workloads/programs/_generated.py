@@ -1,0 +1,62 @@
+"""Binder turning calibrated :func:`emit_system_program` artifacts into
+bundled program modules.
+
+The six paper systems (VT, ILOG, MUD, DAA, R1-Soar, EP-Soar) are not
+publicly available, so each ``programs/<system>.py`` module materialises
+a deterministic *system-class* program from its calibrated profile: same
+module contract as the hand-written workloads (``PROGRAM`` / ``setup`` /
+``build`` / ``run``), but the rule graph -- stage depth, branch fan-in,
+lane parallelism, distractor alpha load -- is shaped by the profile's
+paper statistics rather than written by hand.
+"""
+
+from __future__ import annotations
+
+from ...ops5.engine import ProductionSystem, RunResult
+from ...ops5.wme import WME
+from ..generator import SystemProgram, emit_system_program
+from ..profiles import SystemProfile
+
+
+def bind(profile: SystemProfile) -> dict:
+    """The module namespace for one system-class program."""
+    emitted = emit_system_program(profile)
+
+    def setup() -> list[WME]:
+        """The default initial working memory (context, tasks, items)."""
+        return [WME(cls, dict(attrs)) for cls, attrs in emitted.setup]
+
+    def build(facts: list[WME] | None = None, **kwargs) -> ProductionSystem:
+        """A ready-to-run engine loaded with *facts* (default: setup())."""
+        system = ProductionSystem(emitted.source, **kwargs)
+        for wme in facts if facts is not None else setup():
+            system.add_wme(wme)
+        return system
+
+    def run(facts: list[WME] | None = None, **kwargs) -> RunResult:
+        """Run to the explicit halt; fires exactly expected_firings()."""
+        return build(facts, **kwargs).run(max_cycles=emitted.max_cycles)
+
+    def expected_firings() -> int:
+        """Closed-form firing count of the staged pipeline."""
+        return emitted.expected_firings()
+
+    return {
+        "PROGRAM": emitted.source,
+        "EMITTED": emitted,
+        "PROFILE": profile,
+        "setup": setup,
+        "build": build,
+        "run": run,
+        "expected_firings": expected_firings,
+    }
+
+
+def install(module_globals: dict, profile: SystemProfile) -> None:
+    """Populate a program module's globals from its profile."""
+    namespace = bind(profile)
+    module_globals.update(namespace)
+    module_globals.setdefault("__all__", sorted(namespace))
+
+
+__all__ = ["SystemProgram", "bind", "install"]

@@ -1,0 +1,11 @@
+"""DAA (VLSI datapath allocation): calibrated system-class workload.
+
+Generated from the paper's Section 6 statistics for this system via
+:func:`repro.workloads.generator.emit_system_program`; see
+:mod:`repro.workloads.programs._generated` for the module contract.
+"""
+
+from ..profiles import DAA as _PROFILE
+from ._generated import install as _install
+
+_install(globals(), _PROFILE)

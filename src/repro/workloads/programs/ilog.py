@@ -1,0 +1,11 @@
+"""ILOG (logistics simulation): calibrated system-class workload.
+
+Generated from the paper's Section 6 statistics for this system via
+:func:`repro.workloads.generator.emit_system_program`; see
+:mod:`repro.workloads.programs._generated` for the module contract.
+"""
+
+from ..profiles import ILOG as _PROFILE
+from ._generated import install as _install
+
+_install(globals(), _PROFILE)

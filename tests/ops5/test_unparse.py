@@ -158,6 +158,69 @@ class TestRoundTripProductions:
         assert reparsed.productions[0].conditions == program.productions[0].conditions
 
 
+class TestUnparseValue:
+    """Lexability hardening: every rendered constant reads back as itself."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        value=st.one_of(
+            st.integers(min_value=-(10**12), max_value=10**12),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.sampled_from(["red", "a-b", "x1", "p*q", "a.b"]),
+        )
+    )
+    def test_rendered_constants_relex(self, value):
+        from repro.ops5.unparse import unparse_value
+
+        text = unparse_value(value)
+        production = parse_production(f"(p x (c ^v {text}) --> (halt))")
+        parsed = production.conditions[0].tests["v"].value
+        assert parsed == value
+        assert type(parsed) is type(value)
+
+    def test_exponent_floats_render_fixed_point(self):
+        from repro.ops5.unparse import unparse_value
+
+        assert unparse_value(1e-05) == "0.00001"
+        assert float(unparse_value(5e20)) == 5e20
+
+    def test_unlexable_values_rejected(self):
+        import pytest
+
+        from repro.ops5.unparse import unparse_value
+
+        for bad in (float("inf"), float("nan"), "has space", "12", "-3.5", "(x"):
+            with pytest.raises(ValueError):
+                unparse_value(bad)
+
+
+class TestGeneratedPrograms:
+    """Generator-driven round trips: parse(unparse(p)) == p for fuzz cases."""
+
+    def test_seeded_cases_roundtrip(self):
+        from repro.workloads.generator import (
+            DEFAULT_PROFILE,
+            case_from_seed,
+            roundtrip_problems,
+        )
+
+        for seed in range(60):
+            case = case_from_seed(DEFAULT_PROFILE, seed)
+            assert roundtrip_problems(case) == [], seed
+
+    def test_system_profiles_roundtrip(self):
+        from repro.workloads.generator import (
+            GENERATOR_PROFILES,
+            case_from_seed,
+            roundtrip_problems,
+        )
+
+        for name, profile in GENERATOR_PROFILES.items():
+            for seed in range(10):
+                case = case_from_seed(profile, seed)
+                assert roundtrip_problems(case) == [], (name, seed)
+
+
 class TestRealPrograms:
     def test_bundled_programs_roundtrip(self):
         from repro.workloads.programs import ALL_PROGRAMS
