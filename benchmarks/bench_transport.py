@@ -20,8 +20,10 @@ shared-memory ring, on the closure workload's dispatch stream:
   earns its keep on bytes, on the cache, and on the wire above.
 * **full_path**: marshal + wire + unmarshal per op, the cost the
   executor actually pays per shard delivery.
-* **end_to_end**: transitive closure over real worker processes,
-  inline / pipe / ring, in wme-changes/sec against the paper's 9400.
+* **end_to_end**: transitive closure to natural halt -- serial
+  interpreted Rete vs the compiled kernel (``repro.kernel``), then
+  inline / pipe / ring over real worker processes -- in wme-changes/sec
+  against the paper's 9400.
 * **recovery**: the differential harness (``seeded_chaos``) over both
   transports -- a seeded crash+hang run must be bit-identical to the
   inline reference, with the same recovery story, on either wire.
@@ -432,6 +434,32 @@ def measure_end_to_end(profile: dict) -> dict:
     chain = _closure_chain(profile["chain"])
     changes = len(chain) + profile["chain"] * (profile["chain"] + 1) // 2
     rows = {}
+    # Serial matchers first: the interpreted Rete vs the generated
+    # kernel (repro.kernel), same program, same change stream.  Best of
+    # three runs -- the kernel's codegen cache makes run 2+ reflect
+    # steady state (compiling is once per ruleset *shape*, by design),
+    # and the interpreted matchers get the same treatment.
+    from repro.ops5.engine import matcher_named
+
+    for label in ("rete", "compiled"):
+        best = float("inf")
+        for _ in range(3):
+            matcher = matcher_named(label)
+            system = ProductionSystem(CLOSURE, matcher=matcher)
+            started = time.perf_counter()
+            for cls, attrs in chain:
+                system.add(cls, **attrs)
+            system.run(max_cycles=10_000)
+            best = min(best, time.perf_counter() - started)
+        rows[label] = {
+            "workers": 0,
+            "seconds": best,
+            "wme_changes": changes,
+            "wme_changes_per_sec": changes / best,
+        }
+    rows["compiled"]["speedup_vs_rete"] = (
+        rows["rete"]["seconds"] / rows["compiled"]["seconds"]
+    )
     for label, kind, workers in (
         ("inline", "pipe", 0),
         ("pipe", "pipe", 2),
@@ -629,12 +657,14 @@ def report(measured: dict) -> None:
         )
     print("end to end (closure to halt, wme-changes/sec; paper budget "
           f"{PAPER_TARGET}):")
-    for label in ("inline", "pipe", "ring"):
+    for label in ("rete", "compiled", "inline", "pipe", "ring"):
         row = measured["end_to_end"][label]
+        extra = f"  dispatches={row['dispatches']}" if "dispatches" in row else ""
+        if "speedup_vs_rete" in row:
+            extra = f"  ({row['speedup_vs_rete']:.2f}x interpreted rete)"
         print(
-            f"  {label:<7} w={row['workers']}  {row['seconds'] * 1e3:7.1f} ms  "
-            f"{row['wme_changes_per_sec']:7.0f} changes/sec  "
-            f"dispatches={row['dispatches']}"
+            f"  {label:<8} w={row['workers']}  {row['seconds'] * 1e3:7.1f} ms  "
+            f"{row['wme_changes_per_sec']:7.0f} changes/sec{extra}"
         )
     r = measured["recovery"]
     print(

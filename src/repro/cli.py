@@ -8,6 +8,9 @@ Commands
 ``demo NAME``
     Run one of the bundled programs (``hanoi``, ``blocks``, ``monkey``,
     ``eight-puzzle``, ``closure``).
+``matchers``
+    List the registered matcher backends and shard transports, with
+    one-line descriptions from the engine registry.
 ``simulate``
     Generate a calibrated system workload (or capture one from a
     program file) and replay it on a configurable PSM.
@@ -99,8 +102,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stats", action="store_true", help="print match statistics")
     run.add_argument(
         "--verify", action="store_true",
-        help="audit the Rete network's internal state after the run "
-             "(rete matchers only)",
+        help="audit the matcher's internal state after the run "
+             "(rete and compiled matchers)",
+    )
+
+    sub.add_parser(
+        "matchers",
+        help="list the registered matcher backends and shard transports",
     )
 
     demo = sub.add_parser("demo", help="run a bundled example program")
@@ -246,6 +254,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="checkpoint a shard every N applied batches (0 = never)",
     )
     chaos.add_argument("--max-cycles", type=int, default=500)
+    chaos.add_argument(
+        "--with-compiled", action="store_true",
+        help="add the compiled kernel (in Rete-oracle mode) as a third "
+             "participant in the bit-identity comparison",
+    )
     chaos.add_argument("--report-out", help="write the chaos report as JSON")
 
     fuzz = sub.add_parser(
@@ -341,17 +354,27 @@ def _run_and_report(args, system: ProductionSystem) -> int:
                 f"sharing ratio {network.sharing_ratio:.2f}"
             )
     if args.verify:
-        if not isinstance(system.matcher, ReteNetwork):
-            print("error: --verify requires a rete matcher", file=sys.stderr)
-            return 2
-        from .rete import check_network
+        from .kernel.matcher import CompiledMatcher
 
-        problems = check_network(system.matcher)
+        if isinstance(system.matcher, ReteNetwork):
+            from .rete import check_network
+
+            problems = check_network(system.matcher)
+        elif isinstance(system.matcher, CompiledMatcher):
+            from .kernel import check_kernel
+
+            problems = check_kernel(system.matcher)
+        else:
+            print(
+                "error: --verify requires a rete or compiled matcher",
+                file=sys.stderr,
+            )
+            return 2
         if problems:
             for problem in problems:
                 print(f"INCONSISTENT: {problem}", file=sys.stderr)
             return 1
-        print("-- network state verified consistent")
+        print("-- matcher state verified consistent")
     return 0
 
 
@@ -593,6 +616,22 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_matchers(args) -> int:
+    """List matcher backends and shard transports from the registries."""
+    from .ops5.engine import MATCHER_DESCRIPTIONS
+    from .parallel import ring_available
+
+    print("matchers:")
+    for name in MATCHER_NAMES:
+        print(f"  {name:<13} {MATCHER_DESCRIPTIONS[name]}")
+    print("transports (for --matcher parallel):")
+    ring_note = "" if ring_available() else " [unavailable on this host]"
+    print("  pipe          pickled duplex pipes (always available)")
+    print(f"  ring          shared-memory SPSC byte rings{ring_note}")
+    print("  auto          ring when available, else pipe")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     """Run a demo under injected faults; exit 0 iff bit-identical."""
     import json
@@ -626,7 +665,10 @@ def _cmd_chaos(args) -> int:
         supervisor=config,
         max_cycles=args.max_cycles,
         transport=args.transport,
+        with_compiled=args.with_compiled,
     )
+    if args.with_compiled:
+        print("-- compiled kernel (oracle mode) joined the comparison")
     for event in report.recovery_events:
         print(
             f"-- shard {event['shard']} {event['cause']} at seq {event['seq']}: "
@@ -738,6 +780,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "demo": _cmd_demo,
+        "matchers": _cmd_matchers,
         "simulate": _cmd_simulate,
         "measure": _cmd_measure,
         "trace": _cmd_trace,

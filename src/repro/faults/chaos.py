@@ -38,6 +38,9 @@ class ChaosReport:
     fault_summary: dict
     recovery_events: list[dict] = field(default_factory=list)
     transport: str = "auto"
+    #: Labels of the compared runs (inline reference, faulted parallel,
+    #: optionally the compiled kernel under its Rete oracle).
+    participants: list[str] = field(default_factory=list)
 
     @property
     def recovered(self) -> bool:
@@ -57,6 +60,7 @@ class ChaosReport:
             "fault_summary": self.fault_summary,
             "recovery_events": self.recovery_events,
             "transport": self.transport,
+            "participants": self.participants,
         }
 
 
@@ -70,6 +74,7 @@ def run_chaos(
     supervisor=None,
     recorder=None,
     transport: str = "auto",
+    with_compiled: bool = False,
 ) -> ChaosReport:
     """Run one program twice -- faulted parallel vs. inline reference.
 
@@ -84,6 +89,12 @@ def run_chaos(
     shard transport (the reference is inline, so it has none): recovery
     must be bit-identical over the shared-memory ring exactly as over
     pickled pipes.
+
+    With ``with_compiled=True`` a third participant joins the
+    comparison: the generated match kernel running in oracle mode
+    (every change shadow-checked against a node-walking Rete), so one
+    chaos run simultaneously proves fault recovery *and* codegen
+    equivalence on the same program.
     """
     # Imported here, not at module top: repro.parallel's worker imports
     # this package's plan module, so a top-level import would be cyclic.
@@ -94,6 +105,16 @@ def run_chaos(
     with ParallelMatcher(workers=0) as reference:
         report.records["inline"] = run_recorded(
             productions, setup, reference, strategy=strategy, max_cycles=max_cycles
+        )
+    if with_compiled:
+        from ..kernel.matcher import CompiledMatcher
+
+        report.records["compiled+oracle"] = run_recorded(
+            productions,
+            setup,
+            CompiledMatcher(oracle=True),
+            strategy=strategy,
+            max_cycles=max_cycles,
         )
     with ParallelMatcher(
         workers=workers,
@@ -118,6 +139,7 @@ def run_chaos(
         fault_summary=summary,
         recovery_events=events,
         transport=resolved,
+        participants=list(report.records),
     )
 
 
@@ -134,6 +156,7 @@ def seeded_chaos(
     strategy: str = "lex",
     recorder=None,
     transport: str = "auto",
+    with_compiled: bool = False,
 ) -> ChaosReport:
     """``run_chaos`` with a :meth:`FaultPlan.seeded` plan -- the CLI's
     one-call entry point for reproducible chaos by integer seed."""
@@ -150,4 +173,5 @@ def seeded_chaos(
         supervisor=supervisor,
         recorder=recorder,
         transport=transport,
+        with_compiled=with_compiled,
     )

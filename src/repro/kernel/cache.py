@@ -1,0 +1,110 @@
+"""Codegen cache keyed by a structural ruleset fingerprint.
+
+Compiling a ruleset costs codegen plus ``compile()``; the result depends
+only on the *shape* of the LHSs (classes, alpha tests, variable
+bindings, join tests) -- production names and RHS actions are bound at
+build time from the runtime's production list.  The fingerprint captures
+exactly that shape:
+
+* values are tagged with their Python type name so ``5``, ``5.0`` and
+  ``"5"`` fingerprint differently (their generated tests differ);
+* binder variable names are included -- they appear verbatim in the
+  generated bindings dict literals;
+* production and ruleset names are *not* included, so reloading the
+  same program -- or a renamed copy -- hits the cache and reuses the
+  same code object.
+
+Neither fingerprinting nor codegen ever calls ``intern_id``: loading a
+cached ruleset does not grow the symbol table (regression-tested in
+``tests/kernel/test_cache.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Sequence
+
+from ..ops5.condition import CEAnalysis
+from ..ops5.production import Production
+from .codegen import alpha_items, generate_source
+
+__all__ = [
+    "CompiledRuleset",
+    "cache_stats",
+    "clear_cache",
+    "compiled_ruleset",
+    "ruleset_fingerprint",
+]
+
+
+def _ce_fingerprint(analysis: CEAnalysis) -> tuple:
+    return (
+        analysis.ce.cls,
+        analysis.ce.negated,
+        alpha_items(analysis),
+        tuple(sorted(analysis.binders.items())),
+        tuple(
+            (jt.own_attribute, jt.predicate.value, jt.other_ce, jt.other_attribute)
+            for jt in analysis.join_tests
+        ),
+    )
+
+
+def ruleset_fingerprint(productions: Sequence[Production]) -> tuple:
+    """Structural LHS fingerprint; equal iff the generated code is."""
+    return tuple(
+        tuple(_ce_fingerprint(a) for a in production.analysis)
+        for production in productions
+    )
+
+
+class CompiledRuleset:
+    """One cache entry: fingerprint, generated source, code object."""
+
+    __slots__ = ("fingerprint", "digest", "source", "code")
+
+    def __init__(self, fingerprint: tuple, source: str) -> None:
+        self.fingerprint = fingerprint
+        #: Short stable hex id for traces, summaries and bench reports.
+        self.digest = hashlib.sha256(repr(fingerprint).encode()).hexdigest()[:16]
+        self.source = source
+        self.code = compile(source, f"<kernel:{self.digest}>", "exec")
+
+
+_CACHE: dict[tuple, CompiledRuleset] = {}
+_LOCK = threading.Lock()
+_HITS = 0
+_MISSES = 0
+
+
+def compiled_ruleset(productions: Sequence[Production]) -> CompiledRuleset:
+    """The (cached) compiled module for *productions*."""
+    global _HITS, _MISSES
+    fingerprint = ruleset_fingerprint(productions)
+    with _LOCK:
+        entry = _CACHE.get(fingerprint)
+        if entry is not None:
+            _HITS += 1
+            return entry
+        _MISSES += 1
+    # Codegen outside the lock: racing compiles of the same ruleset are
+    # rare and benign (last writer wins; code objects are equivalent).
+    entry = CompiledRuleset(fingerprint, generate_source(productions))
+    with _LOCK:
+        return _CACHE.setdefault(fingerprint, entry)
+
+
+def cache_stats() -> dict:
+    """Process-wide cache counters (``repro.metrics`` kernel section)."""
+    with _LOCK:
+        return {"hits": _HITS, "misses": _MISSES, "size": len(_CACHE)}
+
+
+def clear_cache() -> None:
+    """Drop entries and counters (test isolation)."""
+    global _HITS, _MISSES
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0

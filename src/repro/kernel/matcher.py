@@ -1,0 +1,331 @@
+"""The compiled matcher: drives generated kernels behind the Matcher ABC.
+
+:class:`CompiledMatcher` is a drop-in peer of the interpreted matchers
+(``matcher_named("compiled")``).  It keeps the canonical WM mirror and
+production list, compiles the ruleset on demand (cached by structural
+fingerprint, see ``kernel/cache.py``), and dispatches each WME change to
+the generated subscriber closures.
+
+Rebuild policy
+--------------
+The kernel is compiled lazily: production edits only mark the matcher
+dirty while working memory is empty (the common case -- a program loads
+all productions, then WMEs arrive), so loading N productions costs one
+compile, not N.  Once WMEs exist, a production edit rebuilds
+immediately -- the engine may inspect the conflict set right after --
+by clearing the conflict set and replaying the WM mirror through the
+fresh kernel in timetag order.  Replay is *quiet*: no per-change stats
+rows, and per-change counter deltas are snapshotted after the rebuild,
+so measurements reflect only real WM traffic (the interpreted Rete's
+``add_production`` folds existing WM the same way).
+
+Deletion is two-phase: every store's delete subscribers run while the
+rows and columns still hold the dying WME (retraction re-builds token
+keys from the columns of *all* constituent WMEs, including the dying
+one), then the rows drop.
+
+Oracle mode
+-----------
+``CompiledMatcher(oracle=True)`` shadows every mutation through a
+node-walking :class:`~repro.rete.ReteNetwork` and compares conflict-set
+snapshots after each change, raising :class:`~repro.ops5.errors.Ops5Error`
+on the first divergence -- the differential harness the fuzz fleet and
+chaos harness lean on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..ops5.errors import Ops5Error
+from ..ops5.matcher import ChangeRecord, Matcher
+from ..ops5.production import Instantiation, Production
+from ..ops5.wme import WME, is_number, same_type, values_equal
+from .cache import CompiledRuleset, cache_stats, compiled_ruleset
+from .layout import AlphaStore
+
+__all__ = ["CompiledMatcher", "KernelRuntime"]
+
+
+def _eqn(a, b) -> bool:
+    """``a == b`` where *b* is a numeric constant (symbols never match)."""
+    return is_number(a) and a == b
+
+
+def _lt(a, b) -> bool:
+    return is_number(a) and is_number(b) and a < b
+
+
+def _le(a, b) -> bool:
+    return is_number(a) and is_number(b) and a <= b
+
+
+def _gt(a, b) -> bool:
+    return is_number(a) and is_number(b) and a > b
+
+
+def _ge(a, b) -> bool:
+    return is_number(a) and is_number(b) and a >= b
+
+
+def _anyeq(a, values) -> bool:
+    """OPS5 disjunction ``<< v1 v2 ... >>`` membership."""
+    for v in values:
+        if values_equal(a, v):
+            return True
+    return False
+
+
+class KernelRuntime:
+    """Everything a generated ``build(rt)`` needs, plus the built state.
+
+    The generated module binds the helper functions and conflict-set
+    editors to locals once per build; ``store``/``subscribe`` are called
+    during build to materialise the columnar memories and register the
+    per-CE right-activation closures.
+    """
+
+    __slots__ = ("counters", "cs_insert", "cs_delete", "instantiation",
+                 "productions", "stores", "by_class", "subscriptions")
+
+    # Comparison helpers, shared by every generated kernel.
+    veq = staticmethod(values_equal)
+    same = staticmethod(same_type)
+    num = staticmethod(is_number)
+    eqn = staticmethod(_eqn)
+    lt = staticmethod(_lt)
+    le = staticmethod(_le)
+    gt = staticmethod(_gt)
+    ge = staticmethod(_ge)
+    anyeq = staticmethod(_anyeq)
+
+    def __init__(self, conflict_set, productions: list[Production]) -> None:
+        #: [node activations, comparisons, tokens built] -- the generated
+        #: code increments these; the matcher snapshots deltas per change.
+        self.counters = [0, 0, 0]
+        self.cs_insert = conflict_set.insert
+        self.cs_delete = conflict_set.delete_key
+        self.instantiation = Instantiation
+        #: Positional production list, in codegen order.
+        self.productions = productions
+        self.stores: list[AlphaStore] = []
+        self.by_class: dict[str, list[AlphaStore]] = {}
+        self.subscriptions = 0
+
+    def store(
+        self,
+        index: int,
+        cls: str,
+        columns: tuple[str, ...],
+        predicate,
+        production_names: tuple[str, ...],
+    ) -> AlphaStore:
+        assert index == len(self.stores)
+        store = AlphaStore(cls, columns, predicate, frozenset(production_names))
+        self.stores.append(store)
+        self.by_class.setdefault(cls, []).append(store)
+        return store
+
+    def subscribe(self, store: AlphaStore, add_fn, del_fn) -> None:
+        store.add_subs.append(add_fn)
+        store.del_subs.append(del_fn)
+        self.subscriptions += 1
+
+
+class CompiledMatcher(Matcher):
+    """Matcher backed by per-ruleset generated code (see package docs)."""
+
+    def __init__(
+        self,
+        oracle: bool = False,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        super().__init__()
+        self._recorder = recorder or NULL_RECORDER
+        self._productions: dict[str, Production] = {}
+        self._wmes: dict[int, WME] = {}
+        self._rt: Optional[KernelRuntime] = None
+        self._ruleset: Optional[CompiledRuleset] = None
+        self._dirty = True
+        self._compiles = 0
+        self._replayed = 0
+        self._oracle = None
+        if oracle:
+            from ..rete.network import ReteNetwork
+
+            self._oracle = ReteNetwork()
+
+    # -- production edits -------------------------------------------------
+
+    def add_production(self, production: Production) -> None:
+        if production.name in self._productions:
+            raise Ops5Error(f"production {production.name!r} is already registered")
+        self._productions[production.name] = production
+        self._after_ruleset_edit(lambda: self._oracle.add_production(production))
+
+    def remove_production(self, name: str) -> None:
+        if name not in self._productions:
+            raise Ops5Error(f"unknown production {name!r}")
+        del self._productions[name]
+        self._after_ruleset_edit(lambda: self._oracle.remove_production(name))
+
+    def _after_ruleset_edit(self, shadow) -> None:
+        if self._oracle is not None:
+            shadow()
+        if self._wmes:
+            # The engine may read the conflict set before the next WME
+            # change, so fold the edit in now.
+            self._rebuild()
+            if self._oracle is not None:
+                self._check_oracle("production edit")
+        else:
+            self._dirty = True
+
+    # -- WME changes -------------------------------------------------------
+
+    def add_wme(self, wme: WME) -> None:
+        self._ensure_compiled()
+        self._wmes[wme.timetag] = wme
+        counters = self._rt.counters
+        base = tuple(counters)
+        affected: set[str] = set()
+        for store in self._rt.by_class.get(wme.cls, ()):
+            predicate = store.predicate
+            if predicate is None or predicate(wme):
+                store.insert(wme)
+                affected |= store.production_names
+                for fn in store.add_subs:
+                    fn(wme)
+        self._record("add", wme, affected, base)
+        if self._oracle is not None:
+            self._oracle.add_wme(wme)
+            self._check_oracle(f"add of {wme!r}")
+
+    def remove_wme(self, wme: WME) -> None:
+        timetag = wme.timetag
+        if timetag not in self._wmes:
+            raise Ops5Error(f"WME {wme!r} was never added")
+        self._ensure_compiled()
+        counters = self._rt.counters
+        base = tuple(counters)
+        affected: set[str] = set()
+        hit = [s for s in self._rt.by_class.get(wme.cls, ()) if timetag in s.rows]
+        # Phase 1: propagate retraction while columns still hold the WME.
+        for store in hit:
+            affected |= store.production_names
+            for fn in store.del_subs:
+                fn(wme)
+        # Phase 2: drop rows and columns.
+        for store in hit:
+            store.remove(wme)
+        del self._wmes[timetag]
+        self._record("remove", wme, affected, base)
+        if self._oracle is not None:
+            self._oracle.remove_wme(wme)
+            self._check_oracle(f"remove of {wme!r}")
+
+    def _record(
+        self, kind: str, wme: WME, affected: set[str], base: tuple
+    ) -> None:
+        counters = self._rt.counters
+        self.stats.record(
+            ChangeRecord(
+                kind=kind,
+                wme_class=wme.cls,
+                affected_productions=len(affected),
+                node_activations=counters[0] - base[0],
+                comparisons=counters[1] - base[1],
+                tokens_built=counters[2] - base[2],
+            )
+        )
+
+    # -- compilation -------------------------------------------------------
+
+    def _ensure_compiled(self) -> None:
+        if self._dirty:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        productions = list(self._productions.values())
+        with self._recorder.span(
+            "kernel:compile",
+            cat="kernel",
+            productions=len(productions),
+            wmes=len(self._wmes),
+        ):
+            ruleset = compiled_ruleset(productions)
+            runtime = KernelRuntime(self.conflict_set, productions)
+            namespace: dict = {}
+            exec(ruleset.code, namespace)  # noqa: S102 - our own codegen
+            self.conflict_set.clear()
+            namespace["build"](runtime)
+            self._ruleset = ruleset
+            self._rt = runtime
+            self._compiles += 1
+            self._dirty = False
+            # Quiet replay: rebuild match state from the WM mirror.
+            for timetag in sorted(self._wmes):
+                wme = self._wmes[timetag]
+                for store in runtime.by_class.get(wme.cls, ()):
+                    predicate = store.predicate
+                    if predicate is None or predicate(wme):
+                        store.insert(wme)
+                        for fn in store.add_subs:
+                            fn(wme)
+            self._replayed += len(self._wmes)
+
+    # -- oracle ------------------------------------------------------------
+
+    def _check_oracle(self, context: str) -> None:
+        ours = self.conflict_set.snapshot()
+        reference = self._oracle.conflict_set.snapshot()
+        if ours != reference:
+            missing = sorted(reference - ours)
+            extra = sorted(ours - reference)
+            raise Ops5Error(
+                "compiled kernel diverged from Rete oracle after "
+                f"{context}: missing={missing[:5]!r} extra={extra[:5]!r} "
+                f"(ruleset {self._ruleset.digest if self._ruleset else '?'})"
+            )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def productions(self) -> Iterable[Production]:
+        return list(self._productions.values())
+
+    def current_wmes(self) -> list[WME]:
+        """The WM mirror, in timetag order (verify hooks)."""
+        return [self._wmes[t] for t in sorted(self._wmes)]
+
+    @property
+    def runtime(self) -> Optional[KernelRuntime]:
+        """The live built kernel state, or None before first compile."""
+        return self._rt
+
+    @property
+    def generated_source(self) -> Optional[str]:
+        """Source of the current kernel (debugging / docs examples)."""
+        return self._ruleset.source if self._ruleset else None
+
+    def state_size(self) -> int:
+        """Rows across all stores (parity with ReteNetwork.state_size)."""
+        if self._rt is None:
+            return 0
+        return sum(len(s) for s in self._rt.stores)
+
+    def kernel_summary(self) -> dict:
+        """The ``kernel`` section of the unified metrics snapshot."""
+        runtime = self._rt
+        return {
+            "compiles": self._compiles,
+            "ruleset_digest": self._ruleset.digest if self._ruleset else None,
+            "stores": len(runtime.stores) if runtime else 0,
+            "store_rows": sum(len(s) for s in runtime.stores) if runtime else 0,
+            "columns": sum(len(s.cols) for s in runtime.stores) if runtime else 0,
+            "subscriptions": runtime.subscriptions if runtime else 0,
+            "replayed_wmes": self._replayed,
+            "oracle": self._oracle is not None,
+            "cache": cache_stats(),
+        }

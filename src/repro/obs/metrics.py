@@ -29,6 +29,9 @@ Snapshot shape (sections appear when their source exists)::
                    "frames_sent", "bytes_sent", "frames_received",
                    "bytes_received", "pickle_fallbacks", "ring_stalls",
                    "mean_dispatch_latency_us", "symbols", ...},
+      "kernel":   {"compiles", "ruleset_digest", "stores", "store_rows",
+                   "columns", "subscriptions", "replayed_wmes", "oracle",
+                   "cache"},
       "serve":    Telemetry.snapshot(),
       "recorder": {"enabled", "events"},
     }
@@ -96,6 +99,14 @@ def _matcher_sections(matcher) -> dict:
             "alpha_wmes": stats.alpha_wmes,
             "beta_tokens": stats.beta_tokens,
         }
+        return sections
+
+    from ..kernel.matcher import CompiledMatcher
+
+    if isinstance(matcher, CompiledMatcher):
+        # Codegen rollup: compiles, cache hit/miss, store shape, and the
+        # structural digest identifying the generated kernel.
+        sections["kernel"] = matcher.kernel_summary()
         return sections
 
     try:

@@ -31,7 +31,26 @@ from .production import Instantiation, Production
 from .wme import Value, WME, WorkingMemory
 
 #: The matcher backends :func:`matcher_named` knows how to build.
-MATCHER_NAMES = ("naive", "treat", "rete", "rete-indexed", "oflazer", "parallel")
+MATCHER_NAMES = (
+    "naive",
+    "treat",
+    "rete",
+    "rete-indexed",
+    "oflazer",
+    "compiled",
+    "parallel",
+)
+
+#: One-line description per backend, for CLI listings (`repro matchers`).
+MATCHER_DESCRIPTIONS = {
+    "naive": "re-match every production from scratch each cycle (reference)",
+    "treat": "TREAT: per-CE alpha memories, no beta state, per-cycle joins",
+    "rete": "node-walking Rete with incremental beta memories",
+    "rete-indexed": "Rete with hash-indexed join memories",
+    "oflazer": "Oflazer-style combination matcher (counter-based join states)",
+    "compiled": "per-ruleset generated kernel over columnar memories (src/repro/kernel)",
+    "parallel": "multi-process partitioned Rete shards behind a flush barrier",
+}
 
 
 def matcher_named(name: str, **kwargs) -> Matcher:
@@ -63,6 +82,10 @@ def matcher_named(name: str, **kwargs) -> Matcher:
         from ..oflazer import CombinationMatcher
 
         return CombinationMatcher(**kwargs)
+    if key == "compiled":
+        from ..kernel.matcher import CompiledMatcher
+
+        return CompiledMatcher(**kwargs)
     if key == "parallel":
         from ..parallel.executor import ParallelMatcher
 

@@ -105,6 +105,8 @@ def build_matcher(
         from ..rete import RecorderListener
 
         return matcher_named(name, listener=RecorderListener(recorder))
+    if recorder is not None and recorder.enabled and name == "compiled":
+        return matcher_named(name, recorder=recorder)
     return matcher_named(name)
 
 

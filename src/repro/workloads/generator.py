@@ -577,11 +577,21 @@ def fuzz_cases(profile: GeneratorProfile = DEFAULT_PROFILE):
 
 
 # ---------------------------------------------------------------------------
-# The differential harness: six matchers x two transports
+# The differential harness: seven matchers x two transports
 # ---------------------------------------------------------------------------
 
-#: The serial matcher backends every case runs through.
-SERIAL_BACKENDS: tuple[str, ...] = ("naive", "treat", "rete", "rete-indexed", "oflazer")
+#: The serial matcher backends every case runs through.  ``compiled`` is
+#: the generated kernel (``repro.kernel``); its inclusion makes every
+#: fuzz case a differential check of the codegen against all six
+#: interpreted matchers.
+SERIAL_BACKENDS: tuple[str, ...] = (
+    "naive",
+    "treat",
+    "rete",
+    "rete-indexed",
+    "oflazer",
+    "compiled",
+)
 
 #: Default shard transports for the parallel backend.
 DEFAULT_TRANSPORTS: tuple[str, ...] = ("pipe", "ring")
@@ -687,6 +697,7 @@ class MatcherFleet:
 
     def backends(self) -> dict[str, Callable[[], object]]:
         """Label -> zero-argument matcher factory, fleet-wide."""
+        from ..kernel.matcher import CompiledMatcher
         from ..naive import NaiveMatcher
         from ..oflazer import CombinationMatcher
         from ..rete import ReteNetwork
@@ -698,6 +709,7 @@ class MatcherFleet:
             "rete": ReteNetwork,
             "rete-indexed": lambda: ReteNetwork(indexed=True),
             "oflazer": CombinationMatcher,
+            "compiled": CompiledMatcher,
         }
         factories = {
             name: serial_factories[name] for name in self._serial

@@ -220,3 +220,35 @@ def test_cli_chaos_command_round_trip(tmp_path):
     assert report["schema"] == "repro.chaos/1"
     assert report["identical"] is True
     assert report["recovery_events"]
+
+
+def test_compiled_kernel_joins_the_chaos_comparison():
+    """``with_compiled=True`` adds the generated kernel (under its Rete
+    oracle) as a third participant: one run proves fault recovery and
+    codegen equivalence on the same program."""
+    report = seeded_chaos(
+        CLOSURE, CHAIN, seed=7, workers=2, crashes=1, supervisor=FAST,
+        with_compiled=True,
+    )
+    assert report.participants == ["inline", "compiled+oracle", "parallel+faults"]
+    assert report.identical, report.divergences
+    assert report.snapshot()["participants"] == report.participants
+
+
+def test_cli_chaos_with_compiled_flag(tmp_path):
+    import json
+
+    from repro.cli import main
+
+    out = tmp_path / "chaos.json"
+    code = main(
+        [
+            "chaos", "--demo", "closure", "--workers", "2", "--seed", "7",
+            "--crashes", "1", "--collect-deadline", "0.5",
+            "--with-compiled", "--report-out", str(out),
+        ]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert "compiled+oracle" in report["participants"]
+    assert report["identical"] is True

@@ -31,7 +31,7 @@ class TestRun:
         assert "fired 2 productions" in out
 
     def test_matcher_selection(self, capsys, program_file, wmes_file):
-        for matcher in ("rete", "treat", "naive"):
+        for matcher in ("rete", "treat", "naive", "compiled"):
             assert main(["run", program_file, "--wmes", wmes_file,
                          "--matcher", matcher]) == 0
 
@@ -220,12 +220,37 @@ class TestVerifyFlag:
         assert main(["run", str(program), "--wmes", str(wmes), "--verify"]) == 0
         assert "verified consistent" in capsys.readouterr().out
 
-    def test_verify_rejects_non_rete_matchers(self, capsys, tmp_path):
+    def test_verify_rejects_unverifiable_matchers(self, capsys, tmp_path):
         from repro.cli import main
 
         program = tmp_path / "p.ops5"
         program.write_text("(p go (a) --> (halt))")
         assert main(["run", str(program), "--matcher", "treat", "--verify"]) == 2
+
+    def test_verify_covers_the_compiled_kernel(self, capsys, tmp_path):
+        from repro.cli import main
+
+        program = tmp_path / "p.ops5"
+        program.write_text("(p go (a ^v <x>) --> (remove 1))")
+        wmes = tmp_path / "m.wmes"
+        wmes.write_text("(a ^v 1) (a ^v 2)")
+        assert main(["run", str(program), "--wmes", str(wmes),
+                     "--matcher", "compiled", "--verify"]) == 0
+        assert "verified consistent" in capsys.readouterr().out
+
+
+class TestMatchersCommand:
+    def test_lists_every_registered_matcher_and_transport(self, capsys):
+        from repro.cli import main
+        from repro.ops5.engine import MATCHER_NAMES
+
+        assert main(["matchers"]) == 0
+        out = capsys.readouterr().out
+        for name in MATCHER_NAMES:
+            assert name in out
+        assert "generated kernel" in out  # the one-line descriptions
+        for transport in ("pipe", "ring", "auto"):
+            assert transport in out
 
 
 class TestProfileCommand:

@@ -12,6 +12,7 @@ import json
 import pytest
 from hypothesis import given, settings
 
+from repro.kernel import CompiledMatcher
 from repro.naive import NaiveMatcher
 from repro.oflazer import CombinationMatcher
 from repro.ops5.production import Production
@@ -39,6 +40,7 @@ SERIAL_BACKENDS = {
     "rete": ReteNetwork,
     "rete-indexed": lambda: ReteNetwork(indexed=True),
     "oflazer": CombinationMatcher,
+    "compiled": CompiledMatcher,
 }
 
 
