@@ -186,6 +186,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-pending", type=int, default=None,
         help="per-session request-queue bound before backpressure (default 64)",
     )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="run N worker servers behind a front-door router at the "
+             "given address (0 = single server, no router)",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=int, default=None,
+        help="max concurrent sessions per tenant (default: unlimited)",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -595,6 +604,43 @@ def _cmd_profile(args) -> int:
 def _cmd_serve(args) -> int:
     from .serve import DEFAULT_MAX_PENDING, run_server
 
+    max_pending = (
+        args.max_pending if args.max_pending is not None else DEFAULT_MAX_PENDING
+    )
+
+    if args.workers and args.workers > 0:
+        # Scale-out topology: N in-process worker servers on ephemeral
+        # ports, one router at the requested address fanning sessions
+        # over them (docs/serve.md, "Multi-tenant scale-out").
+        import time as _time
+
+        from .serve import RouterFleet
+
+        try:
+            with RouterFleet(
+                workers=args.workers,
+                worker_kwargs={
+                    "max_pending": max_pending,
+                    "default_tenant_quota": args.tenant_quota,
+                },
+                host=args.host,
+                port=args.port,
+                unix_path=args.socket,
+                default_tenant_quota=args.tenant_quota,
+            ) as fleet:
+                if args.socket:
+                    print(f"routing on {args.socket} "
+                          f"({args.workers} workers)", flush=True)
+                else:
+                    host, port = fleet.address
+                    print(f"routing on {host}:{port} "
+                          f"({args.workers} workers)", flush=True)
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("interrupted; fleet drained", file=sys.stderr)
+        return 0
+
     def announce(server) -> None:
         if server.unix_path:
             print(f"serving on {server.unix_path}", flush=True)
@@ -606,10 +652,9 @@ def _cmd_serve(args) -> int:
             host=args.host,
             port=args.port,
             unix_path=args.socket,
-            max_pending=args.max_pending
-            if args.max_pending is not None
-            else DEFAULT_MAX_PENDING,
+            max_pending=max_pending,
             announce=announce,
+            default_tenant_quota=args.tenant_quota,
         )
     except KeyboardInterrupt:
         print("interrupted; sessions drained", file=sys.stderr)

@@ -27,17 +27,29 @@ from .cache import CompiledRuleset, cache_stats, compiled_ruleset, ruleset_finge
 from .codegen import generate_source
 from .layout import AlphaStore, NUMBERS, encode_value
 from .matcher import CompiledMatcher
+from .runtime import KernelRuntime
+from .shared import (
+    SharedKernel,
+    clear_shared_kernels,
+    shared_kernel,
+    shared_kernel_stats,
+)
 from .verify import check_kernel
 
 __all__ = [
     "AlphaStore",
     "CompiledMatcher",
     "CompiledRuleset",
+    "KernelRuntime",
     "NUMBERS",
+    "SharedKernel",
     "cache_stats",
     "check_kernel",
+    "clear_shared_kernels",
     "compiled_ruleset",
     "encode_value",
     "generate_source",
     "ruleset_fingerprint",
+    "shared_kernel",
+    "shared_kernel_stats",
 ]

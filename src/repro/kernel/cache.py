@@ -51,12 +51,27 @@ def _ce_fingerprint(analysis: CEAnalysis) -> tuple:
     )
 
 
+# Per-production fingerprint memo, keyed by object identity.  Rebuilds
+# on a warm kernel happen once per session attach; without the memo each
+# one re-walks every CE of every production, making attach cost scale
+# with network size.  Entries hold a strong reference to the production
+# (Production has __slots__ without __weakref__), so an id() is never
+# reused while its entry is live; clear_cache() drops the memo.
+_PROD_FP: dict[int, tuple[Production, tuple]] = {}
+
+
+def _production_fingerprint(production: Production) -> tuple:
+    entry = _PROD_FP.get(id(production))
+    if entry is not None and entry[0] is production:
+        return entry[1]
+    fp = tuple(_ce_fingerprint(a) for a in production.analysis)
+    _PROD_FP[id(production)] = (production, fp)
+    return fp
+
+
 def ruleset_fingerprint(productions: Sequence[Production]) -> tuple:
     """Structural LHS fingerprint; equal iff the generated code is."""
-    return tuple(
-        tuple(_ce_fingerprint(a) for a in production.analysis)
-        for production in productions
-    )
+    return tuple(_production_fingerprint(p) for p in productions)
 
 
 class CompiledRuleset:
@@ -102,9 +117,10 @@ def cache_stats() -> dict:
 
 
 def clear_cache() -> None:
-    """Drop entries and counters (test isolation)."""
+    """Drop entries, counters and the fingerprint memo (test isolation)."""
     global _HITS, _MISSES
     with _LOCK:
         _CACHE.clear()
+        _PROD_FP.clear()
         _HITS = 0
         _MISSES = 0

@@ -11,7 +11,11 @@ Rebuild policy
 The kernel is compiled lazily: production edits only mark the matcher
 dirty while working memory is empty (the common case -- a program loads
 all productions, then WMEs arrive), so loading N productions costs one
-compile, not N.  Once WMEs exist, a production edit rebuilds
+compile, not N.  The immutable half (codegen, ``compile()``, module
+``exec``) lives in the process-wide :mod:`~repro.kernel.shared`
+registry, so a rebuild on an already-seen ruleset shape is just a fresh
+:class:`~repro.kernel.runtime.KernelRuntime` attach -- closure
+construction plus WM replay, zero codegen.  Once WMEs exist, a production edit rebuilds
 immediately -- the engine may inspect the conflict set right after --
 by clearing the conflict set and replaying the WM mirror through the
 fresh kernel in timetag order.  Replay is *quiet*: no per-change stats
@@ -40,97 +44,13 @@ from typing import Iterable, Optional
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..ops5.errors import Ops5Error
 from ..ops5.matcher import ChangeRecord, Matcher
-from ..ops5.production import Instantiation, Production
-from ..ops5.wme import WME, is_number, same_type, values_equal
-from .cache import CompiledRuleset, cache_stats, compiled_ruleset
-from .layout import AlphaStore
+from ..ops5.production import Production
+from ..ops5.wme import WME
+from .cache import CompiledRuleset, cache_stats
+from .runtime import KernelRuntime
+from .shared import SharedKernel, shared_kernel, shared_kernel_stats
 
 __all__ = ["CompiledMatcher", "KernelRuntime"]
-
-
-def _eqn(a, b) -> bool:
-    """``a == b`` where *b* is a numeric constant (symbols never match)."""
-    return is_number(a) and a == b
-
-
-def _lt(a, b) -> bool:
-    return is_number(a) and is_number(b) and a < b
-
-
-def _le(a, b) -> bool:
-    return is_number(a) and is_number(b) and a <= b
-
-
-def _gt(a, b) -> bool:
-    return is_number(a) and is_number(b) and a > b
-
-
-def _ge(a, b) -> bool:
-    return is_number(a) and is_number(b) and a >= b
-
-
-def _anyeq(a, values) -> bool:
-    """OPS5 disjunction ``<< v1 v2 ... >>`` membership."""
-    for v in values:
-        if values_equal(a, v):
-            return True
-    return False
-
-
-class KernelRuntime:
-    """Everything a generated ``build(rt)`` needs, plus the built state.
-
-    The generated module binds the helper functions and conflict-set
-    editors to locals once per build; ``store``/``subscribe`` are called
-    during build to materialise the columnar memories and register the
-    per-CE right-activation closures.
-    """
-
-    __slots__ = ("counters", "cs_insert", "cs_delete", "instantiation",
-                 "productions", "stores", "by_class", "subscriptions")
-
-    # Comparison helpers, shared by every generated kernel.
-    veq = staticmethod(values_equal)
-    same = staticmethod(same_type)
-    num = staticmethod(is_number)
-    eqn = staticmethod(_eqn)
-    lt = staticmethod(_lt)
-    le = staticmethod(_le)
-    gt = staticmethod(_gt)
-    ge = staticmethod(_ge)
-    anyeq = staticmethod(_anyeq)
-
-    def __init__(self, conflict_set, productions: list[Production]) -> None:
-        #: [node activations, comparisons, tokens built] -- the generated
-        #: code increments these; the matcher snapshots deltas per change.
-        self.counters = [0, 0, 0]
-        self.cs_insert = conflict_set.insert
-        self.cs_delete = conflict_set.delete_key
-        self.instantiation = Instantiation
-        #: Positional production list, in codegen order.
-        self.productions = productions
-        self.stores: list[AlphaStore] = []
-        self.by_class: dict[str, list[AlphaStore]] = {}
-        self.subscriptions = 0
-
-    def store(
-        self,
-        index: int,
-        cls: str,
-        columns: tuple[str, ...],
-        predicate,
-        production_names: tuple[str, ...],
-    ) -> AlphaStore:
-        assert index == len(self.stores)
-        store = AlphaStore(cls, columns, predicate, frozenset(production_names))
-        self.stores.append(store)
-        self.by_class.setdefault(cls, []).append(store)
-        return store
-
-    def subscribe(self, store: AlphaStore, add_fn, del_fn) -> None:
-        store.add_subs.append(add_fn)
-        store.del_subs.append(del_fn)
-        self.subscriptions += 1
 
 
 class CompiledMatcher(Matcher):
@@ -146,7 +66,7 @@ class CompiledMatcher(Matcher):
         self._productions: dict[str, Production] = {}
         self._wmes: dict[int, WME] = {}
         self._rt: Optional[KernelRuntime] = None
-        self._ruleset: Optional[CompiledRuleset] = None
+        self._kernel: Optional[SharedKernel] = None
         self._dirty = True
         self._compiles = 0
         self._replayed = 0
@@ -254,25 +174,22 @@ class CompiledMatcher(Matcher):
             productions=len(productions),
             wmes=len(self._wmes),
         ):
-            ruleset = compiled_ruleset(productions)
-            runtime = KernelRuntime(self.conflict_set, productions)
-            namespace: dict = {}
-            exec(ruleset.code, namespace)  # noqa: S102 - our own codegen
+            # Process-wide immutable half: codegen + compile() + module
+            # exec happen at most once per ruleset shape, in the shared
+            # registry.  This call is a pure lookup on the warm path.
+            kernel = shared_kernel(productions)
             self.conflict_set.clear()
-            namespace["build"](runtime)
-            self._ruleset = ruleset
-            self._rt = runtime
+            # Per-session mutable half: fresh closures over the shared
+            # code object, then a quiet O(WM) replay from the mirror --
+            # no per-change stats rows, counter deltas absorbed below.
+            self._rt = kernel.attach(
+                self.conflict_set,
+                productions,
+                (self._wmes[t] for t in sorted(self._wmes)),
+            )
+            self._kernel = kernel
             self._compiles += 1
             self._dirty = False
-            # Quiet replay: rebuild match state from the WM mirror.
-            for timetag in sorted(self._wmes):
-                wme = self._wmes[timetag]
-                for store in runtime.by_class.get(wme.cls, ()):
-                    predicate = store.predicate
-                    if predicate is None or predicate(wme):
-                        store.insert(wme)
-                        for fn in store.add_subs:
-                            fn(wme)
             self._replayed += len(self._wmes)
 
     # -- oracle ------------------------------------------------------------
@@ -286,7 +203,7 @@ class CompiledMatcher(Matcher):
             raise Ops5Error(
                 "compiled kernel diverged from Rete oracle after "
                 f"{context}: missing={missing[:5]!r} extra={extra[:5]!r} "
-                f"(ruleset {self._ruleset.digest if self._ruleset else '?'})"
+                f"(ruleset {self._kernel.digest if self._kernel else '?'})"
             )
 
     # -- introspection -----------------------------------------------------
@@ -305,22 +222,32 @@ class CompiledMatcher(Matcher):
         return self._rt
 
     @property
+    def _ruleset(self) -> Optional[CompiledRuleset]:
+        """The cache entry behind the current kernel (back-compat)."""
+        return self._kernel.ruleset if self._kernel else None
+
+    @property
+    def shared(self) -> Optional[SharedKernel]:
+        """The process-wide kernel this session is attached to."""
+        return self._kernel
+
+    @property
     def generated_source(self) -> Optional[str]:
         """Source of the current kernel (debugging / docs examples)."""
-        return self._ruleset.source if self._ruleset else None
+        return self._kernel.ruleset.source if self._kernel else None
 
     def state_size(self) -> int:
         """Rows across all stores (parity with ReteNetwork.state_size)."""
         if self._rt is None:
             return 0
-        return sum(len(s) for s in self._rt.stores)
+        return self._rt.state_size()
 
     def kernel_summary(self) -> dict:
         """The ``kernel`` section of the unified metrics snapshot."""
         runtime = self._rt
         return {
             "compiles": self._compiles,
-            "ruleset_digest": self._ruleset.digest if self._ruleset else None,
+            "ruleset_digest": self._kernel.digest if self._kernel else None,
             "stores": len(runtime.stores) if runtime else 0,
             "store_rows": sum(len(s) for s in runtime.stores) if runtime else 0,
             "columns": sum(len(s.cols) for s in runtime.stores) if runtime else 0,
@@ -328,4 +255,5 @@ class CompiledMatcher(Matcher):
             "replayed_wmes": self._replayed,
             "oracle": self._oracle is not None,
             "cache": cache_stats(),
+            "shared": shared_kernel_stats(),
         }

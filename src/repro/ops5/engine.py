@@ -367,6 +367,88 @@ class ProductionSystem:
         self.cycles = []
         self.output = []
 
+    # -- state checkpoint / restore (session migration) --------------------
+
+    #: Version tag carried by every exported state blob.
+    STATE_SCHEMA = "repro.engine-state/1"
+
+    def export_state(self) -> dict:
+        """Snapshot everything a fresh engine needs to continue this run.
+
+        The blob is JSON-serialisable and matcher-independent: working
+        memory with *original* timetags, the refraction memory (fired
+        instantiation keys), the recognize--act counters, halt state,
+        and accumulated ``write`` output.  Match state (alpha rows, join
+        indexes, conflict set) is deliberately excluded -- it is a pure
+        function of (ruleset, working memory) and re-derives on restore,
+        which is what keeps the blob O(working memory) and lets the
+        restoring host pick any matcher backend.
+
+        This is the serve layer's session-migration payload; the
+        parallel supervisor's checkpoint+journal restore proved the
+        replay-re-derivation approach bit-identical first.
+        """
+        return {
+            "schema": self.STATE_SCHEMA,
+            "wmes": [
+                [wme.timetag, wme.cls, dict(wme.attributes)]
+                for wme in self.memory.snapshot()
+            ],
+            "next_timetag": self.memory.next_timetag,
+            "fired": sorted(
+                [name, list(timetags)] for name, timetags in self._fired_keys
+            ),
+            "cycle": self.cycle,
+            "total_firings": self.total_firings,
+            "total_wme_changes": self.total_wme_changes,
+            "halted": self._halted,
+            "halt_reason": self._halt_reason,
+            "output": list(self.output),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild a run from :meth:`export_state` on this (fresh) engine.
+
+        The engine must hold the same program and an empty working
+        memory.  WMEs are re-inserted with their original timetags (see
+        :meth:`WorkingMemory.adopt`) through the matcher, so the
+        conflict set re-derives; together with the restored refraction
+        keys, the next :meth:`run` continues the firing sequence
+        bit-identically.
+
+        Change counters restart at the replayed-WME count rather than
+        the exported lifetime value: the engine and the matcher count
+        the same change stream from opposite ends (the invariant
+        ``repro.obs.metrics.consistency_problems`` checks), and the new
+        matcher has only seen the replay.  The exported lifetime totals
+        stay available to callers from the blob itself.
+        """
+        if state.get("schema") != self.STATE_SCHEMA:
+            raise ExecutionError(
+                f"cannot restore state schema {state.get('schema')!r}; "
+                f"expected {self.STATE_SCHEMA!r}"
+            )
+        if len(self.memory):
+            raise ExecutionError(
+                "restore_state requires an empty working memory; "
+                "use a fresh engine (or reset() first)"
+            )
+        for timetag, cls, attrs in state["wmes"]:
+            wme = WME(cls, attrs)
+            wme.timetag = int(timetag)
+            self.memory.adopt(wme)
+            self.matcher.add_wme(wme)
+        self.memory.reserve_timetags(int(state["next_timetag"]))
+        self._fired_keys = {
+            (name, tuple(timetags)) for name, timetags in state["fired"]
+        }
+        self.cycle = int(state["cycle"])
+        self.total_firings = int(state["total_firings"])
+        self.total_wme_changes = len(state["wmes"])
+        self._halted = bool(state["halted"])
+        self._halt_reason = state["halt_reason"]
+        self.output = list(state["output"])
+
     def resume(self) -> None:
         """Clear the halted flag so further changes can drive new cycles.
 

@@ -164,6 +164,40 @@ class WorkingMemory:
         self._elements[wme.timetag] = wme
         return wme
 
+    def adopt(self, wme: WME) -> WME:
+        """Insert a WME that already carries a timetag (state restore).
+
+        The normal insertion path (:meth:`add`) refuses timetagged WMEs
+        -- an element cannot enter working memory twice.  Restoring a
+        checkpoint or migrating a session is the one legitimate
+        exception: the element's *original* timetag must survive, or
+        recency-based conflict resolution (LEX/MEA) would order the
+        restored memory differently and the continuation would diverge.
+        The timetag counter advances past every adopted tag so future
+        inserts never collide.
+        """
+        if not wme.timetag:
+            raise WorkingMemoryError(
+                f"WME {wme!r} carries no timetag; use add() for new elements"
+            )
+        if wme.timetag in self._elements:
+            raise WorkingMemoryError(
+                f"timetag {wme.timetag} is already present; cannot adopt {wme!r}"
+            )
+        self._elements[wme.timetag] = wme
+        if wme.timetag >= self._next_timetag:
+            self._next_timetag = wme.timetag + 1
+        return wme
+
+    def reserve_timetags(self, next_timetag: int) -> None:
+        """Advance the counter to at least *next_timetag* (state restore).
+
+        Elements removed before a checkpoint still consumed their tags;
+        without this the restored engine could re-issue them.
+        """
+        if next_timetag > self._next_timetag:
+            self._next_timetag = next_timetag
+
     def remove(self, wme: WME) -> None:
         """Remove *wme*.  Raises if it is not the element stored here."""
         stored = self._elements.get(wme.timetag)

@@ -11,6 +11,10 @@ program per process.  This package is that serving layer:
   session behind a bounded queue with explicit backpressure;
 * :mod:`~repro.serve.server` -- the asyncio front-end
   (:class:`RuleServer`), plus :class:`ServerThread` for embedding;
+* :mod:`~repro.serve.router` -- the front-door router
+  (:class:`RuleRouter`) hashing sessions over N workers, with
+  fleet-wide tenant quotas, live session migration, and degraded-worker
+  demotion; :class:`RouterFleet` embeds the whole topology;
 * :mod:`~repro.serve.client` -- the blocking reference client;
 * :mod:`~repro.serve.loadgen` -- trace replay from N concurrent
   clients, measuring sustained throughput and tail latency;
@@ -22,8 +26,15 @@ See ``docs/serve.md`` for the protocol and lifecycle reference.
 
 from .client import Address, BackpressureError, RuleClient, ServerError
 from .protocol import MAX_FRAME, ProtocolError
+from .router import RouterFleet, RouterThread, RuleRouter, WorkerLink
 from .server import RuleServer, ServerThread, run_server
-from .session import DEFAULT_MAX_PENDING, Session, SessionManager, build_matcher
+from .session import (
+    DEFAULT_MAX_PENDING,
+    QuotaExceeded,
+    Session,
+    SessionManager,
+    build_matcher,
+)
 from .stats import LatencyWindow, Telemetry
 
 __all__ = [
@@ -33,13 +44,18 @@ __all__ = [
     "LatencyWindow",
     "MAX_FRAME",
     "ProtocolError",
+    "QuotaExceeded",
+    "RouterFleet",
+    "RouterThread",
     "RuleClient",
+    "RuleRouter",
     "RuleServer",
     "ServerError",
     "ServerThread",
     "Session",
     "SessionManager",
     "Telemetry",
+    "WorkerLink",
     "build_matcher",
     "run_server",
 ]

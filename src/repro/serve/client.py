@@ -18,6 +18,7 @@ Error handling mirrors the server's reply contract:
 
 from __future__ import annotations
 
+import math
 import random
 import socket
 import time
@@ -27,6 +28,15 @@ from .protocol import ProtocolError, recv_message, send_message
 
 #: A server address: a unix-socket path or a (host, port) pair.
 Address = Union[str, tuple]
+
+#: Fallback retry hint when the server's ``retry_after`` is absent or
+#: malformed, and the ceiling a (possibly buggy or hostile) server can
+#: push a client's hint to.  The server's own hints top out at 2s
+#: (``session.MAX_RETRY_AFTER``); 60s leaves generous headroom for
+#: other implementations while keeping one bad reply from parking a
+#: client for hours.
+DEFAULT_RETRY_AFTER = 0.05
+MAX_RETRY_AFTER_HINT = 60.0
 
 
 class ServerError(RuntimeError):
@@ -42,7 +52,22 @@ class BackpressureError(ServerError):
 
     @property
     def retry_after(self) -> float:
-        return float(self.reply.get("retry_after", 0.05))
+        """The server's retry hint, validated.
+
+        The wire value is untrusted input: a missing, non-numeric,
+        NaN/infinite, or negative hint falls back to
+        :data:`DEFAULT_RETRY_AFTER` rather than poisoning the caller's
+        sleep, and sane values are clamped to
+        :data:`MAX_RETRY_AFTER_HINT`.
+        """
+        raw = self.reply.get("retry_after", DEFAULT_RETRY_AFTER)
+        try:
+            hint = float(raw)
+        except (TypeError, ValueError):
+            return DEFAULT_RETRY_AFTER
+        if not math.isfinite(hint) or hint < 0.0:
+            return DEFAULT_RETRY_AFTER
+        return min(hint, MAX_RETRY_AFTER_HINT)
 
 
 class RuleClient:
@@ -80,23 +105,29 @@ class RuleClient:
         on_retry=None,
         max_total_wait: float = 30.0,
         backoff_base: float = 2.0,
+        max_interval: float = 5.0,
         rng: Optional[random.Random] = None,
         **fields: Any,
     ) -> dict:
         """Like :meth:`request`, but sleeps out backpressure rejections.
 
         The sleep before attempt *n* is the server's ``retry_after``
-        hint scaled by ``backoff_base ** (n - 1)``, with full jitter
-        (a uniform draw over ``(0, interval]``): a fleet of clients
-        rejected together must not retry together, or they re-arrive as
-        the same thundering herd that filled the queue.  Two budgets
-        bound the loop -- *retries* attempts and *max_total_wait*
-        cumulative sleep seconds -- and exhausting either raises a
-        :class:`BackpressureError` whose reply reports ``attempts`` and
-        ``total_wait``, so callers see how hard the client actually
-        tried.  *on_retry* (if given) is called with each rejection --
-        the load generator counts them there.  *rng* pins the jitter
-        for deterministic tests.
+        hint scaled by ``backoff_base ** (n - 1)`` and capped at
+        *max_interval*, with full jitter (a uniform draw over
+        ``(0, interval]``): a fleet of clients rejected together must
+        not retry together, or they re-arrive as the same thundering
+        herd that filled the queue.  The cap matters because the
+        exponential is unbounded -- by attempt 20 an uncapped interval
+        is ~6 days, so one long-lived rejection streak would turn the
+        remaining retry budget into a single giant sleep instead of
+        the steady sub-*max_interval* probing the server's hint asked
+        for.  Two budgets bound the loop -- *retries* attempts and
+        *max_total_wait* cumulative sleep seconds -- and exhausting
+        either raises a :class:`BackpressureError` whose reply reports
+        ``attempts`` and ``total_wait``, so callers see how hard the
+        client actually tried.  *on_retry* (if given) is called with
+        each rejection -- the load generator counts them there.  *rng*
+        pins the jitter for deterministic tests.
         """
         draw = rng.uniform if rng is not None else random.uniform
         total_wait = 0.0
@@ -110,7 +141,12 @@ class RuleClient:
                     on_retry(rejection)
                 if attempts >= retries:
                     break
-                interval = rejection.retry_after * backoff_base ** (attempts - 1)
+                # Clamp the exponent too: the cap makes growth beyond
+                # ~2**64 irrelevant, and float pow overflows past ~1e308.
+                interval = min(
+                    rejection.retry_after * backoff_base ** min(attempts - 1, 64),
+                    max_interval,
+                )
                 pause = draw(0.0, interval)
                 pause = min(pause, max_total_wait - total_wait)
                 if pause > 0:
@@ -162,6 +198,7 @@ class RuleClient:
         strategy: str = "lex",
         max_pending: Optional[int] = None,
         name: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> str:
         reply = self.request(
             "create_session",
@@ -171,6 +208,7 @@ class RuleClient:
             strategy=strategy,
             max_pending=max_pending,
             name=name,
+            tenant=tenant,
         )
         return reply["session"]
 

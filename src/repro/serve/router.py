@@ -1,0 +1,732 @@
+"""The front-door router: one address, N rule-server workers behind it.
+
+Scaling the serve layer *out* (ROADMAP item 3): a :class:`RuleRouter`
+speaks the same length-prefixed JSON protocol as a
+:class:`~repro.serve.server.RuleServer`, so existing clients (the
+blocking :class:`RuleClient`, the load generator) point at it unchanged
+-- but behind it every session lives on one of N workers, each its own
+server process/thread with its own event loop, session threads, and
+shared-kernel registry.
+
+Placement and naming
+--------------------
+The router owns session naming: client-supplied names are honoured
+(rejected on collision), otherwise the router mints globally-unique
+``r<n>`` ids.  A new session lands on the worker chosen by a stable
+hash of its id over the *healthy* workers, so placement is deterministic
+for a given fleet shape and needs no coordination.  The placement map
+(session -> worker) is the router's only authoritative state; everything
+else re-derives from worker stats.
+
+Admission control
+-----------------
+Per-tenant quotas are enforced fleet-wide at the router (the
+authoritative count lives in the placement map) *before* a create is
+forwarded; workers enforce their own local quotas independently.  A
+rejected create answers ``error: "quota"`` -- not backpressure, because
+retrying cannot help until the tenant frees a session.
+
+Migration
+---------
+``migrate_session`` moves a live session between workers using the
+engine's checkpoint machinery: the router marks the session *migrating*
+(in-flight requests for it are answered with a backpressure rejection
+carrying a small ``retry_after``, so well-behaved clients retry
+transparently through :meth:`RuleClient.call`), drives the session's
+``export`` op on the source (ordered through its queue, so everything
+acknowledged is in the blob), replays it into an ``import_session`` on
+the target, destroys the source copy, and flips the placement.  The
+continuation is bit-identical -- the same property the parallel
+supervisor's checkpoint+journal restore proves per shard.
+
+Degraded workers
+----------------
+Every worker call failure counts; ``failure_threshold`` consecutive
+failures demote the worker (mirroring the parallel supervisor's
+shard-demotion policy): it stops receiving new sessions, a structured
+event is recorded, and the router attempts to evacuate its sessions to
+healthy workers via the migration path.  Evacuation is best-effort --
+a worker that died (rather than slowed) cannot export, and those
+sessions are reported lost in the router's stats rather than silently
+forgotten.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+import zlib
+from collections import deque
+from typing import Optional, Sequence
+
+from ..ops5 import Ops5Error
+from .protocol import ProtocolError, read_message, write_message
+from .session import DEFAULT_TENANT
+from .stats import Telemetry
+
+__all__ = ["RouterFleet", "RouterThread", "RuleRouter", "WorkerLink"]
+
+#: Consecutive call failures before a worker is demoted.
+DEFAULT_FAILURE_THRESHOLD = 3
+
+#: Retry hint handed to clients whose session is mid-migration.
+MIGRATING_RETRY_AFTER = 0.05
+
+
+class WorkerLink:
+    """The router's connection pool to one worker.
+
+    The wire protocol is strict request/reply per connection, so each
+    in-flight call owns one pooled connection; up to *pool_size*
+    connections are opened lazily.  A transport failure tears the
+    connection down (the next call reconnects) and counts toward the
+    worker's consecutive-failure streak; any success resets the streak.
+    """
+
+    def __init__(self, address, index: int, pool_size: int = 4) -> None:
+        self.address = address
+        self.index = index
+        self.pool_size = pool_size
+        self.healthy = True
+        self.calls = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self._open = 0
+        self._pool: asyncio.Queue = asyncio.Queue()
+
+    async def _connect(self):
+        if isinstance(self.address, str):
+            return await asyncio.open_unix_connection(self.address)
+        host, port = self.address
+        return await asyncio.open_connection(host, port)
+
+    async def _acquire(self):
+        if not self._pool.empty():
+            return self._pool.get_nowait()
+        if self._open < self.pool_size:
+            self._open += 1
+            try:
+                return await self._connect()
+            except Exception:
+                self._open -= 1
+                raise
+        return await self._pool.get()
+
+    def _release(self, conn) -> None:
+        self._pool.put_nowait(conn)
+
+    def _discard(self, conn) -> None:
+        self._open -= 1
+        reader, writer = conn
+        writer.close()
+
+    async def call(self, request: dict, timeout: float = 60.0) -> dict:
+        """One request/reply round trip on a pooled connection."""
+        try:
+            conn = await self._acquire()
+        except Exception:
+            self.failures += 1
+            self.consecutive_failures += 1
+            raise
+        reader, writer = conn
+        try:
+            await write_message(writer, request)
+            reply = await asyncio.wait_for(read_message(reader), timeout)
+            if reply is None:
+                raise ProtocolError(f"worker {self.index} closed the connection")
+        except Exception:
+            self._discard(conn)
+            self.failures += 1
+            self.consecutive_failures += 1
+            raise
+        self._release(conn)
+        self.calls += 1
+        self.consecutive_failures = 0
+        return reply
+
+    def close(self) -> None:
+        while not self._pool.empty():
+            _, writer = self._pool.get_nowait()
+            writer.close()
+
+    def snapshot(self) -> dict:
+        return {
+            "index": self.index,
+            "address": list(self.address)
+            if isinstance(self.address, tuple)
+            else self.address,
+            "healthy": self.healthy,
+            "calls": self.calls,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "pool_connections": self._open,
+        }
+
+
+class _Placement:
+    __slots__ = ("worker", "tenant", "migrating")
+
+    def __init__(self, worker: int, tenant: str) -> None:
+        self.worker = worker
+        self.tenant = tenant
+        self.migrating = False
+
+
+class RuleRouter:
+    """The protocol-compatible front door over a fleet of workers."""
+
+    def __init__(
+        self,
+        worker_addresses: Sequence,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        tenant_quotas: Optional[dict] = None,
+        default_tenant_quota: Optional[int] = None,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+    ) -> None:
+        if not worker_addresses:
+            raise Ops5Error("a router needs at least one worker address")
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.workers = [
+            WorkerLink(address, index)
+            for index, address in enumerate(worker_addresses)
+        ]
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self.default_tenant_quota = default_tenant_quota
+        self.failure_threshold = failure_threshold
+        self.telemetry = Telemetry()
+        self.placements: dict[str, _Placement] = {}
+        self.migrations = 0
+        self.lost_sessions: list[str] = []
+        self.events: deque[dict] = deque(maxlen=128)
+        self._quota_rejections: dict[str, int] = {}
+        self._ids = itertools.count(1)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self.connections = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._stopped = asyncio.Event()
+        if self.unix_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=self.unix_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.host, port=self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self):
+        return self.unix_path if self.unix_path else (self.host, self.port)
+
+    async def serve_until_shutdown(self) -> None:
+        assert self._stopped is not None, "start() must run first"
+        await self._stopped.wait()
+
+    async def shutdown(self, stop_workers: bool = False) -> None:
+        """Stop accepting; optionally forward shutdown to every worker."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if stop_workers:
+            for link in self.workers:
+                try:
+                    await link.call({"op": "shutdown"}, timeout=10.0)
+                except Exception:
+                    pass
+        for link in self.workers:
+            link.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    request = await read_message(reader)
+                except ProtocolError as error:
+                    await write_message(
+                        writer, {"ok": False, "error": f"protocol: {error}"}
+                    )
+                    break
+                if request is None:
+                    break
+                reply = await self.dispatch(request)
+                await write_message(writer, reply)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- placement ---------------------------------------------------------
+
+    def _healthy_workers(self) -> list[WorkerLink]:
+        return [link for link in self.workers if link.healthy]
+
+    def _place(self, session_id: str) -> WorkerLink:
+        """Stable-hash *session_id* over the healthy workers."""
+        healthy = self._healthy_workers()
+        if not healthy:
+            raise Ops5Error("no healthy workers available")
+        digest = zlib.crc32(session_id.encode())
+        return healthy[digest % len(healthy)]
+
+    def _least_loaded(self, exclude: int) -> Optional[WorkerLink]:
+        loads: dict[int, int] = {}
+        for placement in self.placements.values():
+            loads[placement.worker] = loads.get(placement.worker, 0) + 1
+        candidates = [
+            link for link in self._healthy_workers() if link.index != exclude
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda link: loads.get(link.index, 0))
+
+    def tenant_sessions(self, tenant: str) -> int:
+        return sum(1 for p in self.placements.values() if p.tenant == tenant)
+
+    def _admit(self, tenant: str) -> Optional[dict]:
+        quota = self.tenant_quotas.get(tenant, self.default_tenant_quota)
+        if quota is not None and self.tenant_sessions(tenant) >= quota:
+            self._quota_rejections[tenant] = (
+                self._quota_rejections.get(tenant, 0) + 1
+            )
+            return {
+                "ok": False,
+                "error": "quota",
+                "detail": (
+                    f"tenant {tenant!r} is at its fleet-wide quota of "
+                    f"{quota} concurrent session(s)"
+                ),
+            }
+        return None
+
+    def _record_failure(self, link: WorkerLink) -> bool:
+        """Account a worker failure; demote at the threshold."""
+        if link.healthy and link.consecutive_failures >= self.failure_threshold:
+            link.healthy = False
+            self.events.append(
+                {
+                    "type": "demoted",
+                    "worker": link.index,
+                    "consecutive_failures": link.consecutive_failures,
+                    "time": time.time(),
+                }
+            )
+            return True
+        return False
+
+    async def _evacuate(self, link: WorkerLink) -> None:
+        """Best-effort migration of a demoted worker's sessions."""
+        stranded = [
+            session_id
+            for session_id, placement in self.placements.items()
+            if placement.worker == link.index
+        ]
+        for session_id in stranded:
+            reply = await self._migrate(session_id)
+            if not reply.get("ok"):
+                self.lost_sessions.append(session_id)
+                del self.placements[session_id]
+                self.events.append(
+                    {
+                        "type": "lost",
+                        "session": session_id,
+                        "worker": link.index,
+                        "error": reply.get("error"),
+                        "time": time.time(),
+                    }
+                )
+
+    # -- request dispatch ---------------------------------------------------
+
+    async def dispatch(self, request) -> dict:
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        self.telemetry.requests += 1
+        try:
+            handler = _ROUTER_OPS.get(op)
+            if handler is not None:
+                return await handler(self, request)
+            return await self._forward_session_op(request)
+        except Ops5Error as error:
+            self.telemetry.errors += 1
+            return {"ok": False, "error": str(error)}
+        except Exception as error:  # defensive: keep the router alive
+            self.telemetry.errors += 1
+            return {"ok": False, "error": f"internal: {type(error).__name__}: {error}"}
+
+    async def _call_worker(self, link: WorkerLink, request: dict) -> dict:
+        """Forward to *link*, converting transport failures to replies."""
+        try:
+            return await link.call(request)
+        except Exception as error:
+            demoted = self._record_failure(link)
+            if demoted:
+                await self._evacuate(link)
+            self.telemetry.errors += 1
+            return {
+                "ok": False,
+                "error": "worker_unreachable",
+                "worker": link.index,
+                "detail": f"{type(error).__name__}: {error}",
+            }
+
+    async def _forward_session_op(self, request: dict) -> dict:
+        session_id = request.get("session")
+        placement = self.placements.get(session_id)
+        if placement is None:
+            return {"ok": False, "error": f"no session {session_id!r}"}
+        if placement.migrating:
+            # Well-behaved clients sleep retry_after and re-send; by
+            # then the placement points at the new worker.
+            self.telemetry.rejected += 1
+            return {
+                "ok": False,
+                "error": "backpressure",
+                "retry_after": MIGRATING_RETRY_AFTER,
+                "migrating": True,
+            }
+        return await self._call_worker(self.workers[placement.worker], request)
+
+    # -- server-level ops ----------------------------------------------------
+
+    async def _op_create_session(self, request: dict) -> dict:
+        if self._draining:
+            raise Ops5Error("router is shutting down")
+        tenant = request.get("tenant", DEFAULT_TENANT)
+        rejection = self._admit(tenant)
+        if rejection is not None:
+            return rejection
+        name = request.get("name")
+        session_id = name if name is not None else f"r{next(self._ids)}"
+        if session_id in self.placements:
+            return {"ok": False, "error": f"session {session_id!r} already exists"}
+        tried: set[int] = set()
+        while True:
+            healthy = [w for w in self._healthy_workers() if w.index not in tried]
+            if not healthy:
+                return {"ok": False, "error": "no healthy workers available"}
+            link = self._place(session_id)
+            if link.index in tried:
+                link = healthy[0]
+            tried.add(link.index)
+            reply = await self._call_worker(
+                link, {**request, "name": session_id, "tenant": tenant}
+            )
+            if reply.get("ok"):
+                self.placements[session_id] = _Placement(link.index, tenant)
+                return {"ok": True, "session": session_id, "worker": link.index}
+            if reply.get("error") != "worker_unreachable":
+                return reply
+
+    async def _op_destroy_session(self, request: dict) -> dict:
+        session_id = request.get("session")
+        placement = self.placements.get(session_id)
+        if placement is None:
+            return {"ok": False, "error": f"no session {session_id!r}"}
+        reply = await self._call_worker(
+            self.workers[placement.worker], request
+        )
+        if reply.get("ok") or reply.get("error") == "worker_unreachable":
+            self.placements.pop(session_id, None)
+        return reply
+
+    async def _op_list_sessions(self, request: dict) -> dict:
+        return {"ok": True, "sessions": sorted(self.placements)}
+
+    async def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "pong": request.get("payload")}
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        sessions = len(self.placements)
+        asyncio.get_running_loop().create_task(
+            self.shutdown(stop_workers=bool(request.get("stop_workers", True)))
+        )
+        return {"ok": True, "draining_sessions": sessions}
+
+    async def _op_migrate_session(self, request: dict) -> dict:
+        session_id = request.get("session")
+        return await self._migrate(session_id, request.get("to"))
+
+    async def _migrate(
+        self, session_id: str, to: Optional[int] = None
+    ) -> dict:
+        placement = self.placements.get(session_id)
+        if placement is None:
+            return {"ok": False, "error": f"no session {session_id!r}"}
+        if placement.migrating:
+            return {"ok": False, "error": f"session {session_id!r} is already migrating"}
+        source = self.workers[placement.worker]
+        if to is not None:
+            if not 0 <= to < len(self.workers):
+                return {"ok": False, "error": f"no worker {to}"}
+            target = self.workers[to]
+        else:
+            target = self._least_loaded(exclude=placement.worker)
+            if target is None:
+                return {"ok": False, "error": "no healthy target worker"}
+        placement.migrating = True
+        try:
+            exported = await self._call_worker(
+                source, {"op": "export", "session": session_id}
+            )
+            if not exported.get("ok"):
+                return {
+                    "ok": False,
+                    "error": exported.get("error", "export failed"),
+                    "phase": "export",
+                }
+            imported = await self._call_worker(
+                target,
+                {
+                    "op": "import_session",
+                    "name": session_id,
+                    "config": exported["config"],
+                    "state": exported["state"],
+                },
+            )
+            if not imported.get("ok"):
+                return {
+                    "ok": False,
+                    "error": imported.get("error", "import failed"),
+                    "phase": "import",
+                }
+            # Source copy is best-effort garbage from here on: the
+            # authoritative placement flips to the target either way.
+            await self._call_worker(
+                source, {"op": "destroy_session", "session": session_id}
+            )
+            placement.worker = target.index
+            self.migrations += 1
+            self.events.append(
+                {
+                    "type": "migrated",
+                    "session": session_id,
+                    "from": source.index,
+                    "to": target.index,
+                    "time": time.time(),
+                }
+            )
+            return {
+                "ok": True,
+                "session": session_id,
+                "from": source.index,
+                "to": target.index,
+            }
+        finally:
+            placement.migrating = False
+
+    async def _op_stats(self, request: dict) -> dict:
+        """Fleet rollup: router view plus merged worker stats."""
+        per_worker = []
+        sessions: dict[str, dict] = {}
+        totals: dict[str, float] = {}
+        for link in self.workers:
+            row = link.snapshot()
+            if link.healthy:
+                reply = await self._call_worker(link, {"op": "stats"})
+                if reply.get("ok"):
+                    row["server"] = reply.get("server", {})
+                    sessions.update(reply.get("sessions", {}))
+                    for key, value in (reply.get("totals") or {}).items():
+                        if isinstance(value, (int, float)):
+                            totals[key] = totals.get(key, 0) + value
+            per_worker.append(row)
+        for session_id, placement in self.placements.items():
+            if session_id in sessions:
+                sessions[session_id]["worker"] = placement.worker
+        totals["sessions"] = len(self.placements)
+        tenants: dict[str, dict] = {}
+        for placement in self.placements.values():
+            row = tenants.setdefault(
+                placement.tenant,
+                {
+                    "sessions": 0,
+                    "quota": self.tenant_quotas.get(
+                        placement.tenant, self.default_tenant_quota
+                    ),
+                    "quota_rejections": 0,
+                },
+            )
+            row["sessions"] += 1
+        for tenant, rejected in self._quota_rejections.items():
+            row = tenants.setdefault(
+                tenant,
+                {
+                    "sessions": 0,
+                    "quota": self.tenant_quotas.get(
+                        tenant, self.default_tenant_quota
+                    ),
+                    "quota_rejections": 0,
+                },
+            )
+            row["quota_rejections"] = rejected
+        return {
+            "ok": True,
+            "router": {
+                "workers": per_worker,
+                "placements": len(self.placements),
+                "migrations": self.migrations,
+                "lost_sessions": list(self.lost_sessions),
+                "events": list(self.events),
+                "connections": self.connections,
+                "requests": self.telemetry.requests,
+                "rejected": self.telemetry.rejected,
+                "errors": self.telemetry.errors,
+                "draining": self._draining,
+            },
+            "tenants": tenants,
+            "sessions": sessions,
+            "totals": totals,
+        }
+
+
+_ROUTER_OPS = {
+    "create_session": RuleRouter._op_create_session,
+    "destroy_session": RuleRouter._op_destroy_session,
+    "list_sessions": RuleRouter._op_list_sessions,
+    "migrate_session": RuleRouter._op_migrate_session,
+    "stats": RuleRouter._op_stats,
+    "ping": RuleRouter._op_ping,
+    "shutdown": RuleRouter._op_shutdown,
+}
+
+
+class RouterThread:
+    """A router on a background thread (tests, benchmarks, fleets)."""
+
+    def __init__(self, **router_kwargs) -> None:
+        self._kwargs = router_kwargs
+        self._ready = threading.Event()
+        self._router: Optional[RuleRouter] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-router", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise RuntimeError("router failed to start") from self._error
+        if self._router is None:
+            raise RuntimeError("router did not start within 30s")
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                router = RuleRouter(**self._kwargs)
+                await router.start()
+            except BaseException as error:
+                self._error = error
+                self._ready.set()
+                return
+            self._router = router
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            try:
+                await router.serve_until_shutdown()
+            finally:
+                await router.shutdown()
+
+        asyncio.run(main())
+
+    @property
+    def router(self) -> RuleRouter:
+        assert self._router is not None
+        return self._router
+
+    @property
+    def address(self):
+        return self.router.address
+
+    def stop(self, timeout: float = 30) -> None:
+        loop, router = self._loop, self._router
+        if loop is not None and router is not None and loop.is_running():
+            asyncio.run_coroutine_threadsafe(router.shutdown(), loop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "RouterThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class RouterFleet:
+    """N workers plus a router, each on its own thread, one address.
+
+    The embedded form of the scale-out topology: workers are
+    :class:`~repro.serve.server.ServerThread` instances (same protocol
+    and code path as standalone worker processes -- the wire is a real
+    socket either way), the router a :class:`RouterThread` over their
+    addresses.  ``repro serve --workers N`` builds exactly this.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        worker_kwargs: Optional[dict] = None,
+        **router_kwargs,
+    ) -> None:
+        from .server import ServerThread
+
+        if workers < 1:
+            raise Ops5Error("a fleet needs at least one worker")
+        self.workers: list = []
+        self.router_thread: Optional[RouterThread] = None
+        try:
+            for _ in range(workers):
+                self.workers.append(ServerThread(**(worker_kwargs or {})))
+            self.router_thread = RouterThread(
+                worker_addresses=[w.address for w in self.workers],
+                **router_kwargs,
+            )
+        except BaseException:
+            self.stop()
+            raise
+
+    @property
+    def address(self):
+        assert self.router_thread is not None
+        return self.router_thread.address
+
+    @property
+    def router(self) -> RuleRouter:
+        assert self.router_thread is not None
+        return self.router_thread.router
+
+    def stop(self, timeout: float = 30) -> None:
+        if self.router_thread is not None:
+            self.router_thread.stop(timeout=timeout)
+            self.router_thread = None
+        while self.workers:
+            self.workers.pop().stop(timeout=timeout)
+
+    def __enter__(self) -> "RouterFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -12,7 +12,9 @@ so the loop stays free to answer pings, report stats, and -- crucially
 Server-level operations (handled inline on the loop)::
 
     {"op": "create_session", "program": ..., "matcher": ..., "workers": ...,
-     "strategy": ..., "max_pending": ..., "name": ..., "transport": ...}
+     "strategy": ..., "max_pending": ..., "name": ..., "transport": ...,
+     "tenant": ...}
+    {"op": "import_session", "config": {...}, "state": {...}, "name": ...}
     {"op": "destroy_session", "session": id}
     {"op": "list_sessions"}
     {"op": "stats"}                      # server-wide rollup
@@ -28,9 +30,12 @@ Session operations (queued, executed in order on the session thread)::
     {"op": "apply", "session": id, "changes": [[kind, ...], ...]}
     {"op": "run", "session": id, "max_cycles": n?}
     {"op": "query", "session": id, "what": "wm" | "conflict-set" | "stats"}
+    {"op": "export", "session": id}      # migration payload
 
-Every reply carries ``ok``; failures add ``error`` (and backpressure
-rejections add ``retry_after`` + ``queue_depth``).
+Every reply carries ``ok``; failures add ``error`` (backpressure
+rejections add ``retry_after`` + ``queue_depth``; tenant-quota
+rejections answer ``error: "quota"`` -- retrying cannot help until the
+tenant frees a session).
 """
 
 from __future__ import annotations
@@ -41,7 +46,7 @@ from typing import Optional
 
 from ..ops5 import Ops5Error
 from .protocol import ProtocolError, read_message, write_message
-from .session import DEFAULT_MAX_PENDING, SessionManager
+from .session import DEFAULT_MAX_PENDING, DEFAULT_TENANT, QuotaExceeded, SessionManager
 from .stats import Telemetry
 
 
@@ -56,12 +61,18 @@ class RuleServer:
         max_pending: int = DEFAULT_MAX_PENDING,
         recorder=None,
         fault_plan=None,
+        tenant_quotas: Optional[dict] = None,
+        default_tenant_quota: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.unix_path = unix_path
         self.sessions = SessionManager(
-            default_max_pending=max_pending, recorder=recorder, fault_plan=fault_plan
+            default_max_pending=max_pending,
+            recorder=recorder,
+            fault_plan=fault_plan,
+            tenant_quotas=tenant_quotas,
+            default_tenant_quota=default_tenant_quota,
         )
         self.telemetry = Telemetry()
         self.connections = 0
@@ -152,6 +163,9 @@ class RuleServer:
                 return {"ok": False, "error": "server is shutting down"}
             session = self.sessions.get(request.get("session"))
             return await session.submit(request)
+        except QuotaExceeded as error:
+            self.telemetry.errors += 1
+            return {"ok": False, "error": "quota", "detail": str(error)}
         except Ops5Error as error:
             self.telemetry.errors += 1
             return {"ok": False, "error": str(error)}
@@ -170,6 +184,32 @@ class RuleServer:
             max_pending=request.get("max_pending"),
             name=request.get("name"),
             transport=request.get("transport"),
+            tenant=request.get("tenant", DEFAULT_TENANT),
+        )
+        session.start()
+        return {"ok": True, "session": session.id}
+
+    async def _op_import_session(self, request: dict) -> dict:
+        """Re-create a migrated session from an ``export`` payload.
+
+        *config* is the exported session config (program, matcher,
+        strategy, max_pending, tenant); *state* the engine blob.  The
+        restored session keeps its working memory, refraction memory,
+        counters, and halt state -- the conflict set re-derives during
+        restore, so the continuation is bit-identical (the property the
+        supervisor's checkpoint restore already proves).
+        """
+        if self._draining:
+            raise Ops5Error("server is shutting down")
+        config = request.get("config") or {}
+        session = self.sessions.create(
+            program=config.get("program", ""),
+            matcher=config.get("matcher", "rete"),
+            strategy=config.get("strategy", "lex"),
+            max_pending=config.get("max_pending"),
+            name=request.get("name"),
+            tenant=config.get("tenant", DEFAULT_TENANT),
+            state=request.get("state"),
         )
         session.start()
         return {"ok": True, "session": session.id}
@@ -209,6 +249,7 @@ class RuleServer:
 
 _SERVER_OPS = {
     "create_session": RuleServer._op_create_session,
+    "import_session": RuleServer._op_import_session,
     "destroy_session": RuleServer._op_destroy_session,
     "list_sessions": RuleServer._op_list_sessions,
     "stats": RuleServer._op_stats,
@@ -223,6 +264,7 @@ def run_server(
     unix_path: Optional[str] = None,
     max_pending: int = DEFAULT_MAX_PENDING,
     announce=None,
+    default_tenant_quota: Optional[int] = None,
 ) -> None:
     """Run a server in this thread until shutdown (the CLI entry point).
 
@@ -232,7 +274,11 @@ def run_server(
 
     async def main() -> None:
         server = RuleServer(
-            host=host, port=port, unix_path=unix_path, max_pending=max_pending
+            host=host,
+            port=port,
+            unix_path=unix_path,
+            max_pending=max_pending,
+            default_tenant_quota=default_tenant_quota,
         )
         await server.start()
         if announce is not None:

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -54,6 +55,7 @@ from ..faults.plan import FaultPlan
 from ..obs import metrics as obs_metrics
 from ..obs.recorder import NULL_RECORDER
 from ..ops5 import Ops5Error, ProductionSystem, matcher_named
+from ..ops5.parser import Program, parse_program
 from ..ops5.wme import WME
 from .stats import Telemetry
 
@@ -63,9 +65,66 @@ DEFAULT_MAX_PENDING = 64
 #: Ceiling on the retry hint handed to rejected clients, seconds.
 MAX_RETRY_AFTER = 2.0
 
+#: Tenant a session belongs to when the client names none.
+DEFAULT_TENANT = "default"
+
 
 class SessionClosed(Ops5Error):
     """The session was destroyed while the request waited."""
+
+
+class QuotaExceeded(Ops5Error):
+    """The tenant is at its concurrent-session quota."""
+
+
+# -- shared parsed programs ---------------------------------------------------
+#
+# Multi-tenant serving means thousands of sessions loading the *same*
+# program text.  Parsing is cheap next to codegen, but per-session
+# parsing also produced per-session Production objects -- which defeated
+# the kernel cache's per-production fingerprint memo (keyed by object
+# identity) and re-interned nothing but still re-walked every CE.
+# Caching the parsed Program shares one set of immutable Production
+# objects across every session of a ruleset, so a warm session create
+# does no parsing and its fingerprint lookup is a pure memo hit.
+
+_PROGRAMS: dict[str, Program] = {}
+_PROGRAMS_LOCK = threading.Lock()
+_PROGRAM_HITS = 0
+_PROGRAM_MISSES = 0
+
+
+def shared_program(source: str) -> Program:
+    """The (cached) parse of *source*; Productions are shared, immutable."""
+    global _PROGRAM_HITS, _PROGRAM_MISSES
+    with _PROGRAMS_LOCK:
+        program = _PROGRAMS.get(source)
+        if program is not None:
+            _PROGRAM_HITS += 1
+            return program
+        _PROGRAM_MISSES += 1
+    program = parse_program(source)
+    with _PROGRAMS_LOCK:
+        return _PROGRAMS.setdefault(source, program)
+
+
+def program_cache_stats() -> dict:
+    """Process-wide program-cache counters (tests and metrics)."""
+    with _PROGRAMS_LOCK:
+        return {
+            "hits": _PROGRAM_HITS,
+            "misses": _PROGRAM_MISSES,
+            "size": len(_PROGRAMS),
+        }
+
+
+def clear_program_cache() -> None:
+    """Drop cached parses and counters (test isolation)."""
+    global _PROGRAM_HITS, _PROGRAM_MISSES
+    with _PROGRAMS_LOCK:
+        _PROGRAMS.clear()
+        _PROGRAM_HITS = 0
+        _PROGRAM_MISSES = 0
 
 
 def build_matcher(
@@ -129,15 +188,22 @@ class Session:
         recorder=None,
         fault_plan: Optional[FaultPlan] = None,
         transport: Optional[str] = None,
+        tenant: str = DEFAULT_TENANT,
+        state: Optional[dict] = None,
     ) -> None:
         if max_pending < 1:
             raise Ops5Error("max_pending must be >= 1")
         self.id = session_id
         self.matcher_name = matcher
+        self.strategy_name = strategy
+        self.tenant = tenant
+        #: Source text, kept verbatim: the migration payload re-creates
+        #: the session from it on the receiving worker.
+        self.program = program
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.fault_plan = fault_plan
         self.system = ProductionSystem(
-            program,
+            shared_program(program),
             matcher=build_matcher(
                 matcher,
                 workers,
@@ -148,6 +214,11 @@ class Session:
             strategy=strategy,
             recorder=self.recorder,
         )
+        if state is not None:
+            # Migration restore: original timetags, refraction memory,
+            # counters and halt state come back; the conflict set
+            # re-derives from the WM replay (see engine.restore_state).
+            self.system.restore_state(state)
         self.telemetry = Telemetry()
         self.max_pending = max_pending
         #: Executed-request ordinal stream (session-site fault addresses).
@@ -155,6 +226,9 @@ class Session:
         #: Structured degraded/recovered notices surfaced via ``stats``.
         self._fault_notices: deque[dict] = deque(maxlen=64)
         self._fault_events_seen = 0
+        #: describe()/stats() snapshot from the event loop while the
+        #: worker thread serves a query -- notice folding must not race.
+        self._fault_sync_lock = threading.Lock()
         self._queue: asyncio.Queue[tuple[dict, asyncio.Future]] = asyncio.Queue(
             maxsize=max_pending
         )
@@ -368,6 +442,25 @@ class Session:
             f"unknown query {what!r}; expected 'wm', 'conflict-set', or 'stats'"
         )
 
+    def _op_export(self, request: dict) -> dict:
+        """The migration payload: config + engine state, JSON-ready.
+
+        Runs through the session queue like any other op, so the export
+        is strictly ordered against in-flight changes -- everything the
+        session acknowledged is in the blob, nothing later is.
+        """
+        return {
+            "ok": True,
+            "config": {
+                "program": self.program,
+                "matcher": self.matcher_name,
+                "strategy": self.strategy_name,
+                "max_pending": self.max_pending,
+                "tenant": self.tenant,
+            },
+            "state": self.system.export_state(),
+        }
+
     _OPS = {
         "assert": _op_assert,
         "retract": _op_retract,
@@ -375,6 +468,7 @@ class Session:
         "apply": _op_apply,
         "run": _op_run,
         "query": _op_query,
+        "export": _op_export,
     }
 
     # -- introspection -------------------------------------------------------
@@ -385,16 +479,21 @@ class Session:
         ``respawned`` recoveries become ``recovered`` notices (the shard
         is whole again), demotions become ``degraded`` ones (the session
         keeps running, inline).  Reading the matcher's event list does
-        not flush it, so this is safe from the event-loop thread.
+        not flush it, so no engine state moves -- but describe() is
+        reachable from *two* threads (the worker, via a stats query, and
+        the event loop, via the server's ``stats`` op), and the
+        seen-counter/deque pair must advance atomically or one event can
+        fold twice and surface as a duplicate notice.
         """
         events = getattr(self.system.matcher, "fault_events", None)
         if events is None:
             return
-        rows = events()
-        for event in rows[self._fault_events_seen:]:
-            kind = "degraded" if event.action == "demoted" else "recovered"
-            self._fault_notices.append({"type": kind, **event.snapshot()})
-        self._fault_events_seen = len(rows)
+        with self._fault_sync_lock:
+            rows = events()
+            for event in rows[self._fault_events_seen:]:
+                kind = "degraded" if event.action == "demoted" else "recovered"
+                self._fault_notices.append({"type": kind, **event.snapshot()})
+            self._fault_events_seen = len(rows)
 
     @property
     def degraded(self) -> bool:
@@ -402,10 +501,19 @@ class Session:
         return bool(getattr(self.system.matcher, "degraded_shards", ()))
 
     def describe(self) -> dict:
-        """JSON-ready session status (one row of the ``stats`` reply)."""
+        """JSON-ready session status (one row of the ``stats`` reply).
+
+        Side-effect-free with respect to engine state, and safe to call
+        from the event loop while the worker thread mutates working
+        memory: every engine read here is a point read or a
+        snapshot-copy, and matcher stats flow through ``peek_stats``.
+        """
         self._sync_fault_notices()
+        with self._fault_sync_lock:
+            notices = list(self._fault_notices)
         return {
             "id": self.id,
+            "tenant": self.tenant,
             "matcher": self.matcher_name,
             "strategy": self.system.strategy.name,
             "productions": len(list(self.system.matcher.productions)),
@@ -415,7 +523,7 @@ class Session:
             "queue_depth": self.queue_depth,
             "max_pending": self.max_pending,
             "degraded": self.degraded,
-            "fault_notices": list(self._fault_notices),
+            "fault_notices": notices,
             # The unified snapshot (repro.obs.metrics) reads matcher
             # stats via peek_stats, so building it here -- possibly from
             # the event-loop thread while the worker matches -- cannot
@@ -428,28 +536,62 @@ class Session:
 
 
 class SessionManager:
-    """Creates, resolves, and tears down the server's sessions."""
+    """Creates, resolves, and tears down the server's sessions.
+
+    Admission control lives here: a *tenant* (client account, team,
+    workload) may hold at most its quota of concurrent sessions on this
+    server.  Quotas are per-worker -- the front-door router applies the
+    same check fleet-wide before a create ever reaches a worker -- and a
+    create over quota raises :class:`QuotaExceeded`, which the server
+    answers as a ``quota`` error (not backpressure: retrying will not
+    help until the tenant destroys a session).
+    """
 
     def __init__(
         self,
         default_max_pending: int = DEFAULT_MAX_PENDING,
         recorder=None,
         fault_plan: Optional[FaultPlan] = None,
+        tenant_quotas: Optional[dict[str, int]] = None,
+        default_tenant_quota: Optional[int] = None,
     ) -> None:
         self.default_max_pending = default_max_pending
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.fault_plan = fault_plan
+        #: Per-tenant concurrent-session caps; tenants not listed fall
+        #: back to ``default_tenant_quota`` (None = unlimited).
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self.default_tenant_quota = default_tenant_quota
         self._sessions: dict[str, Session] = {}
         self._ids = itertools.count(1)
         #: Counters of destroyed sessions, so server-wide totals survive
         #: session churn.
         self._retired = Telemetry()
+        self._quota_rejections: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._sessions)
 
     def ids(self) -> list[str]:
         return sorted(self._sessions)
+
+    def tenant_quota(self, tenant: str) -> Optional[int]:
+        """The session cap for *tenant* (None = unlimited)."""
+        return self.tenant_quotas.get(tenant, self.default_tenant_quota)
+
+    def tenant_sessions(self, tenant: str) -> int:
+        return sum(1 for s in self._sessions.values() if s.tenant == tenant)
+
+    def _admit(self, tenant: str) -> None:
+        quota = self.tenant_quota(tenant)
+        if quota is not None and self.tenant_sessions(tenant) >= quota:
+            self._quota_rejections[tenant] = (
+                self._quota_rejections.get(tenant, 0) + 1
+            )
+            raise QuotaExceeded(
+                f"tenant {tenant!r} is at its quota of {quota} "
+                "concurrent session(s)"
+            )
 
     def create(
         self,
@@ -460,10 +602,13 @@ class SessionManager:
         max_pending: Optional[int] = None,
         name: Optional[str] = None,
         transport: Optional[str] = None,
+        tenant: str = DEFAULT_TENANT,
+        state: Optional[dict] = None,
     ) -> Session:
         session_id = name if name is not None else f"s{next(self._ids)}"
         if session_id in self._sessions:
             raise Ops5Error(f"session {session_id!r} already exists")
+        self._admit(tenant)
         session = Session(
             session_id,
             program=program,
@@ -476,6 +621,8 @@ class SessionManager:
             else self.default_max_pending,
             recorder=self.recorder,
             fault_plan=self.fault_plan,
+            tenant=tenant,
+            state=state,
         )
         self._sessions[session_id] = session
         return session
@@ -502,6 +649,25 @@ class SessionManager:
         while self._sessions:
             await self.destroy(next(iter(self._sessions)))
 
+    def tenant_stats(self) -> dict:
+        """Per-tenant rollup: live sessions, quota, admission rejections."""
+        tenants: dict[str, dict] = {}
+        for session in self._sessions.values():
+            row = tenants.setdefault(
+                session.tenant,
+                {"sessions": 0, "quota": self.tenant_quota(session.tenant),
+                 "quota_rejections": 0},
+            )
+            row["sessions"] += 1
+        for tenant, rejected in self._quota_rejections.items():
+            row = tenants.setdefault(
+                tenant,
+                {"sessions": 0, "quota": self.tenant_quota(tenant),
+                 "quota_rejections": 0},
+            )
+            row["quota_rejections"] = rejected
+        return tenants
+
     def stats(self) -> dict:
         """Server-wide telemetry rollup plus per-session rows."""
         total = Telemetry()
@@ -517,4 +683,9 @@ class SessionManager:
         del snapshot["wme_changes_per_second"]
         del snapshot["firings_per_second"]
         del snapshot["latency"]
-        return {"schema": obs_metrics.SCHEMA, "sessions": sessions, "totals": snapshot}
+        return {
+            "schema": obs_metrics.SCHEMA,
+            "sessions": sessions,
+            "tenants": self.tenant_stats(),
+            "totals": snapshot,
+        }

@@ -1,0 +1,146 @@
+"""The shared-kernel registry: build once, attach per session.
+
+The tentpole contract for multi-tenant serve: the N-th matcher built
+over an already-compiled ruleset performs **zero** codegen -- no cache
+miss, no module exec -- and its setup cost is closure construction plus
+an O(working-memory) replay.  Sessions share the code object and build
+function but never any mutable match state, and attaching never grows
+the process-wide symbol intern table.
+"""
+
+import pytest
+
+from repro.kernel import (
+    CompiledMatcher,
+    cache_stats,
+    clear_shared_kernels,
+    shared_kernel,
+    shared_kernel_stats,
+)
+from repro.kernel.cache import clear_cache
+from repro.ops5 import parse_program
+from repro.ops5.conflict import ConflictSet
+from repro.ops5.symbols import SYMBOLS
+from repro.ops5.wme import WME, WorkingMemory
+
+SRC = """
+  (p match (goal ^want <c>) (block ^color <c> ^size > 2) --> (halt))
+  (p absent (goal ^want <c>) - (block ^color <c>) --> (halt))
+"""
+
+RENAMED = SRC.replace("match", "find").replace("absent", "missing")
+
+
+@pytest.fixture(autouse=True)
+def fresh_registries():
+    clear_cache()
+    clear_shared_kernels()
+    yield
+    clear_cache()
+    clear_shared_kernels()
+
+
+def _fresh_productions(src=SRC):
+    return parse_program(src).productions
+
+
+class TestRegistry:
+    def test_same_shape_resolves_to_one_kernel(self):
+        a = shared_kernel(_fresh_productions())
+        b = shared_kernel(_fresh_productions())
+        c = shared_kernel(_fresh_productions(RENAMED))
+        assert b is a and c is a
+        stats = shared_kernel_stats()
+        assert stats["kernels"] == 1
+        assert stats["execs"] == 1
+
+    def test_different_shapes_get_distinct_kernels(self):
+        a = shared_kernel(_fresh_productions())
+        b = shared_kernel(_fresh_productions(SRC.replace("> 2", "> 3")))
+        assert b is not a
+        assert shared_kernel_stats()["kernels"] == 2
+
+    def test_attach_counts(self):
+        kernel = shared_kernel(_fresh_productions())
+        for _ in range(3):
+            kernel.attach(ConflictSet(), _fresh_productions())
+        assert kernel.attaches == 3
+        assert shared_kernel_stats() == {"kernels": 1, "execs": 1, "attaches": 3}
+
+
+class TestWarmAttach:
+    def test_nth_matcher_performs_zero_codegen(self):
+        # Cold first session: one miss, one exec.
+        first = CompiledMatcher()
+        for p in _fresh_productions():
+            first.add_production(p)
+        memory = WorkingMemory()
+        first.add_wme(memory.add(WME("goal", {"want": "red"})))
+        assert cache_stats()["misses"] == 1
+        assert shared_kernel_stats()["execs"] == 1
+
+        # Warm sessions: the miss and exec counters must not move.
+        for i in range(8):
+            matcher = CompiledMatcher()
+            for p in _fresh_productions():
+                matcher.add_production(p)
+            wm = WorkingMemory()
+            matcher.add_wme(wm.add(WME("goal", {"want": "red"})))
+            matcher.add_wme(wm.add(WME("block", {"color": "red", "size": 3})))
+            assert cache_stats()["misses"] == 1
+            assert cache_stats()["hits"] == i + 1
+            assert shared_kernel_stats()["execs"] == 1
+            assert matcher.shared is first.shared
+
+    def test_warm_attach_does_not_grow_the_symbol_table(self):
+        seed = CompiledMatcher()
+        for p in _fresh_productions():
+            seed.add_production(p)
+        wm = WorkingMemory()
+        seed.add_wme(wm.add(WME("goal", {"want": "red"})))
+        before = len(SYMBOLS)
+        for _ in range(5):
+            matcher = CompiledMatcher()
+            # Same parsed productions: nothing left to intern anywhere.
+            for p in seed.productions:
+                matcher.add_production(p)
+            session_wm = WorkingMemory()
+            matcher.add_wme(session_wm.add(WME("goal", {"want": "red"})))
+        assert len(SYMBOLS) == before
+
+    def test_attach_replays_existing_wm(self):
+        kernel = shared_kernel(_fresh_productions())
+        wm = WorkingMemory()
+        wmes = [
+            wm.add(WME("goal", {"want": "red"})),
+            wm.add(WME("block", {"color": "red", "size": 3})),
+        ]
+        cs = ConflictSet()
+        runtime = kernel.attach(cs, _fresh_productions(), wmes)
+        # Rows, not WMEs: the goal WME lands in both productions' stores.
+        assert runtime.state_size() == 3
+        assert any(key[0] == "match" for key in cs.snapshot())
+
+
+class TestSessionIsolation:
+    def test_sessions_share_code_but_not_state(self):
+        a, b = CompiledMatcher(), CompiledMatcher()
+        for matcher in (a, b):
+            for p in _fresh_productions():
+                matcher.add_production(p)
+        wm_a, wm_b = WorkingMemory(), WorkingMemory()
+        a.add_wme(wm_a.add(WME("goal", {"want": "red"})))
+        a.add_wme(wm_a.add(WME("block", {"color": "red", "size": 3})))
+        b.add_wme(wm_b.add(WME("goal", {"want": "blue"})))
+
+        assert a.shared is b.shared
+        assert a.runtime is not b.runtime
+        # Row counts: a's block WME passes both block stores' predicates.
+        assert a.state_size() == 3 and b.state_size() == 1
+        # Conflict sets diverge: a matched, b's block is absent.
+        assert {k[0] for k in a.conflict_set.snapshot()} == {"match"}
+        assert {k[0] for k in b.conflict_set.snapshot()} == {"absent"}
+        # Mutating one session leaves the other's stores untouched.
+        rows_b = {s.cls: dict(s.rows) for s in b.runtime.stores}
+        a.add_wme(wm_a.add(WME("block", {"color": "red", "size": 9})))
+        assert {s.cls: dict(s.rows) for s in b.runtime.stores} == rows_b

@@ -153,4 +153,4 @@ class TestServeSpans:
         finally:
             session.close_resources()
         assert rollup["schema"] == "repro.metrics/1"
-        assert set(rollup) == {"schema", "sessions", "totals"}
+        assert set(rollup) == {"schema", "sessions", "tenants", "totals"}

@@ -201,6 +201,54 @@ def test_call_jitter_draws_below_the_interval():
     assert drawn == [(0.0, 0.5)]
 
 
+class _TopDraw:
+    """Deterministic 'jitter': always the full interval."""
+
+    def uniform(self, low, high):
+        return high
+
+
+def test_call_backoff_interval_is_capped(monkeypatch):
+    """Regression: the exponential `retry_after * base**(n-1)` used to
+    grow unbounded -- by attempt 20 a 0.1s hint becomes ~14 hours, so
+    one rejection streak turned the rest of the wait budget into a
+    single giant sleep.  `max_interval` caps every individual sleep."""
+    client = _stub_client([_rejection(0.1) for _ in range(64)])
+    sleeps = []
+    monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+
+    with pytest.raises(BackpressureError):
+        client.call("ping", max_total_wait=4.0, max_interval=0.4, rng=_TopDraw())
+    # Exponential up to the cap, then flat: 0.1, 0.2, 0.4, 0.4, ...
+    assert sleeps[:4] == [0.1, 0.2, 0.4, 0.4]
+    assert max(sleeps) <= 0.4
+
+
+def test_call_total_wait_respects_documented_budget_under_cap(monkeypatch):
+    """With capped intervals the loop keeps probing instead of sleeping
+    the budget away in one draw, and cumulative wait still never
+    exceeds `max_total_wait`."""
+    client = _stub_client([_rejection(0.5) for _ in range(64)])
+    sleeps = []
+    monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+
+    with pytest.raises(BackpressureError) as info:
+        client.call("ping", max_total_wait=2.0, max_interval=0.5, rng=_TopDraw())
+    assert sum(sleeps) <= 2.0 + 1e-9
+    assert info.value.reply["total_wait"] <= 2.0 + 1e-9
+    # The cap means the budget is spent across many probes, not one.
+    assert info.value.reply["attempts"] >= 4
+
+
+def test_call_survives_huge_retry_budgets(monkeypatch):
+    """A pathological retries value must not overflow the float pow."""
+    client = _stub_client([_rejection(0.001) for _ in range(3000)])
+    monkeypatch.setattr("repro.serve.client.time.sleep", lambda _s: None)
+    with pytest.raises(BackpressureError) as info:
+        client.call("ping", retries=3000, max_total_wait=1e12, rng=_TopDraw())
+    assert info.value.reply["attempts"] == 3000
+
+
 # -- recovery notices ---------------------------------------------------------
 
 

@@ -6,6 +6,11 @@ import struct
 
 import pytest
 
+from repro.serve.client import (
+    DEFAULT_RETRY_AFTER,
+    MAX_RETRY_AFTER_HINT,
+    BackpressureError,
+)
 from repro.serve.protocol import (
     MAX_FRAME,
     ProtocolError,
@@ -94,6 +99,41 @@ def test_async_roundtrip_and_eof():
         return received
 
     assert asyncio.run(scenario()) == [{"n": 1}]
+
+
+# -- retry_after hint validation ----------------------------------------------
+#
+# The server's backpressure reply carries a retry_after hint; the client
+# must treat it as untrusted wire input.  Regression for the bug where a
+# malformed/negative/NaN hint reached time.sleep verbatim.
+
+
+def _rejection_with(retry_after):
+    reply = {"error": "backpressure"}
+    if retry_after is not ...:
+        reply["retry_after"] = retry_after
+    return BackpressureError(reply)
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [..., None, "soon", [], {}, float("nan"), float("inf"), float("-inf"), -1, -0.25],
+    ids=["absent", "null", "string", "list", "dict", "nan", "inf", "neg-inf", "neg-int", "neg-float"],
+)
+def test_malformed_retry_after_falls_back_to_default(raw):
+    assert _rejection_with(raw).retry_after == DEFAULT_RETRY_AFTER
+
+
+@pytest.mark.parametrize("raw", [1e12, MAX_RETRY_AFTER_HINT + 1])
+def test_oversized_retry_after_is_clamped(raw):
+    assert _rejection_with(raw).retry_after == MAX_RETRY_AFTER_HINT
+
+
+@pytest.mark.parametrize("raw,expected", [(0, 0.0), (0.5, 0.5), (2, 2.0), ("0.25", 0.25)])
+def test_sane_retry_after_passes_through(raw, expected):
+    # Numeric strings are accepted: float() parses them, and a JSON
+    # encoder that stringifies numbers should not break clients.
+    assert _rejection_with(raw).retry_after == expected
 
 
 def test_async_mid_header_close_raises():

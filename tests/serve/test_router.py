@@ -1,0 +1,291 @@
+"""The front-door router: placement, forwarding, quotas, migration,
+demotion -- all over real sockets via :class:`RouterFleet`.
+
+The router speaks the same protocol as a single server, so every test
+drives it with the ordinary :class:`RuleClient`.
+"""
+
+import pytest
+
+from repro.ops5 import ProductionSystem
+from repro.serve import RouterFleet, RuleClient, ServerError, ServerThread
+from repro.serve.router import RouterThread
+from repro.workloads.programs import closure
+
+CHAIN = [["parent", {"from": f"n{i}", "to": f"n{i + 1}"}] for i in range(6)]
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """One shared two-worker fleet for the read-mostly tests."""
+    with RouterFleet(workers=2) as harness:
+        yield harness
+
+
+def _expected_run():
+    direct = ProductionSystem(closure.PROGRAM, matcher="rete")
+    direct.apply_changes([("assert", cls, attrs) for cls, attrs in CHAIN])
+    return direct.run()
+
+
+class TestFrontDoor:
+    def test_ping_and_empty_list(self, fleet):
+        with RuleClient(fleet.address) as client:
+            assert client.ping(payload="x")["pong"] == "x"
+            assert client.list_sessions() == []
+
+    def test_sessions_spread_and_round_trip(self, fleet):
+        """Many sessions land across workers; each one works end to end."""
+        expected = closure.expected_chain_facts(6)
+        with RuleClient(fleet.address) as client:
+            sids = [client.create_session(program=closure.PROGRAM) for _ in range(8)]
+            try:
+                assert len(set(sids)) == 8
+                for sid in sids:
+                    reply = client.assert_wmes(sid, CHAIN, run=True)
+                    assert reply["run"]["fired"] == expected
+                assert sorted(client.list_sessions()) == sorted(sids)
+                workers = {
+                    row["worker"]
+                    for row in client.stats()["sessions"].values()
+                }
+                assert len(workers) == 2, "placement never used both workers"
+            finally:
+                for sid in sids:
+                    client.destroy_session(sid)
+            assert client.list_sessions() == []
+
+    def test_results_bit_identical_through_router(self, fleet):
+        """The acceptance criterion: firings through the router equal a
+        direct single-process run, cycle for cycle."""
+        expected = _expected_run()
+        with RuleClient(fleet.address) as client:
+            sid = client.create_session(program=closure.PROGRAM)
+            try:
+                client.assert_wmes(sid, CHAIN[:2])
+                client.assert_wmes(sid, CHAIN[2:])
+                reply = client.run(sid)
+                assert [
+                    (name, tuple(tags)) for name, tags in reply["firings"]
+                ] == [(c.production, c.timetags) for c in expected.cycles]
+            finally:
+                client.destroy_session(sid)
+
+    def test_unknown_session_and_duplicate_name_rejected(self, fleet):
+        with RuleClient(fleet.address) as client:
+            with pytest.raises(ServerError, match="no session"):
+                client.run("ghost")
+            sid = client.create_session(program=closure.PROGRAM, name="dup")
+            try:
+                with pytest.raises(ServerError, match="already exists"):
+                    client.create_session(program=closure.PROGRAM, name="dup")
+            finally:
+                client.destroy_session(sid)
+
+    def test_stats_aggregates_workers_and_totals(self, fleet):
+        with RuleClient(fleet.address) as client:
+            sid = client.create_session(program=closure.PROGRAM)
+            try:
+                client.assert_wmes(sid, CHAIN, run=True)
+                stats = client.stats()
+                assert len(stats["router"]["workers"]) == 2
+                assert all(w["healthy"] for w in stats["router"]["workers"])
+                assert sid in stats["sessions"]
+                # Totals are summed across workers -- the load generator
+                # derives throughput from deltas of these.
+                assert stats["totals"]["firings"] >= closure.expected_chain_facts(6)
+                assert stats["totals"]["sessions"] == 1
+            finally:
+                client.destroy_session(sid)
+
+
+class TestFleetQuotas:
+    def test_fleet_wide_quota_spans_workers(self):
+        """The quota is global: two workers cannot double a tenant's
+        budget, because admission happens at the router."""
+        with RouterFleet(workers=2, default_tenant_quota=2) as fleet:
+            with RuleClient(fleet.address) as client:
+                a = client.create_session(program=closure.PROGRAM, tenant="acme")
+                b = client.create_session(program=closure.PROGRAM, tenant="acme")
+                with pytest.raises(ServerError) as excinfo:
+                    client.create_session(program=closure.PROGRAM, tenant="acme")
+                assert excinfo.value.reply["error"] == "quota"
+                # Another tenant still has its own budget.
+                g = client.create_session(program=closure.PROGRAM, tenant="globex")
+                # Freeing a session readmits the tenant.
+                client.destroy_session(a)
+                c = client.create_session(program=closure.PROGRAM, tenant="acme")
+                stats = client.stats()
+                assert stats["tenants"]["acme"]["sessions"] == 2
+                assert stats["tenants"]["acme"]["quota_rejections"] == 1
+                assert stats["tenants"]["globex"]["sessions"] == 1
+                for sid in (b, g, c):
+                    client.destroy_session(sid)
+
+
+class TestMigration:
+    def test_migrate_session_continues_bit_identically(self):
+        """Mid-stream migration: half the input on worker A, migrate,
+        the rest on worker B -- firings equal an unmigrated session
+        driven with the identical batch pattern."""
+        reference = ProductionSystem(closure.PROGRAM, matcher="rete")
+        reference.apply_changes(
+            [("assert", cls, attrs) for cls, attrs in CHAIN[:3]]
+        )
+        ref_first = reference.run()
+        reference.apply_changes(
+            [("assert", cls, attrs) for cls, attrs in CHAIN[3:]]
+        )
+        ref_second = reference.run()
+        expected_firings = [
+            (c.production, c.timetags)
+            for c in ref_first.cycles + ref_second.cycles
+        ]
+        with RouterFleet(workers=2) as fleet:
+            with RuleClient(fleet.address) as client:
+                sid = client.create_session(program=closure.PROGRAM)
+                client.assert_wmes(sid, CHAIN[:3])
+                first = client.run(sid)
+                before = fleet.router.placements[sid].worker
+
+                moved = client.request("migrate_session", session=sid)
+                assert moved["from"] == before
+                assert moved["to"] != before
+                assert fleet.router.placements[sid].worker == moved["to"]
+
+                client.assert_wmes(sid, CHAIN[3:])
+                second = client.run(sid)
+                combined = [
+                    (name, tuple(tags))
+                    for name, tags in first["firings"] + second["firings"]
+                ]
+                assert combined == expected_firings
+                stats = client.stats()
+                assert stats["router"]["migrations"] == 1
+                assert stats["sessions"][sid]["worker"] == moved["to"]
+                client.destroy_session(sid)
+
+    def test_migrate_unknown_session_fails_cleanly(self):
+        with RouterFleet(workers=2) as fleet:
+            with RuleClient(fleet.address) as client:
+                with pytest.raises(ServerError, match="no session"):
+                    client.request("migrate_session", session="ghost")
+
+
+class TestDemotion:
+    def test_dead_worker_is_demoted_and_sessions_evacuate(self):
+        """Kill one worker out from under the router: after the failure
+        streak it is demoted, its reachable state is evacuated or
+        reported lost, and new sessions land on the survivor."""
+        workers = [ServerThread(), ServerThread()]
+        router = RouterThread(
+            worker_addresses=[w.address for w in workers],
+            failure_threshold=2,
+        )
+        try:
+            with RuleClient(router.address) as client:
+                # Pin one session per worker by minting names that hash
+                # to each side.
+                sids = [client.create_session(program=closure.PROGRAM) for _ in range(4)]
+                placed = {
+                    router.router.placements[sid].worker for sid in sids
+                }
+                assert placed == {0, 1}
+
+                victim = workers[0]
+                victim.stop()
+
+                # Requests to sessions on the dead worker fail until the
+                # streak trips the threshold; the router stays up.
+                dead = [
+                    s for s in sids
+                    if router.router.placements.get(s)
+                    and router.router.placements[s].worker == 0
+                ]
+                alive = [s for s in sids if s not in dead]
+                for _ in range(3):
+                    try:
+                        client.request("stats")
+                    except ServerError:
+                        pass
+                    for s in dead:
+                        try:
+                            client.run(s)
+                        except ServerError:
+                            pass
+
+                stats = client.stats()
+                worker_rows = {w["index"]: w for w in stats["router"]["workers"]}
+                assert worker_rows[0]["healthy"] is False
+                assert worker_rows[1]["healthy"] is True
+                # A dead (not slow) worker cannot export: its sessions
+                # are reported lost, never silently dropped.
+                assert set(stats["router"]["lost_sessions"]) == set(dead)
+                assert any(
+                    e["type"] == "demoted" for e in stats["router"]["events"]
+                )
+
+                # The healthy remainder still serves, and new sessions
+                # avoid the demoted worker.
+                for s in alive:
+                    client.assert_wmes(s, CHAIN, run=True)
+                fresh = client.create_session(program=closure.PROGRAM)
+                assert router.router.placements[fresh].worker == 1
+                client.destroy_session(fresh)
+        finally:
+            router.stop()
+            for worker in workers[1:]:
+                worker.stop()
+
+
+@pytest.mark.chaos
+class TestRouterChaos:
+    def test_fleet_survives_seeded_worker_churn(self):
+        """Seeded chaos through the router: drive sessions while one
+        worker dies mid-run; every surviving session still answers and
+        the router's books balance (no session both lost and placed)."""
+        import random
+
+        rng = random.Random(7410)
+        victim_index = -1
+        workers = [ServerThread() for _ in range(3)]
+        router = RouterThread(
+            worker_addresses=[w.address for w in workers],
+            failure_threshold=2,
+        )
+        try:
+            with RuleClient(router.address) as client:
+                sids = [
+                    client.create_session(program=closure.PROGRAM)
+                    for _ in range(9)
+                ]
+                for sid in sids:
+                    client.assert_wmes(sid, CHAIN[:3], run=True)
+
+                victim_index = rng.randrange(3)
+                workers[victim_index].stop()
+
+                for sid in list(sids):
+                    for _ in range(3):
+                        try:
+                            client.assert_wmes(sid, CHAIN[3:], run=True)
+                            break
+                        except ServerError:
+                            continue
+
+                stats = client.stats()
+                lost = set(stats["router"]["lost_sessions"])
+                placed = set(router.router.placements)
+                assert not lost & placed
+                assert lost | placed == set(sids)
+                healthy = [
+                    w for w in stats["router"]["workers"] if w["healthy"]
+                ]
+                assert len(healthy) == 2
+                for sid in placed:
+                    assert client.session_stats(sid)["firings"] > 0
+        finally:
+            router.stop()
+            for index, worker in enumerate(workers):
+                if index != victim_index:
+                    worker.stop()
