@@ -20,6 +20,14 @@ This benchmark measures both, two ways:
   fault injector, once with checkpointing disabled and once enabled,
   reporting the supervisor's measured replay cost and replayed-op
   counts for each.
+* **Fleet recovery**: the serve-side analogue.  A durable process
+  fleet (real worker OS processes behind the journaling router) hosts
+  several sessions, a worker is SIGKILLed, and the first post-kill op
+  is timed -- that latency covers failure detection, fence + respawn,
+  checkpoint restore + journal-tail replay for every session on the
+  victim, and the op itself.  Swept over ``checkpoint_every`` to show
+  the same trade at the session layer: rarer checkpoints mean longer
+  replay tails and slower recovery.
 
 The snapshot lands in ``BENCH_fault_recovery.json`` at the repo root,
 next to the other wall-clock baselines.  Assertions are qualitative --
@@ -70,8 +78,16 @@ CLOSURE = """
 #: Chain lengths swept for the replay curve (journal length grows
 #: quadratically with the chain: closure fires O(n^2) rules).
 PROFILES = {
-    "smoke": {"chains": [4, 6], "tail": 4, "reps": 3},
-    "full": {"chains": [4, 6, 8, 10, 12], "tail": 8, "reps": 5},
+    "smoke": {
+        "chains": [4, 6], "tail": 4, "reps": 3,
+        "fleet_checkpoints": [0, 4], "fleet_rounds": 6,
+        "fleet_sessions": 3,
+    },
+    "full": {
+        "chains": [4, 6, 8, 10, 12], "tail": 8, "reps": 5,
+        "fleet_checkpoints": [0, 1, 4, 16], "fleet_rounds": 12,
+        "fleet_sessions": 4,
+    },
 }
 
 #: The paper's Section 3.1 state-saving ratio (c3 re-derivation vs c1
@@ -153,7 +169,86 @@ def measure_live(checkpoint_every) -> dict:
     }
 
 
-def render(rows: list[dict], live: list[dict]) -> str:
+def measure_fleet_point(
+    checkpoint_every: int, rounds: int, sessions: int
+) -> dict:
+    """SIGKILL a real worker under session load; time the recovery.
+
+    The timed interval is one client call on a victim-hosted session
+    issued right after the kill: it spans failure detection (the call
+    itself hits the dead socket), fence + respawn of the worker
+    process, restore of *every* session placed there, and the op's own
+    execution.  ``replayed_ops`` counts the journal-tail entries the
+    router re-applied across those sessions.
+    """
+    from repro.serve import ProcessRouterFleet, RuleClient
+
+    with ProcessRouterFleet(
+        workers=2,
+        checkpoint_every=checkpoint_every,
+        heartbeat_interval=None,  # recovery is driven by the failed call
+        restart_backoff=0.05,
+    ) as fleet:
+        with RuleClient(fleet.address) as client:
+            for index in range(sessions):
+                client.call(
+                    "create_session",
+                    program=CLOSURE,
+                    name=f"fb{index}",
+                    tenant=f"tenant{index % 2}",
+                )
+            for round_no in range(rounds):
+                for index in range(sessions):
+                    client.call(
+                        "assert", session=f"fb{index}", wme=[
+                            "parent",
+                            {"from": f"fb{index}_n{round_no}",
+                             "to": f"fb{index}_n{round_no + 1}"},
+                        ],
+                    )
+                    client.call("run", session=f"fb{index}")
+            # Checkpoints are taken asynchronously; let them land so the
+            # measured replay tail reflects the configured cadence.
+            time.sleep(0.3)
+            stats = client.call("stats")
+            placements = {
+                name: row["worker"]
+                for name, row in stats["sessions"].items()
+            }
+            loads: dict[int, int] = {}
+            for worker in placements.values():
+                loads[worker] = loads.get(worker, 0) + 1
+            victim = max(loads, key=lambda w: (loads[w], -w))
+            probe = next(
+                name for name, worker in placements.items()
+                if worker == victim
+            )
+            journal_bytes = stats["router"]["durability"]["bytes_appended"]
+            fleet.kill_worker(victim)
+            started = time.perf_counter()
+            reply = client.call("run", session=probe)
+            latency = time.perf_counter() - started
+            assert reply["ok"], reply
+            after = client.call("stats")["router"]
+            replayed = sum(
+                event.get("replayed_ops", 0)
+                for event in after["events"]
+                if event.get("type") == "recovered"
+            )
+            return {
+                "checkpoint_every": checkpoint_every,
+                "sessions_on_victim": loads[victim],
+                "rounds": rounds,
+                "journal_bytes": journal_bytes,
+                "checkpoints_taken": after["durability"]["checkpoints"],
+                "replayed_ops": replayed,
+                "recovered_sessions": len(after["recovered_sessions"]),
+                "lost_sessions": len(after["lost_sessions"]),
+                "recovery_seconds": latency,
+            }
+
+
+def render(rows: list[dict], live: list[dict], fleet: list[dict]) -> str:
     header = (
         f"{'chain':>5} {'journal':>7} {'ckpt-KiB':>8} {'replay-ms':>9} "
         f"{'restore-ms':>10} {'ratio':>6}"
@@ -181,6 +276,23 @@ def render(rows: list[dict], live: list[dict]) -> str:
             f"in {row['replay_seconds'] * 1e3:.2f} ms, "
             f"total {row['total_seconds'] * 1e3:.2f} ms"
         )
+    lines.append("")
+    lines.append(
+        "fleet recovery (2 process workers, SIGKILL the loaded one, "
+        "time the next op):"
+    )
+    for row in fleet:
+        mode = (
+            f"checkpoint_every={row['checkpoint_every']}"
+            if row["checkpoint_every"]
+            else "no checkpoints"
+        )
+        lines.append(
+            f"  {mode:<20} {row['sessions_on_victim']} sessions on victim, "
+            f"replayed {row['replayed_ops']:>4} ops, "
+            f"recovered in {row['recovery_seconds'] * 1e3:.1f} ms "
+            f"(lost: {row['lost_sessions']})"
+        )
     return "\n".join(lines)
 
 
@@ -202,7 +314,13 @@ def main(argv=None) -> int:
         for chain in profile["chains"]
     ]
     live = [measure_live(None), measure_live(4)]
-    print(render(rows, live))
+    fleet = [
+        measure_fleet_point(
+            every, profile["fleet_rounds"], profile["fleet_sessions"]
+        )
+        for every in profile["fleet_checkpoints"]
+    ]
+    print(render(rows, live, fleet))
 
     # Qualitative shape, not absolute speed: replay cost grows with the
     # journal, and the checkpointed path replays strictly less live.
@@ -210,6 +328,13 @@ def main(argv=None) -> int:
     assert rows[-1]["replay_over_restore"] > 1.0
     assert not live[0]["used_checkpoint"] and live[1]["used_checkpoint"]
     assert live[1]["replayed_ops"] < live[0]["replayed_ops"]
+    # The fleet never loses a session, and checkpoints shorten the
+    # replay tail just as they do for shards (fleet[0] never
+    # checkpoints; every later point does).
+    assert all(row["lost_sessions"] == 0 for row in fleet)
+    assert all(
+        row["replayed_ops"] < fleet[0]["replayed_ops"] for row in fleet[1:]
+    )
 
     with open(args.out, "w") as handle:
         json.dump(
@@ -228,6 +353,7 @@ def main(argv=None) -> int:
                 },
                 "replay_curve": rows,
                 "live_recovery": live,
+                "fleet_recovery": fleet,
             },
             handle,
             indent=2,

@@ -195,6 +195,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tenant-quota", type=int, default=None,
         help="max concurrent sessions per tenant (default: unlimited)",
     )
+    serve.add_argument(
+        "--processes", action="store_true",
+        help="spawn the --workers as real OS processes under a durable "
+             "supervisor: sessions survive worker SIGKILL via the "
+             "write-ahead journal (see docs/fault-tolerance.md)",
+    )
+    serve.add_argument(
+        "--durability-dir", default=None,
+        help="journal + checkpoint directory for --processes "
+             "(default: a temporary directory deleted on exit; name one "
+             "to make sessions survive router restarts too)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=16,
+        help="checkpoint a session every N journaled ops under "
+             "--processes (0 = journal-only replay)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=0.5,
+        help="seconds between worker liveness probes under --processes",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -269,6 +290,30 @@ def _build_parser() -> argparse.ArgumentParser:
              "participant in the bit-identity comparison",
     )
     chaos.add_argument("--report-out", help="write the chaos report as JSON")
+    chaos.add_argument(
+        "--fleet", action="store_true",
+        help="chaos the durable serve fleet instead of the shard pool: "
+             "SIGKILL real worker OS processes (--crashes of them) under "
+             "multitenant session load and verify every session recovers "
+             "bit-identically from journal + checkpoint",
+    )
+    chaos.add_argument(
+        "--sessions", type=int, default=6,
+        help="concurrent sessions across three tenants (--fleet only)",
+    )
+    chaos.add_argument(
+        "--rounds", type=int, default=6,
+        help="assert+run rounds applied to every session (--fleet only)",
+    )
+    chaos.add_argument(
+        "--heartbeat-interval", type=float, default=0.5,
+        help="worker liveness probe period in seconds (--fleet only)",
+    )
+    chaos.add_argument(
+        "--journal-dir", default=None,
+        help="keep the fleet's journals + checkpoints in this directory "
+             "instead of a temporary one (--fleet only; the CI artifact)",
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -608,6 +653,44 @@ def _cmd_serve(args) -> int:
         args.max_pending if args.max_pending is not None else DEFAULT_MAX_PENDING
     )
 
+    if args.processes:
+        # Durable topology: N worker OS processes under a supervisor,
+        # one router journaling every state-changing op so sessions
+        # survive worker death (docs/fault-tolerance.md).
+        import time as _time
+
+        from .serve import ProcessRouterFleet
+
+        workers = args.workers if args.workers and args.workers > 0 else 2
+        try:
+            with ProcessRouterFleet(
+                workers=workers,
+                durability_dir=args.durability_dir,
+                checkpoint_every=args.checkpoint_every,
+                heartbeat_interval=args.heartbeat_interval,
+                max_pending=max_pending,
+                host=args.host,
+                port=args.port,
+                unix_path=args.socket,
+                default_tenant_quota=args.tenant_quota,
+            ) as fleet:
+                where = (
+                    args.socket
+                    if args.socket
+                    else "%s:%s" % fleet.address
+                )
+                journals = fleet.durability.root
+                print(
+                    f"routing on {where} ({workers} process workers, "
+                    f"journals in {journals})",
+                    flush=True,
+                )
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("interrupted; fleet drained", file=sys.stderr)
+        return 0
+
     if args.workers and args.workers > 0:
         # Scale-out topology: N in-process worker servers on ephemeral
         # ports, one router at the requested address fanning sessions
@@ -681,6 +764,9 @@ def _cmd_chaos(args) -> int:
     """Run a demo under injected faults; exit 0 iff bit-identical."""
     import json
 
+    if args.fleet:
+        return _cmd_chaos_fleet(args)
+
     from .faults import FaultPlan, run_chaos
     from .parallel import SupervisorConfig
 
@@ -736,6 +822,69 @@ def _cmd_chaos(args) -> int:
             handle.write("\n")
         print(f"-- wrote chaos report to {args.report_out}")
     return 0 if report.identical else 1
+
+
+def _cmd_chaos_fleet(args) -> int:
+    """SIGKILL real worker processes under load; exit 0 iff no loss."""
+    import json
+
+    from .faults import fleet_chaos
+
+    try:
+        report = fleet_chaos(
+            args.seed,
+            workers=max(1, args.workers),
+            sessions=args.sessions,
+            rounds=args.rounds,
+            kills=args.crashes,
+            checkpoint_every=args.checkpoint_every,
+            heartbeat_interval=args.heartbeat_interval,
+            durability_dir=args.journal_dir,
+            on_event=lambda line: print(f"-- {line}", flush=True),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not report.kills:
+        print("-- no kill scheduled (need rounds >= 2 and crashes >= 1)")
+    for event in report.recovery_events:
+        kind = event.get("type", "?")
+        if kind in ("recovered", "resumed", "lost", "rolled"):
+            extra = ""
+            if kind == "recovered":
+                via = (
+                    "checkpoint + journal tail"
+                    if event.get("used_checkpoint")
+                    else "journal replay"
+                )
+                extra = f" ({event.get('replayed_ops', 0)} ops, {via})"
+            print(f"-- session {event.get('session')}: {kind}{extra}")
+        else:
+            print(f"-- worker {event.get('worker')}: {kind}")
+    verdict = "bit-identical" if report.identical else "DIVERGED"
+    print(
+        f"-- fleet run ({report.workers} process workers, "
+        f"{report.sessions} sessions, {len(report.kills)} kills) vs inline "
+        f"reference: {verdict}; recovered={len(report.recovered_sessions)} "
+        f"lost={len(report.lost_sessions)} "
+        f"reconnects={report.client_reconnects}"
+    )
+    for problem in report.divergences:
+        print(f"--   {problem}")
+    if report.durability:
+        print(
+            f"-- journal: {report.durability.get('appends', 0)} appends, "
+            f"{report.durability.get('checkpoints', 0)} checkpoints, "
+            f"{report.durability.get('bytes_appended', 0)} bytes"
+        )
+    if args.journal_dir:
+        print(f"-- journals kept in {args.journal_dir}")
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            json.dump(report.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"-- wrote fleet chaos report to {args.report_out}")
+    return 0 if report.ok else 1
 
 
 def _cmd_fuzz(args) -> int:

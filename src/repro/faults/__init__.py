@@ -11,7 +11,7 @@ See ``docs/fault-tolerance.md`` for the supervision model and the
 recovery economics relative to the paper's Section 3.1.
 """
 
-from .chaos import ChaosReport, run_chaos, seeded_chaos
+from .chaos import ChaosReport, FleetChaosReport, fleet_chaos, run_chaos, seeded_chaos
 from .plan import (
     CRASH,
     ERROR,
@@ -41,6 +41,8 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "ChaosReport",
+    "FleetChaosReport",
+    "fleet_chaos",
     "run_chaos",
     "seeded_chaos",
 ]

@@ -16,16 +16,23 @@ program per process.  This package is that serving layer:
   fleet-wide tenant quotas, live session migration, and degraded-worker
   demotion; :class:`RouterFleet` embeds the whole topology;
 * :mod:`~repro.serve.client` -- the blocking reference client;
+* :mod:`~repro.serve.durability` -- the per-session write-ahead
+  journal + checkpoint store that makes worker death survivable;
+* :mod:`~repro.serve.fleet` -- real worker OS processes under a
+  supervisor (heartbeat, fencing, restart backoff, rolling restarts);
 * :mod:`~repro.serve.loadgen` -- trace replay from N concurrent
   clients, measuring sustained throughput and tail latency;
 * :mod:`~repro.serve.stats` -- the counters and percentile windows
   behind the ``stats`` requests.
 
-See ``docs/serve.md`` for the protocol and lifecycle reference.
+See ``docs/serve.md`` for the protocol and lifecycle reference and
+``docs/fault-tolerance.md`` for the durability/recovery contract.
 """
 
 from .client import Address, BackpressureError, RuleClient, ServerError
-from .protocol import MAX_FRAME, ProtocolError
+from .durability import DurabilityStore, RecoveryBundle, validate_engine_state
+from .fleet import ProcessFleet, ProcessRouterFleet, WorkerProcess
+from .protocol import MAX_FRAME, Disconnected, ProtocolError
 from .router import RouterFleet, RouterThread, RuleRouter, WorkerLink
 from .server import RuleServer, ServerThread, run_server
 from .session import (
@@ -41,10 +48,15 @@ __all__ = [
     "Address",
     "BackpressureError",
     "DEFAULT_MAX_PENDING",
+    "Disconnected",
+    "DurabilityStore",
     "LatencyWindow",
     "MAX_FRAME",
+    "ProcessFleet",
+    "ProcessRouterFleet",
     "ProtocolError",
     "QuotaExceeded",
+    "RecoveryBundle",
     "RouterFleet",
     "RouterThread",
     "RuleClient",
@@ -56,6 +68,8 @@ __all__ = [
     "SessionManager",
     "Telemetry",
     "WorkerLink",
+    "WorkerProcess",
     "build_matcher",
     "run_server",
+    "validate_engine_state",
 ]

@@ -24,7 +24,7 @@ import socket
 import time
 from typing import Any, Optional, Sequence, Union
 
-from .protocol import ProtocolError, recv_message, send_message
+from .protocol import Disconnected, recv_message, send_message
 
 #: A server address: a unix-socket path or a (host, port) pair.
 Address = Union[str, tuple]
@@ -75,13 +75,33 @@ class RuleClient:
 
     def __init__(self, address: Address, timeout: Optional[float] = 60.0) -> None:
         self.address = address
-        if isinstance(address, str):
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.timeout = timeout
+        self.reconnects = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target: Any = self.address
         else:
-            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            address = tuple(address)
-        self._sock.settimeout(timeout)
-        self._sock.connect(address)
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            target = tuple(self.address)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(target)
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+
+    def _reconnect(self) -> None:
+        """Replace a severed connection (counted in :attr:`reconnects`)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._connect()
+        self.reconnects += 1
 
     # -- transport -----------------------------------------------------------
 
@@ -91,7 +111,7 @@ class RuleClient:
         send_message(self._sock, message)
         reply = recv_message(self._sock)
         if reply is None:
-            raise ProtocolError("server closed the connection mid-request")
+            raise Disconnected("server closed the connection mid-request")
         if not reply.get("ok"):
             if reply.get("error") == "backpressure":
                 raise BackpressureError(reply)
@@ -128,11 +148,34 @@ class RuleClient:
         client actually tried.  *on_retry* (if given) is called with
         each rejection -- the load generator counts them there.  *rng*
         pins the jitter for deterministic tests.
+
+        Severed connections heal inside the same budgets: a
+        ``BrokenPipeError``/``ConnectionResetError``/EOF (a worker
+        process restarting under the router, say) triggers a jittered
+        reconnect-and-resend instead of a hard error, and only an
+        exhausted budget re-raises the transport failure.  Resending
+        makes delivery at-least-once -- a reply lost mid-flight means
+        the op may run twice -- so exactly-once callers should route
+        through a durable router, whose journal answers the retried op
+        from the recovery replay.
         """
         draw = rng.uniform if rng is not None else random.uniform
         total_wait = 0.0
         attempts = 0
+        disconnect: Optional[Exception] = None
         while attempts < retries and total_wait < max_total_wait:
+            if disconnect is not None:
+                try:
+                    self._reconnect()
+                except OSError as error:
+                    disconnect = error
+                    attempts += 1
+                    total_wait += self._pause(
+                        draw, DEFAULT_RETRY_AFTER, attempts, backoff_base,
+                        max_interval, max_total_wait - total_wait,
+                    )
+                    continue
+                disconnect = None
             try:
                 return self.request(op, **fields)
             except BackpressureError as rejection:
@@ -141,17 +184,21 @@ class RuleClient:
                     on_retry(rejection)
                 if attempts >= retries:
                     break
-                # Clamp the exponent too: the cap makes growth beyond
-                # ~2**64 irrelevant, and float pow overflows past ~1e308.
-                interval = min(
-                    rejection.retry_after * backoff_base ** min(attempts - 1, 64),
-                    max_interval,
+                total_wait += self._pause(
+                    draw, rejection.retry_after, attempts, backoff_base,
+                    max_interval, max_total_wait - total_wait,
                 )
-                pause = draw(0.0, interval)
-                pause = min(pause, max_total_wait - total_wait)
-                if pause > 0:
-                    time.sleep(pause)
-                total_wait += pause
+            except (ConnectionError, Disconnected) as error:
+                disconnect = error
+                attempts += 1
+                if attempts >= retries:
+                    break
+                total_wait += self._pause(
+                    draw, DEFAULT_RETRY_AFTER, attempts, backoff_base,
+                    max_interval, max_total_wait - total_wait,
+                )
+        if disconnect is not None:
+            raise disconnect
         raise BackpressureError(
             {
                 "error": "backpressure",
@@ -163,6 +210,24 @@ class RuleClient:
                 "total_wait": total_wait,
             }
         )
+
+    @staticmethod
+    def _pause(
+        draw, hint: float, attempts: int, backoff_base: float,
+        max_interval: float, remaining: float,
+    ) -> float:
+        """Sleep out one jittered backoff interval; returns the pause.
+
+        The exponent is clamped (the cap makes growth beyond ~2**64
+        irrelevant, and float pow overflows past ~1e308) and the draw is
+        full-jitter so a fleet rejected together does not retry
+        together.
+        """
+        interval = min(hint * backoff_base ** min(attempts - 1, 64), max_interval)
+        pause = min(draw(0.0, interval), remaining)
+        if pause > 0:
+            time.sleep(pause)
+        return max(pause, 0.0)
 
     def close(self) -> None:
         try:

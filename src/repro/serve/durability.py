@@ -1,0 +1,476 @@
+"""Session durability: a per-session write-ahead journal plus checkpoints.
+
+The paper's Section 3 state-saving analysis prices exactly the trade
+this module implements: match state is a deterministic function of the
+working-memory op stream, so a crashed host can always re-derive it --
+the only question is how much of the stream it must replay.  The
+parallel supervisor already proved the checkpoint+journal-tail restore
+bit-identical *per shard*; this module lifts the same design to whole
+serve sessions so a worker process can be SIGKILLed without losing any
+of them.
+
+Layout (one directory per router)::
+
+    <root>/<sid>.meta.json   the create_session config (replay from zero)
+    <root>/<sid>.wal         JSONL op journal, appended before the reply
+    <root>/<sid>.ckpt.json   latest engine checkpoint + the WAL seq it covers
+
+The router appends every accepted mutating op to the WAL *before* the
+reply leaves for the client, so the journal is always at least as new as
+anything a client has seen acknowledged.  Periodic checkpoints persist
+the session's ``export_state`` blob together with the journal sequence
+it covers; recovery is then ``import_session`` of the checkpoint plus a
+replay of the journal tail -- O(blob + tail) instead of O(journal),
+which is the Section 3.1 c1-vs-c3 ratio as a recovery-latency knob.
+
+Everything read back from disk is treated as untrusted input: truncated
+trailing WAL lines (a crash mid-append) are dropped, corrupt checkpoints
+fall back to full-journal replay, and engine-state blobs are validated
+by :func:`validate_engine_state` -- the same validator the server's
+``import_session`` op applies to payloads arriving over the wire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "DurabilityStore",
+    "RecoveryBundle",
+    "WalRecord",
+    "validate_engine_state",
+]
+
+#: Schema tags on the persisted files.
+META_SCHEMA = "repro.session-meta/1"
+CHECKPOINT_SCHEMA = "repro.session-checkpoint/1"
+
+#: The engine checkpoint schema (kept in sync with Engine.STATE_SCHEMA;
+#: duplicated here so validation needs no engine import).
+ENGINE_STATE_SCHEMA = "repro.engine-state/1"
+
+
+def validate_engine_state(state) -> Optional[str]:
+    """First problem with an untrusted ``repro.engine-state/1`` blob, or None.
+
+    Used by the server's ``import_session`` op (wire payloads) and by
+    checkpoint loading (disk payloads): a malformed, truncated, or
+    schema-mismatched blob must become a typed error, never a traceback
+    deep inside the engine.
+    """
+    if not isinstance(state, dict):
+        return "state must be a JSON object"
+    if state.get("schema") != ENGINE_STATE_SCHEMA:
+        return (
+            f"unknown state schema {state.get('schema')!r}; "
+            f"expected {ENGINE_STATE_SCHEMA!r}"
+        )
+    wmes = state.get("wmes")
+    if not isinstance(wmes, list):
+        return "wmes must be a list"
+    seen_tags: set[int] = set()
+    top = 0
+    for row in wmes:
+        if not isinstance(row, (list, tuple)) or len(row) != 3:
+            return "each wme must be a [timetag, class, attributes] triple"
+        tag, cls, attrs = row
+        if isinstance(tag, bool) or not isinstance(tag, int) or tag < 1:
+            return f"wme timetag {tag!r} is not a positive integer"
+        if tag in seen_tags:
+            return f"duplicate wme timetag {tag}"
+        seen_tags.add(tag)
+        top = max(top, tag)
+        if not isinstance(cls, str) or not cls:
+            return f"wme class {cls!r} is not a non-empty string"
+        if not isinstance(attrs, dict):
+            return "wme attributes must be an object"
+        for name, value in attrs.items():
+            if not isinstance(name, str):
+                return f"attribute name {name!r} is not a string"
+            if isinstance(value, bool) or not isinstance(value, (str, int, float)):
+                return (
+                    f"attribute {name!r} value {value!r} is neither "
+                    "a symbol nor a number"
+                )
+    next_timetag = state.get("next_timetag")
+    if (
+        isinstance(next_timetag, bool)
+        or not isinstance(next_timetag, int)
+        or next_timetag <= top
+    ):
+        return (
+            f"next_timetag {next_timetag!r} must be an integer above every "
+            "wme timetag"
+        )
+    fired = state.get("fired")
+    if not isinstance(fired, list):
+        return "fired must be a list"
+    for row in fired:
+        if not isinstance(row, (list, tuple)) or len(row) != 2:
+            return "each fired entry must be a [production, timetags] pair"
+        name, tags = row
+        if not isinstance(name, str):
+            return f"fired production {name!r} is not a string"
+        if not isinstance(tags, (list, tuple)) or any(
+            isinstance(t, bool) or not isinstance(t, int) for t in tags
+        ):
+            return f"fired timetags for {name!r} must be a list of integers"
+    for counter in ("cycle", "total_firings", "total_wme_changes"):
+        value = state.get(counter)
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            return f"{counter} {value!r} is not a non-negative integer"
+    if not isinstance(state.get("halted"), bool):
+        return "halted must be a boolean"
+    if not isinstance(state.get("halt_reason"), str):
+        return "halt_reason must be a string"
+    output = state.get("output")
+    if not isinstance(output, list) or any(
+        not isinstance(line, str) for line in output
+    ):
+        return "output must be a list of strings"
+    return None
+
+
+@dataclass
+class WalRecord:
+    """One accepted op in a session's journal."""
+
+    seq: int
+    request: dict
+
+
+@dataclass
+class RecoveryBundle:
+    """Everything needed to rebuild one session after its worker died."""
+
+    session: str
+    #: The original ``create_session`` config (program, matcher, ...).
+    config: dict
+    #: The latest valid checkpoint (``seq``/``config``/``state``), or None.
+    checkpoint: Optional[dict]
+    #: Journal tail to replay after the checkpoint (skip-marked and
+    #: checkpoint-covered records already filtered out).
+    records: list[WalRecord]
+    #: Highest sequence number ever appended (including skipped ops).
+    last_seq: int
+    #: Non-fatal anomalies found while loading (corrupt checkpoint,
+    #: truncated trailing line, ...); recovery proceeds around them.
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def used_checkpoint(self) -> bool:
+        return self.checkpoint is not None
+
+
+def _encode_sid(session_id: str) -> str:
+    """Injective, filesystem-safe encoding of a session id."""
+    quoted = urllib.parse.quote(session_id, safe="")
+    if len(quoted) <= 96:
+        return quoted
+    digest = hashlib.sha256(session_id.encode()).hexdigest()[:32]
+    return f"{quoted[:48]}.{digest}"
+
+
+class DurabilityStore:
+    """The on-disk journal + checkpoint store behind one router.
+
+    All mutation methods are called from the router's event loop (one
+    thread), so per-session appends are naturally ordered; the counter
+    lock only guards the stats snapshot, which other threads read.
+    """
+
+    def __init__(self, root: str, fsync: bool = False) -> None:
+        self.root = os.path.abspath(root)
+        self.fsync = fsync
+        os.makedirs(self.root, exist_ok=True)
+        self._wal_handles: dict[str, object] = {}
+        self._lock = threading.Lock()
+        self.appends = 0
+        self.skips = 0
+        self.checkpoints = 0
+        self.bytes_appended = 0
+
+    # -- paths --------------------------------------------------------------
+
+    def _meta_path(self, sid: str) -> str:
+        return os.path.join(self.root, f"{_encode_sid(sid)}.meta.json")
+
+    def _wal_path(self, sid: str) -> str:
+        return os.path.join(self.root, f"{_encode_sid(sid)}.wal")
+
+    def _ckpt_path(self, sid: str) -> str:
+        return os.path.join(self.root, f"{_encode_sid(sid)}.ckpt.json")
+
+    def _write_atomic(self, path: str, payload: dict) -> None:
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, separators=(",", ":"), sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def _wal_handle(self, sid: str):
+        handle = self._wal_handles.get(sid)
+        if handle is None or handle.closed:
+            handle = open(self._wal_path(sid), "a")
+            self._wal_handles[sid] = handle
+        return handle
+
+    def _append_line(self, sid: str, row: dict) -> None:
+        line = json.dumps(row, separators=(",", ":")) + "\n"
+        handle = self._wal_handle(sid)
+        handle.write(line)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        with self._lock:
+            self.bytes_appended += len(line)
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def register(self, session_id: str, config: dict) -> None:
+        """Record a freshly created session: meta written, journal reset."""
+        self._write_atomic(
+            self._meta_path(session_id),
+            {"schema": META_SCHEMA, "id": session_id, "config": dict(config)},
+        )
+        # A name reused after destroy starts a fresh history.
+        handle = self._wal_handles.pop(session_id, None)
+        if handle is not None:
+            handle.close()
+        open(self._wal_path(session_id), "w").close()
+        try:
+            os.remove(self._ckpt_path(session_id))
+        except FileNotFoundError:
+            pass
+
+    def drop(self, session_id: str) -> None:
+        """Forget a destroyed session (journal, checkpoint, meta)."""
+        handle = self._wal_handles.pop(session_id, None)
+        if handle is not None:
+            handle.close()
+        for path in (
+            self._wal_path(session_id),
+            self._ckpt_path(session_id),
+            self._meta_path(session_id),
+        ):
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+
+    def sessions(self) -> list[str]:
+        """Ids of every session with durable state in this store."""
+        ids = []
+        for name in os.listdir(self.root):
+            if not name.endswith(".meta.json"):
+                continue
+            try:
+                with open(os.path.join(self.root, name)) as handle:
+                    meta = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(meta, dict) and meta.get("schema") == META_SCHEMA:
+                sid = meta.get("id")
+                if isinstance(sid, str):
+                    ids.append(sid)
+        return sorted(ids)
+
+    # -- the write path ------------------------------------------------------
+
+    def append(self, session_id: str, seq: int, request: dict) -> None:
+        """Journal one accepted op *before* its reply is released."""
+        self._append_line(session_id, {"seq": seq, "request": request})
+        with self._lock:
+            self.appends += 1
+
+    def mark_skipped(self, session_id: str, seq: int) -> None:
+        """Mark a journaled op the worker definitively did not execute.
+
+        Backpressure rejections are never enqueued at the worker, so a
+        replay must not apply them; the tombstone is appended (not
+        rewritten in place) so the journal stays append-only.
+        """
+        self._append_line(session_id, {"seq": seq, "skip": True})
+        with self._lock:
+            self.skips += 1
+
+    def save_checkpoint(
+        self, session_id: str, seq: int, config: dict, state: dict
+    ) -> None:
+        """Persist a checkpoint covering every op up to *seq*, then
+        compact the journal down to its uncovered tail."""
+        self._write_atomic(
+            self._ckpt_path(session_id),
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "id": session_id,
+                "seq": seq,
+                "config": dict(config),
+                "state": state,
+            },
+        )
+        records, skipped, _, _ = self._read_wal(session_id)
+        handle = self._wal_handles.pop(session_id, None)
+        if handle is not None:
+            handle.close()
+        tmp = f"{self._wal_path(session_id)}.tmp"
+        with open(tmp, "w") as out:
+            for record in records:
+                if record.seq > seq:
+                    out.write(
+                        json.dumps(
+                            {"seq": record.seq, "request": record.request},
+                            separators=(",", ":"),
+                        )
+                        + "\n"
+                    )
+            for skip_seq in sorted(skipped):
+                if skip_seq > seq:
+                    out.write(
+                        json.dumps({"seq": skip_seq, "skip": True}) + "\n"
+                    )
+            out.flush()
+            if self.fsync:
+                os.fsync(out.fileno())
+        os.replace(tmp, self._wal_path(session_id))
+        with self._lock:
+            self.checkpoints += 1
+
+    # -- the read (recovery) path --------------------------------------------
+
+    def _read_wal(
+        self, session_id: str
+    ) -> tuple[list[WalRecord], set[int], int, list[str]]:
+        """(ordered records, skipped seqs, last seq, notes)."""
+        records: list[WalRecord] = []
+        skipped: set[int] = set()
+        last_seq = 0
+        notes: list[str] = []
+        try:
+            with open(self._wal_path(session_id)) as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return records, skipped, last_seq, notes
+        for index, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                row = json.loads(stripped)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1 and not line.endswith("\n"):
+                    notes.append("dropped truncated trailing journal line")
+                else:
+                    notes.append(
+                        f"stopped at corrupt journal line {index + 1}"
+                    )
+                break
+            seq = row.get("seq")
+            if isinstance(seq, bool) or not isinstance(seq, int):
+                notes.append(f"stopped at journal line {index + 1}: bad seq")
+                break
+            last_seq = max(last_seq, seq)
+            if row.get("skip"):
+                skipped.add(seq)
+            elif isinstance(row.get("request"), dict):
+                records.append(WalRecord(seq=seq, request=row["request"]))
+            else:
+                notes.append(
+                    f"stopped at journal line {index + 1}: no request"
+                )
+                break
+        return records, skipped, last_seq, notes
+
+    def load(self, session_id: str) -> Optional[RecoveryBundle]:
+        """Everything needed to rebuild *session_id*, or None if unknown."""
+        notes: list[str] = []
+        config: Optional[dict] = None
+        try:
+            with open(self._meta_path(session_id)) as handle:
+                meta = json.load(handle)
+            if (
+                isinstance(meta, dict)
+                and meta.get("schema") == META_SCHEMA
+                and isinstance(meta.get("config"), dict)
+            ):
+                config = meta["config"]
+            else:
+                notes.append("meta file malformed")
+        except FileNotFoundError:
+            pass
+        except (OSError, json.JSONDecodeError) as error:
+            notes.append(f"meta unreadable: {error}")
+
+        checkpoint: Optional[dict] = None
+        try:
+            with open(self._ckpt_path(session_id)) as handle:
+                blob = json.load(handle)
+            problem = None
+            if not isinstance(blob, dict) or blob.get("schema") != CHECKPOINT_SCHEMA:
+                problem = "bad checkpoint schema"
+            elif isinstance(blob.get("seq"), bool) or not isinstance(
+                blob.get("seq"), int
+            ):
+                problem = "bad checkpoint seq"
+            elif not isinstance(blob.get("config"), dict):
+                problem = "bad checkpoint config"
+            else:
+                problem = validate_engine_state(blob.get("state"))
+            if problem is None:
+                checkpoint = blob
+            else:
+                notes.append(f"checkpoint unusable ({problem}); full replay")
+        except FileNotFoundError:
+            pass
+        except (OSError, json.JSONDecodeError) as error:
+            notes.append(f"checkpoint unreadable ({error}); full replay")
+
+        records, skipped, last_seq, wal_notes = self._read_wal(session_id)
+        notes.extend(wal_notes)
+        if config is None and checkpoint is None:
+            return None
+        if config is None:
+            config = checkpoint["config"]
+            notes.append("create config recovered from checkpoint")
+        floor = checkpoint["seq"] if checkpoint is not None else 0
+        tail = [
+            record
+            for record in records
+            if record.seq > floor and record.seq not in skipped
+        ]
+        return RecoveryBundle(
+            session=session_id,
+            config=config,
+            checkpoint=checkpoint,
+            records=tail,
+            last_seq=last_seq,
+            notes=notes,
+        )
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "root": self.root,
+                "fsync": self.fsync,
+                "appends": self.appends,
+                "skips": self.skips,
+                "checkpoints": self.checkpoints,
+                "bytes_appended": self.bytes_appended,
+                "sessions": len(self.sessions()),
+            }
+
+    def close(self) -> None:
+        for handle in self._wal_handles.values():
+            handle.close()
+        self._wal_handles.clear()

@@ -37,6 +37,15 @@ class ProtocolError(Exception):
     """A malformed, truncated, or oversized frame."""
 
 
+class Disconnected(ProtocolError):
+    """The peer went away (EOF mid-frame or between request and reply).
+
+    Distinguished from other protocol errors because it is the one case
+    a client may transparently repair by reconnecting -- a worker
+    restart severs every connection, but the service is still there.
+    """
+
+
 def encode_frame(message: Any) -> bytes:
     """Serialise *message* (any JSON-encodable object) into one frame."""
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
@@ -105,7 +114,7 @@ def _recv_exactly(sock: socket.socket, count: int) -> bytes:
             received = count - remaining
             if not chunks and received == 0:
                 return b""
-            raise ProtocolError(
+            raise Disconnected(
                 f"connection closed after {received} of {count} bytes"
             )
         chunks.append(chunk)

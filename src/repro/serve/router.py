@@ -49,6 +49,26 @@ healthy workers via the migration path.  Evacuation is best-effort --
 a worker that died (rather than slowed) cannot export, and those
 sessions are reported lost in the router's stats rather than silently
 forgotten.
+
+Durability
+----------
+With a :class:`~repro.serve.durability.DurabilityStore` attached, the
+lost-session failure mode disappears: every accepted mutating op is
+appended to the session's write-ahead journal *before* the reply leaves
+the router, periodic checkpoints persist the engine's ``export_state``
+blob, and a dead worker's sessions are rebuilt -- on the respawned
+process (when a ``supervisor``, e.g. a
+:class:`~repro.serve.fleet.ProcessFleet`, is attached) or on the
+surviving workers -- from checkpoint + journal tail, bit-identical to a
+no-fault run.  ``recovered_sessions`` replaces ``lost_sessions`` in the
+books.  A per-session lock serialises durable forwarding, so journal
+order is execution order and a checkpoint taken under the lock covers
+exactly the journal prefix it records; the migrating-check,
+sequence-number bump, and journal append happen in one synchronous
+block on the event loop, so every append strictly precedes any recovery
+that could replay it.  The op a worker died on is answered from the
+recovery replay -- the journal is the authority, and handing the caller
+an error would invite a retry that double-applies.
 """
 
 from __future__ import annotations
@@ -71,8 +91,17 @@ __all__ = ["RouterFleet", "RouterThread", "RuleRouter", "WorkerLink"]
 #: Consecutive call failures before a worker is demoted.
 DEFAULT_FAILURE_THRESHOLD = 3
 
-#: Retry hint handed to clients whose session is mid-migration.
+#: Retry hint handed to clients whose session is mid-migration (also
+#: used while a durable session is mid-recovery).
 MIGRATING_RETRY_AFTER = 0.05
+
+#: Checkpoint a durable session every N journaled ops (0 = never).
+DEFAULT_CHECKPOINT_EVERY = 16
+
+#: Session ops recorded in the write-ahead journal: everything that
+#: mutates engine state.  Reads (query, export) are forwarded under the
+#: same per-session lock but never replayed.
+_JOURNALED_OPS = frozenset({"assert", "retract", "modify", "apply", "run"})
 
 
 class WorkerLink:
@@ -93,6 +122,9 @@ class WorkerLink:
         self.calls = 0
         self.failures = 0
         self.consecutive_failures = 0
+        #: Bumped by :meth:`reset`; a failure observed under an older
+        #: generation is stale -- its worker has already been replaced.
+        self.generation = 0
         self._open = 0
         self._pool: asyncio.Queue = asyncio.Queue()
 
@@ -151,6 +183,22 @@ class WorkerLink:
             _, writer = self._pool.get_nowait()
             writer.close()
 
+    def reset(self, address) -> None:
+        """Point this link at a replacement worker process.
+
+        Pooled connections to the dead incarnation are dropped and the
+        failure streak forgiven.  A call that was in flight during the
+        swap discards its stale connection on its own failure path; the
+        open-connection accounting tolerates the resulting slop.
+        """
+        self.close()
+        self._open = 0
+        self._pool = asyncio.Queue()
+        self.address = address
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.generation += 1
+
     def snapshot(self) -> dict:
         return {
             "index": self.index,
@@ -161,17 +209,24 @@ class WorkerLink:
             "calls": self.calls,
             "failures": self.failures,
             "consecutive_failures": self.consecutive_failures,
+            "generation": self.generation,
             "pool_connections": self._open,
         }
 
 
 class _Placement:
-    __slots__ = ("worker", "tenant", "migrating")
+    __slots__ = ("worker", "tenant", "migrating", "seq", "ops_since_checkpoint", "lock")
 
     def __init__(self, worker: int, tenant: str) -> None:
         self.worker = worker
         self.tenant = tenant
         self.migrating = False
+        #: Journal sequence of the last accepted op (durable routers).
+        self.seq = 0
+        #: Journaled ops since the last checkpoint (durable routers).
+        self.ops_since_checkpoint = 0
+        #: Serialises durable forwarding: journal order == worker order.
+        self.lock = asyncio.Lock()
 
 
 class RuleRouter:
@@ -186,6 +241,10 @@ class RuleRouter:
         tenant_quotas: Optional[dict] = None,
         default_tenant_quota: Optional[int] = None,
         failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        durability=None,
+        supervisor=None,
+        checkpoint_every: Optional[int] = DEFAULT_CHECKPOINT_EVERY,
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         if not worker_addresses:
             raise Ops5Error("a router needs at least one worker address")
@@ -199,10 +258,18 @@ class RuleRouter:
         self.tenant_quotas = dict(tenant_quotas or {})
         self.default_tenant_quota = default_tenant_quota
         self.failure_threshold = failure_threshold
+        #: A DurabilityStore, or None for the classic lossy router.
+        self.durability = durability
+        #: A ProcessFleet (or anything with alive/respawn/restart), or
+        #: None; without one, recovery restores onto surviving workers.
+        self.supervisor = supervisor
+        self.checkpoint_every = checkpoint_every or 0
+        self.heartbeat_interval = heartbeat_interval
         self.telemetry = Telemetry()
         self.placements: dict[str, _Placement] = {}
         self.migrations = 0
         self.lost_sessions: list[str] = []
+        self.recovered_sessions: list[str] = []
         self.events: deque[dict] = deque(maxlen=128)
         self._quota_rejections: dict[str, int] = {}
         self._ids = itertools.count(1)
@@ -210,11 +277,22 @@ class RuleRouter:
         self._draining = False
         self._stopped: Optional[asyncio.Event] = None
         self.connections = 0
+        #: Single-flight recovery: worker index -> in-progress task.
+        self._recoveries: dict[int, asyncio.Task] = {}
+        #: Latest completed recovery result per worker index, for calls
+        #: whose failure is observed after the recovery already ran.
+        self._last_recovery: dict[int, dict] = {}
+        #: Sessions with a checkpoint task in flight.
+        self._checkpointing: set[str] = set()
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._rolling = False
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
         self._stopped = asyncio.Event()
+        if self.durability is not None:
+            await self._resume_from_store()
         if self.unix_path:
             self._server = await asyncio.start_unix_server(
                 self._handle, path=self.unix_path
@@ -224,6 +302,10 @@ class RuleRouter:
                 self._handle, host=self.host, port=self.port
             )
             self.port = self._server.sockets[0].getsockname()[1]
+        if self.heartbeat_interval:
+            self._heartbeat_task = asyncio.get_running_loop().create_task(
+                self._heartbeat_loop(), name="router-heartbeat"
+            )
 
     @property
     def address(self):
@@ -238,6 +320,9 @@ class RuleRouter:
         if self._draining:
             return
         self._draining = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -359,6 +444,355 @@ class RuleRouter:
                     }
                 )
 
+    # -- durable recovery ----------------------------------------------------
+
+    def _mark_lost(self, session_id: str, worker: int, error: str) -> None:
+        """Last resort, even for a durable router: record the loss but
+        keep the session's journal on disk for a postmortem restore."""
+        self.lost_sessions.append(session_id)
+        self.placements.pop(session_id, None)
+        self.events.append(
+            {
+                "type": "lost",
+                "session": session_id,
+                "worker": worker,
+                "error": error,
+                "time": time.time(),
+            }
+        )
+
+    async def _recover_worker(
+        self, link: WorkerLink, generation: int, cause: str
+    ) -> dict:
+        """Single-flight recovery of one dead worker.
+
+        Every caller that observed a failure awaits the same recovery
+        task (shielded -- one caller's disconnect must not cancel the
+        fleet's recovery).  A failure observed under an older link
+        generation is stale: that worker was already replaced, so the
+        cached result answers it without fencing the healthy successor.
+        """
+        if link.generation != generation and link.index not in self._recoveries:
+            return self._last_recovery.get(
+                link.index, {"replies": {}, "lost": set()}
+            )
+        task = self._recoveries.get(link.index)
+        if task is None:
+            task = asyncio.get_running_loop().create_task(
+                self._do_recover_worker(link, cause),
+                name=f"recover-worker-{link.index}",
+            )
+            self._recoveries[link.index] = task
+            task.add_done_callback(
+                lambda _t: self._recoveries.pop(link.index, None)
+            )
+        return await asyncio.shield(task)
+
+    async def _do_recover_worker(self, link: WorkerLink, cause: str) -> dict:
+        started = time.monotonic()
+        link.healthy = False
+        stranded = sorted(
+            session_id
+            for session_id, placement in self.placements.items()
+            if placement.worker == link.index
+        )
+        # Freeze the stranded sessions *before* the first await: any op
+        # that already passed its migrating-check has already journaled
+        # (same synchronous block), so the replay below cannot miss it;
+        # everything later is backpressured until its session recovers.
+        for session_id in stranded:
+            self.placements[session_id].migrating = True
+        self.events.append(
+            {
+                "type": "worker_failed",
+                "worker": link.index,
+                "cause": cause,
+                "sessions": stranded,
+                "time": time.time(),
+            }
+        )
+        target: Optional[WorkerLink] = None
+        if self.supervisor is not None:
+            address = await asyncio.get_running_loop().run_in_executor(
+                None, self.supervisor.respawn, link.index
+            )
+            if address is not None:
+                link.reset(address)
+                target = link
+        replies: dict[str, tuple] = {}
+        lost: set[str] = set()
+        for session_id in stranded:
+            destination = target or self._least_loaded(exclude=link.index)
+            if destination is None:
+                self._mark_lost(session_id, link.index, "no healthy target worker")
+                lost.add(session_id)
+                continue
+            outcome = await self._restore_session(session_id, destination)
+            if outcome is None:
+                self._mark_lost(session_id, link.index, "restore failed")
+                lost.add(session_id)
+            else:
+                replies[session_id] = outcome
+        result = {"replies": replies, "lost": lost}
+        self._last_recovery[link.index] = result
+        self.events.append(
+            {
+                "type": "worker_recovered",
+                "worker": link.index,
+                "respawned": target is not None,
+                "sessions": len(replies),
+                "lost": sorted(lost),
+                "seconds": time.monotonic() - started,
+                "time": time.time(),
+            }
+        )
+        return result
+
+    async def _restore_session(
+        self, session_id: str, target: WorkerLink, event: str = "recovered"
+    ) -> Optional[tuple]:
+        """Rebuild one session on *target* from checkpoint + journal tail.
+
+        Returns ``(last_seq, last_reply)`` of the replayed tail (``(0,
+        None)`` when the tail was empty) so the caller whose op died in
+        flight can be answered from the replay, or None on failure.
+        """
+        placement = self.placements.get(session_id)
+        bundle = self.durability.load(session_id)
+        if placement is None or bundle is None:
+            return None
+        if bundle.checkpoint is not None:
+            rebuild = {
+                "op": "import_session",
+                "name": session_id,
+                "config": bundle.checkpoint["config"],
+                "state": bundle.checkpoint["state"],
+            }
+        else:
+            rebuild = {
+                "op": "create_session",
+                **bundle.config,
+                "name": session_id,
+            }
+        try:
+            reply = await target.call(rebuild)
+            if not reply.get("ok") and "already exists" in str(reply.get("error", "")):
+                # A half-migrated or half-restored copy squats on the
+                # name; the journal is the authority, so replace it.
+                await target.call(
+                    {"op": "destroy_session", "session": session_id}
+                )
+                reply = await target.call(rebuild)
+            if not reply.get("ok"):
+                return None
+            last: tuple = (0, None)
+            for record in bundle.records:
+                request = {
+                    key: value
+                    for key, value in record.request.items()
+                    if key != "deadline"
+                }
+                last = (record.seq, await target.call(request))
+        except Exception:
+            return None
+        placement.worker = target.index
+        placement.migrating = False
+        placement.ops_since_checkpoint = len(bundle.records)
+        placement.seq = max(placement.seq, bundle.last_seq)
+        if event == "recovered":
+            self.recovered_sessions.append(session_id)
+        self.events.append(
+            {
+                "type": event,
+                "session": session_id,
+                "worker": target.index,
+                "replayed_ops": len(bundle.records),
+                "used_checkpoint": bundle.used_checkpoint,
+                "notes": bundle.notes,
+                "time": time.time(),
+            }
+        )
+        return last
+
+    async def _resume_from_store(self) -> None:
+        """Cold start over an existing store: restore every journaled
+        session (a router restart must not lose the fleet's state)."""
+        top_minted = 0
+        for session_id in self.durability.sessions():
+            if session_id in self.placements:
+                continue
+            bundle = self.durability.load(session_id)
+            if bundle is None:
+                continue
+            if session_id.startswith("r") and session_id[1:].isdigit():
+                top_minted = max(top_minted, int(session_id[1:]))
+            try:
+                target = self._place(session_id)
+            except Ops5Error:
+                self._mark_lost(session_id, -1, "no healthy workers at resume")
+                continue
+            placement = _Placement(
+                target.index, bundle.config.get("tenant", DEFAULT_TENANT)
+            )
+            placement.seq = bundle.last_seq
+            placement.migrating = True
+            self.placements[session_id] = placement
+            outcome = await self._restore_session(
+                session_id, target, event="resumed"
+            )
+            if outcome is None:
+                self._mark_lost(session_id, target.index, "resume failed")
+        if top_minted:
+            self._ids = itertools.count(top_minted + 1)
+
+    async def _heartbeat_loop(self) -> None:
+        """Proactive liveness: don't wait for a client op to trip over a
+        dead worker.  Process liveness via the supervisor when attached,
+        a ping round-trip otherwise."""
+        while not self._draining:
+            await asyncio.sleep(self.heartbeat_interval)
+            if self._rolling:
+                # A rolling restart replaces processes on purpose; the
+                # probe would read the swap window as a crash and race
+                # the roll's own restore.
+                continue
+            for link in self.workers:
+                if self._draining:
+                    return
+                if not link.healthy:
+                    continue
+                generation = link.generation
+                dead = (
+                    self.supervisor is not None
+                    and not self.supervisor.alive(link.index)
+                )
+                if not dead:
+                    try:
+                        await link.call({"op": "ping"}, timeout=5.0)
+                        continue
+                    except Exception:
+                        dead = True
+                if dead and self.durability is not None:
+                    await self._recover_worker(link, generation, "heartbeat")
+                elif dead:
+                    demoted = self._record_failure(link)
+                    if demoted:
+                        await self._evacuate(link)
+
+    def _maybe_checkpoint(self, session_id: str, placement: _Placement) -> None:
+        placement.ops_since_checkpoint += 1
+        if (
+            self.checkpoint_every
+            and placement.ops_since_checkpoint >= self.checkpoint_every
+            and session_id not in self._checkpointing
+        ):
+            self._checkpointing.add(session_id)
+            asyncio.get_running_loop().create_task(
+                self._checkpoint_session(session_id),
+                name=f"checkpoint-{session_id}",
+            )
+
+    async def _checkpoint_session(self, session_id: str) -> None:
+        """Persist one session's checkpoint, off the request path.
+
+        Holding the placement lock means no op is in flight, so the
+        exported blob covers exactly ``placement.seq`` journaled ops --
+        the seq recorded beside it.  Failures are ignored: a checkpoint
+        is an optimisation of the replay, never a correctness event.
+        """
+        try:
+            placement = self.placements.get(session_id)
+            if placement is None:
+                return
+            async with placement.lock:
+                if placement.migrating:
+                    return
+                link = self.workers[placement.worker]
+                try:
+                    reply = await link.call(
+                        {"op": "export", "session": session_id}
+                    )
+                except Exception:
+                    return  # the next op's failure will drive recovery
+                if not reply.get("ok"):
+                    return
+                self.durability.save_checkpoint(
+                    session_id, placement.seq, reply["config"], reply["state"]
+                )
+                placement.ops_since_checkpoint = 0
+        finally:
+            self._checkpointing.discard(session_id)
+
+    async def _forward_durable(
+        self, request: dict, session_id: str, placement: _Placement
+    ) -> dict:
+        """Forward one session op under the journal's ordering contract."""
+        op = request.get("op")
+        journal = op in _JOURNALED_OPS
+        async with placement.lock:
+            if placement.migrating:
+                self.telemetry.rejected += 1
+                return {
+                    "ok": False,
+                    "error": "backpressure",
+                    "retry_after": MIGRATING_RETRY_AFTER,
+                    "migrating": True,
+                }
+            link = self.workers[placement.worker]
+            generation = link.generation
+            seq = 0
+            if journal:
+                # No await between the migrating-check and this append:
+                # recovery freezes sessions synchronously, so the append
+                # lands strictly before any journal-tail read.
+                placement.seq += 1
+                seq = placement.seq
+                self.durability.append(session_id, seq, request)
+            try:
+                reply = await link.call(request)
+            except Exception as error:
+                self.telemetry.errors += 1
+                result = await self._recover_worker(
+                    link, generation, f"{type(error).__name__}: {error}"
+                )
+                if session_id in result["lost"]:
+                    return {
+                        "ok": False,
+                        "error": "session_lost",
+                        "session": session_id,
+                    }
+                if journal:
+                    entry = result["replies"].get(session_id)
+                    if entry is not None and entry[0] == seq and entry[1] is not None:
+                        # The journal replayed this very op on the fresh
+                        # worker; its reply is the authoritative answer.
+                        return entry[1]
+                    return {
+                        "ok": False,
+                        "error": "worker_unreachable",
+                        "worker": link.index,
+                        "detail": f"{type(error).__name__}: {error}",
+                    }
+                # Read-only op: retry once against the recovered placement.
+                retry_link = self.workers[placement.worker]
+                try:
+                    return await retry_link.call(request)
+                except Exception as retry_error:
+                    return {
+                        "ok": False,
+                        "error": "worker_unreachable",
+                        "worker": retry_link.index,
+                        "detail": f"{type(retry_error).__name__}: {retry_error}",
+                    }
+            if journal:
+                if reply.get("error") == "backpressure":
+                    # Never enqueued at the worker: a replay must not
+                    # apply it.  Tombstone, don't rewrite history.
+                    self.durability.mark_skipped(session_id, seq)
+                else:
+                    self._maybe_checkpoint(session_id, placement)
+            return reply
+
     # -- request dispatch ---------------------------------------------------
 
     async def dispatch(self, request) -> dict:
@@ -380,13 +814,21 @@ class RuleRouter:
 
     async def _call_worker(self, link: WorkerLink, request: dict) -> dict:
         """Forward to *link*, converting transport failures to replies."""
+        generation = link.generation
         try:
             return await link.call(request)
         except Exception as error:
-            demoted = self._record_failure(link)
-            if demoted:
-                await self._evacuate(link)
             self.telemetry.errors += 1
+            if self.durability is not None:
+                # Durable routers recover instead of demoting: fence,
+                # respawn, restore -- then answer this caller honestly.
+                await self._recover_worker(
+                    link, generation, f"{type(error).__name__}: {error}"
+                )
+            else:
+                demoted = self._record_failure(link)
+                if demoted:
+                    await self._evacuate(link)
             return {
                 "ok": False,
                 "error": "worker_unreachable",
@@ -399,6 +841,8 @@ class RuleRouter:
         placement = self.placements.get(session_id)
         if placement is None:
             return {"ok": False, "error": f"no session {session_id!r}"}
+        if self.durability is not None:
+            return await self._forward_durable(request, session_id, placement)
         if placement.migrating:
             # Well-behaved clients sleep retry_after and re-send; by
             # then the placement points at the new worker.
@@ -438,6 +882,21 @@ class RuleRouter:
             )
             if reply.get("ok"):
                 self.placements[session_id] = _Placement(link.index, tenant)
+                if self.durability is not None:
+                    config = {
+                        key: request[key]
+                        for key in (
+                            "program",
+                            "matcher",
+                            "workers",
+                            "strategy",
+                            "max_pending",
+                            "transport",
+                        )
+                        if request.get(key) is not None
+                    }
+                    config["tenant"] = tenant
+                    self.durability.register(session_id, config)
                 return {"ok": True, "session": session_id, "worker": link.index}
             if reply.get("error") != "worker_unreachable":
                 return reply
@@ -450,8 +909,21 @@ class RuleRouter:
         reply = await self._call_worker(
             self.workers[placement.worker], request
         )
+        if (
+            self.durability is not None
+            and reply.get("error") == "worker_unreachable"
+        ):
+            # Recovery just restored the session somewhere; honour the
+            # destroy against its new home rather than leaking a zombie.
+            placement = self.placements.get(session_id)
+            if placement is not None:
+                reply = await self._call_worker(
+                    self.workers[placement.worker], request
+                )
         if reply.get("ok") or reply.get("error") == "worker_unreachable":
             self.placements.pop(session_id, None)
+            if self.durability is not None:
+                self.durability.drop(session_id)
         return reply
 
     async def _op_list_sessions(self, request: dict) -> dict:
@@ -539,6 +1011,89 @@ class RuleRouter:
         finally:
             placement.migrating = False
 
+    async def _op_rolling_restart(self, request: dict) -> dict:
+        """Zero-loss fleet upgrade: per worker, checkpoint its sessions,
+        gracefully replace the process, restore from the checkpoints.
+
+        An operator-driven restart consumes no crash budget.  Sessions
+        see only a bounded backpressure window, and nothing replays --
+        the checkpoint taken under each session lock covers the whole
+        journal.
+        """
+        if self.durability is None or self.supervisor is None:
+            return {
+                "ok": False,
+                "error": "rolling restart requires a durable process fleet",
+            }
+        rolled = []
+        self._rolling = True
+        try:
+            for link in self.workers:
+                stranded = sorted(
+                    session_id
+                    for session_id, placement in self.placements.items()
+                    if placement.worker == link.index
+                )
+                for session_id in stranded:
+                    placement = self.placements.get(session_id)
+                    if placement is None or placement.migrating:
+                        continue
+                    async with placement.lock:
+                        try:
+                            reply = await link.call(
+                                {"op": "export", "session": session_id}
+                            )
+                            if reply.get("ok"):
+                                self.durability.save_checkpoint(
+                                    session_id,
+                                    placement.seq,
+                                    reply["config"],
+                                    reply["state"],
+                                )
+                                placement.ops_since_checkpoint = 0
+                        except Exception:
+                            pass  # the journal alone still restores it
+                        placement.migrating = True
+                try:
+                    address = await asyncio.get_running_loop().run_in_executor(
+                        None, self.supervisor.restart, link.index
+                    )
+                except Exception as error:
+                    for session_id in stranded:
+                        placement = self.placements.get(session_id)
+                        if placement is not None:
+                            placement.migrating = False
+                    return {
+                        "ok": False,
+                        "error": f"restart of worker {link.index} failed: {error}",
+                        "rolled": rolled,
+                    }
+                link.reset(address)
+                restored = 0
+                for session_id in stranded:
+                    outcome = await self._restore_session(
+                        session_id, link, event="rolled"
+                    )
+                    if outcome is None:
+                        self._mark_lost(
+                            session_id, link.index, "rolling restore failed"
+                        )
+                    else:
+                        restored += 1
+                rolled.append(
+                    {
+                        "worker": link.index,
+                        "sessions": len(stranded),
+                        "restored": restored,
+                    }
+                )
+        finally:
+            self._rolling = False
+        self.events.append(
+            {"type": "rolling_restart", "workers": rolled, "time": time.time()}
+        )
+        return {"ok": True, "workers": rolled}
+
     async def _op_stats(self, request: dict) -> dict:
         """Fleet rollup: router view plus merged worker stats."""
         per_worker = []
@@ -584,20 +1139,26 @@ class RuleRouter:
                 },
             )
             row["quota_rejections"] = rejected
+        router = {
+            "workers": per_worker,
+            "placements": len(self.placements),
+            "migrations": self.migrations,
+            "lost_sessions": list(self.lost_sessions),
+            "recovered_sessions": list(self.recovered_sessions),
+            "events": list(self.events),
+            "connections": self.connections,
+            "requests": self.telemetry.requests,
+            "rejected": self.telemetry.rejected,
+            "errors": self.telemetry.errors,
+            "draining": self._draining,
+        }
+        if self.durability is not None:
+            router["durability"] = self.durability.stats()
+        if self.supervisor is not None:
+            router["fleet"] = self.supervisor.snapshot()
         return {
             "ok": True,
-            "router": {
-                "workers": per_worker,
-                "placements": len(self.placements),
-                "migrations": self.migrations,
-                "lost_sessions": list(self.lost_sessions),
-                "events": list(self.events),
-                "connections": self.connections,
-                "requests": self.telemetry.requests,
-                "rejected": self.telemetry.rejected,
-                "errors": self.telemetry.errors,
-                "draining": self._draining,
-            },
+            "router": router,
             "tenants": tenants,
             "sessions": sessions,
             "totals": totals,
@@ -609,6 +1170,7 @@ _ROUTER_OPS = {
     "destroy_session": RuleRouter._op_destroy_session,
     "list_sessions": RuleRouter._op_list_sessions,
     "migrate_session": RuleRouter._op_migrate_session,
+    "rolling_restart": RuleRouter._op_rolling_restart,
     "stats": RuleRouter._op_stats,
     "ping": RuleRouter._op_ping,
     "shutdown": RuleRouter._op_shutdown,

@@ -45,6 +45,13 @@ import threading
 from typing import Optional
 
 from ..ops5 import Ops5Error
+from ..ops5.errors import (
+    DuplicateProductionError,
+    ExecutionError,
+    ParseError,
+    ValidationError,
+)
+from .durability import validate_engine_state
 from .protocol import ProtocolError, read_message, write_message
 from .session import DEFAULT_MAX_PENDING, DEFAULT_TENANT, QuotaExceeded, SessionManager
 from .stats import Telemetry
@@ -198,19 +205,54 @@ class RuleServer:
         counters, and halt state -- the conflict set re-derives during
         restore, so the continuation is bit-identical (the property the
         supervisor's checkpoint restore already proves).
+
+        The payload is untrusted input (it crossed the wire): a
+        malformed, truncated, or schema-mismatched state blob answers a
+        typed ``error: "bad_state"`` reply instead of a traceback, and
+        leaves no half-built session behind.
         """
         if self._draining:
             raise Ops5Error("server is shutting down")
         config = request.get("config") or {}
-        session = self.sessions.create(
-            program=config.get("program", ""),
-            matcher=config.get("matcher", "rete"),
-            strategy=config.get("strategy", "lex"),
-            max_pending=config.get("max_pending"),
-            name=request.get("name"),
-            tenant=config.get("tenant", DEFAULT_TENANT),
-            state=request.get("state"),
-        )
+        if not isinstance(config, dict):
+            self.telemetry.errors += 1
+            return {
+                "ok": False,
+                "error": "bad_state",
+                "detail": "config must be a JSON object",
+            }
+        state = request.get("state")
+        if state is not None:
+            problem = validate_engine_state(state)
+            if problem is not None:
+                self.telemetry.errors += 1
+                return {"ok": False, "error": "bad_state", "detail": problem}
+        try:
+            session = self.sessions.create(
+                program=config.get("program", ""),
+                matcher=config.get("matcher", "rete"),
+                strategy=config.get("strategy", "lex"),
+                max_pending=config.get("max_pending"),
+                name=request.get("name"),
+                tenant=config.get("tenant", DEFAULT_TENANT),
+                state=state,
+            )
+        except (
+            ParseError,
+            ValidationError,
+            DuplicateProductionError,
+            ExecutionError,
+            ValueError,
+            TypeError,
+            KeyError,
+        ) as error:
+            # A payload that passed the shape check but still failed the
+            # engine -- an unparseable program in the config, firings
+            # referencing unknown productions -- is the same class of
+            # bad input.  (Quota and duplicate-name errors keep their
+            # own types: those are caller mistakes, not bad payloads.)
+            self.telemetry.errors += 1
+            return {"ok": False, "error": "bad_state", "detail": str(error)}
         session.start()
         return {"ok": True, "session": session.id}
 

@@ -218,7 +218,16 @@ class Session:
             # Migration restore: original timetags, refraction memory,
             # counters and halt state come back; the conflict set
             # re-derives from the WM replay (see engine.restore_state).
-            self.system.restore_state(state)
+            try:
+                self.system.restore_state(state)
+            except BaseException:
+                # A rejected blob must not leak the matcher's resources
+                # (the parallel backend owns worker processes); the
+                # executor is not built yet, so this is the only cleanup.
+                close = getattr(self.system.matcher, "close", None)
+                if close is not None:
+                    close()
+                raise
         self.telemetry = Telemetry()
         self.max_pending = max_pending
         #: Executed-request ordinal stream (session-site fault addresses).

@@ -1,0 +1,227 @@
+"""The durability store: journal + checkpoint round trips, and the
+untrusted-input paths (truncated lines, corrupt checkpoints, malformed
+engine-state blobs) that recovery must survive.
+
+These are pure disk tests -- no sockets, no processes -- so they run in
+tier 1; the end-to-end kill/recover paths live in ``test_fleet.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.ops5 import ProductionSystem
+from repro.serve import DurabilityStore, validate_engine_state
+from repro.serve.durability import _encode_sid
+from repro.workloads.programs import closure
+
+
+@pytest.fixture()
+def store(tmp_path):
+    s = DurabilityStore(str(tmp_path / "journals"))
+    yield s
+    s.close()
+
+
+def engine_state() -> dict:
+    """A real, valid ``repro.engine-state/1`` blob."""
+    system = ProductionSystem(closure.PROGRAM, matcher="rete")
+    system.add("parent", **{"from": "a", "to": "b"})
+    system.run()
+    return system.export_state()
+
+
+class TestJournalRoundTrip:
+    def test_register_append_load(self, store):
+        store.register("s1", {"program": "(p ...)"})
+        store.append("s1", 1, {"op": "assert", "wme": ["start", {}]})
+        store.append("s1", 2, {"op": "run"})
+        bundle = store.load("s1")
+        assert bundle is not None
+        assert bundle.config == {"program": "(p ...)"}
+        assert bundle.checkpoint is None and not bundle.used_checkpoint
+        assert [(r.seq, r.request["op"]) for r in bundle.records] == [
+            (1, "assert"), (2, "run"),
+        ]
+        assert bundle.last_seq == 2
+        assert bundle.notes == []
+
+    def test_unknown_session_loads_none(self, store):
+        assert store.load("ghost") is None
+
+    def test_skip_tombstones_filter_records(self, store):
+        """A backpressure-rejected op was journaled but never executed:
+        its tombstone keeps it out of the replay tail."""
+        store.register("s1", {"program": "p"})
+        store.append("s1", 1, {"op": "run"})
+        store.append("s1", 2, {"op": "assert"})
+        store.mark_skipped("s1", 2)
+        bundle = store.load("s1")
+        assert [r.seq for r in bundle.records] == [1]
+        assert bundle.last_seq == 2
+        assert store.stats()["skips"] == 1
+
+    def test_register_resets_history(self, store):
+        """A name reused after destroy starts a fresh journal."""
+        store.register("s1", {"program": "old"})
+        store.append("s1", 1, {"op": "run"})
+        store.save_checkpoint("s1", 1, {"program": "old"}, engine_state())
+        store.register("s1", {"program": "new"})
+        bundle = store.load("s1")
+        assert bundle.config == {"program": "new"}
+        assert bundle.records == [] and bundle.checkpoint is None
+
+    def test_drop_and_sessions_listing(self, store):
+        store.register("a", {"program": "p"})
+        store.register("b/with slashes", {"program": "p"})
+        assert store.sessions() == ["a", "b/with slashes"]
+        store.drop("a")
+        assert store.sessions() == ["b/with slashes"]
+        assert store.load("a") is None
+
+
+class TestCheckpoints:
+    def test_checkpoint_bounds_the_tail(self, store):
+        state = engine_state()
+        store.register("s1", {"program": "p"})
+        for seq in range(1, 6):
+            store.append("s1", seq, {"op": "run", "n": seq})
+        store.save_checkpoint("s1", 3, {"program": "p"}, state)
+        store.append("s1", 6, {"op": "run", "n": 6})
+        bundle = store.load("s1")
+        assert bundle.used_checkpoint and bundle.checkpoint["seq"] == 3
+        assert [r.seq for r in bundle.records] == [4, 5, 6]
+        assert bundle.last_seq == 6
+
+    def test_checkpoint_compacts_the_wal_file(self, store):
+        store.register("s1", {"program": "p"})
+        for seq in range(1, 9):
+            store.append("s1", seq, {"op": "run", "n": seq})
+        wal = store._wal_path("s1")
+        before = os.path.getsize(wal)
+        store.save_checkpoint("s1", 8, {"program": "p"}, engine_state())
+        assert os.path.getsize(wal) < before
+        assert store.load("s1").records == []
+
+    def test_corrupt_checkpoint_falls_back_to_full_replay(self, store):
+        store.register("s1", {"program": "p"})
+        store.append("s1", 1, {"op": "run"})
+        store.save_checkpoint("s1", 1, {"program": "p"}, engine_state())
+        store.append("s1", 2, {"op": "run"})
+        with open(store._ckpt_path("s1"), "w") as handle:
+            handle.write('{"schema": "repro.session-checkpoint/1", "seq": ')
+        bundle = store.load("s1")
+        assert bundle.checkpoint is None
+        assert any("checkpoint unreadable" in note for note in bundle.notes)
+        # Compaction already dropped seq 1, so the tail is what remains.
+        assert [r.seq for r in bundle.records] == [2]
+
+    def test_invalid_checkpoint_state_is_rejected(self, store):
+        store.register("s1", {"program": "p"})
+        bad = engine_state()
+        bad["wmes"].append(bad["wmes"][0])  # duplicate timetag
+        store._write_atomic(
+            store._ckpt_path("s1"),
+            {
+                "schema": "repro.session-checkpoint/1",
+                "id": "s1",
+                "seq": 1,
+                "config": {"program": "p"},
+                "state": bad,
+            },
+        )
+        bundle = store.load("s1")
+        assert bundle.checkpoint is None
+        assert any("checkpoint unusable" in note for note in bundle.notes)
+
+    def test_config_recoverable_from_checkpoint_alone(self, store):
+        store.register("s1", {"program": "p"})
+        store.save_checkpoint("s1", 1, {"program": "p"}, engine_state())
+        os.remove(store._meta_path("s1"))
+        bundle = store.load("s1")
+        assert bundle.config == {"program": "p"}
+        assert any("recovered from checkpoint" in note for note in bundle.notes)
+
+
+class TestUntrustedJournal:
+    def test_truncated_trailing_line_is_dropped(self, store):
+        """A crash mid-append leaves a torn last line; everything before
+        it still replays."""
+        store.register("s1", {"program": "p"})
+        store.append("s1", 1, {"op": "run"})
+        store.close()
+        with open(store._wal_path("s1"), "a") as handle:
+            handle.write('{"seq": 2, "request": {"op": "ass')
+        bundle = store.load("s1")
+        assert [r.seq for r in bundle.records] == [1]
+        assert any("truncated trailing" in note for note in bundle.notes)
+
+    def test_corrupt_middle_line_stops_the_replay(self, store):
+        store.register("s1", {"program": "p"})
+        store.close()
+        with open(store._wal_path("s1"), "w") as handle:
+            handle.write('{"seq": 1, "request": {"op": "run"}}\n')
+            handle.write("not json at all\n")
+            handle.write('{"seq": 3, "request": {"op": "run"}}\n')
+        bundle = store.load("s1")
+        assert [r.seq for r in bundle.records] == [1]
+        assert any("corrupt journal line 2" in note for note in bundle.notes)
+
+    def test_bad_seq_stops_the_replay(self, store):
+        store.register("s1", {"program": "p"})
+        store.close()
+        with open(store._wal_path("s1"), "w") as handle:
+            handle.write('{"seq": "one", "request": {"op": "run"}}\n')
+        bundle = store.load("s1")
+        assert bundle.records == []
+        assert any("bad seq" in note for note in bundle.notes)
+
+
+class TestSidEncoding:
+    def test_hostile_ids_stay_inside_the_root(self, store):
+        for sid in ("../../etc/passwd", "a/b", "x" * 200, "sp ace", "."):
+            store.register(sid, {"program": "p"})
+            path = store._meta_path(sid)
+            assert os.path.dirname(path) == store.root
+            assert store.load(sid) is not None
+        assert len(store.sessions()) == 5
+
+    def test_encoding_is_injective_for_long_ids(self):
+        a, b = "x" * 200 + "a", "x" * 200 + "b"
+        assert _encode_sid(a) != _encode_sid(b)
+
+
+class TestValidateEngineState:
+    def test_real_export_passes(self):
+        assert validate_engine_state(engine_state()) is None
+
+    @pytest.mark.parametrize(
+        "mutate, problem",
+        [
+            (lambda s: "not a dict", "JSON object"),
+            (lambda s: {**s, "schema": "repro.engine-state/9"}, "schema"),
+            (lambda s: {**s, "wmes": {"a": 1}}, "wmes must be a list"),
+            (lambda s: {**s, "wmes": [[1, "c"]]}, "triple"),
+            (lambda s: {**s, "wmes": [[True, "c", {}]]}, "positive integer"),
+            (lambda s: {**s, "wmes": [[1, "c", {}], [1, "d", {}]]},
+             "duplicate"),
+            (lambda s: {**s, "wmes": [[1, "", {}]]}, "non-empty string"),
+            (lambda s: {**s, "wmes": [[1, "c", {"a": True}]]}, "neither"),
+            (lambda s: {**s, "wmes": [[1, "c", {"a": []}]]}, "neither"),
+            (lambda s: {**s, "next_timetag": 0}, "next_timetag"),
+            (lambda s: {**s, "next_timetag": True}, "next_timetag"),
+            (lambda s: {**s, "fired": [["p"]]}, "pair"),
+            (lambda s: {**s, "fired": [["p", [1, False]]]}, "integers"),
+            (lambda s: {**s, "cycle": -1}, "cycle"),
+            (lambda s: {**s, "total_firings": True}, "total_firings"),
+            (lambda s: {**s, "halted": 1}, "halted"),
+            (lambda s: {**s, "halt_reason": None}, "halt_reason"),
+            (lambda s: {**s, "output": "text"}, "output"),
+            (lambda s: {**s, "output": [1]}, "output"),
+        ],
+    )
+    def test_each_malformation_is_named(self, mutate, problem):
+        state = json.loads(json.dumps(engine_state()))
+        verdict = validate_engine_state(mutate(state))
+        assert verdict is not None and problem in verdict

@@ -289,3 +289,94 @@ class TestRouterChaos:
             for index, worker in enumerate(workers):
                 if index != victim_index:
                     worker.stop()
+
+
+class TestMigrationAccounting:
+    def test_kill_during_migrate_keeps_books_balanced(self, tmp_path):
+        """Seeded kill while a migrate_session is in flight: the books
+        must still balance -- every session counted exactly once across
+        placements/recovered/lost, no copy placed on two workers, and
+        the migrating flag never wedged."""
+        import random
+
+        from repro.serve import DurabilityStore
+
+        rng = random.Random(20260808)
+        store = DurabilityStore(str(tmp_path))
+        workers = [ServerThread(), ServerThread()]
+        router = RouterThread(
+            worker_addresses=[w.address for w in workers],
+            durability=store,
+        )
+        try:
+            with RuleClient(router.address) as client:
+                sids = [
+                    client.create_session(program=closure.PROGRAM, name=f"d{i}")
+                    for i in range(6)
+                ]
+                for sid in sids:
+                    client.assert_wmes(sid, CHAIN[:3], run=True)
+                by_worker = {0: [], 1: []}
+                for sid in sids:
+                    by_worker[router.router.placements[sid].worker].append(sid)
+                assert by_worker[0] and by_worker[1]
+
+                victim = rng.randrange(2)
+                moving = rng.choice(by_worker[victim])
+                workers[victim].stop()
+
+                # The migrate's export step lands on the dead worker;
+                # whatever the reply, the accounting must balance.
+                try:
+                    client.request("migrate_session", session=moving)
+                except ServerError:
+                    pass
+
+                placements = router.router.placements
+                stats = client.stats()["router"]
+                lost = stats["lost_sessions"]
+                # Exactly-once: placed xor lost, nothing both or neither.
+                assert set(lost) | set(placements) == set(sids)
+                assert not set(lost) & set(placements)
+                assert len(lost) == len(set(lost))
+                # Durable recovery means nothing was actually lost ...
+                assert lost == []
+                assert sorted(stats["recovered_sessions"]) == sorted(
+                    by_worker[victim]
+                )
+                # ... no placement wedged mid-migration ...
+                for sid in sids:
+                    assert placements[sid].migrating is False
+                    assert placements[sid].worker == 1 - victim
+                # ... and no second copy: only the survivor exists, and
+                # it holds each session exactly once.
+                with RuleClient(workers[1 - victim].address) as direct:
+                    hosted = direct.list_sessions()
+                assert sorted(hosted) == sorted(sids)
+
+                # The moved session still serves, bit-identically.
+                reference = ProductionSystem(closure.PROGRAM, matcher="rete")
+                for batch in (CHAIN[:3], CHAIN[3:]):
+                    reference.apply_changes(
+                        [("assert", cls, attrs) for cls, attrs in batch]
+                    )
+                    reference.run()
+                reply = client.assert_wmes(moving, CHAIN[3:], run=True)
+                assert reply["ok"]
+                expected = sorted(
+                    [w.cls, sorted(w.attributes.items()), w.timetag]
+                    for w in reference.memory.snapshot()
+                )
+                got = sorted(
+                    [cls, sorted(attrs.items()), tag]
+                    for cls, attrs, tag in client.query_wm(moving)
+                )
+                assert got == expected
+        finally:
+            router.stop()
+            for worker in workers:
+                try:
+                    worker.stop()
+                except Exception:
+                    pass
+            store.close()

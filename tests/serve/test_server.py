@@ -199,3 +199,64 @@ def test_requests_after_shutdown_are_refused():
     with pytest.raises((ConnectionError, OSError)):
         probe = RuleClient(harness.address)
         probe.ping()
+
+
+def test_import_session_round_trips_a_real_export(server):
+    with RuleClient(server.address) as client:
+        sid = client.create_session(program=closure.PROGRAM)
+        try:
+            client.assert_wmes(sid, CHAIN[:3], run=True)
+            exported = client.request("export", session=sid)
+            copy = client.request(
+                "import_session",
+                name="copy-of-export",
+                config=exported["config"],
+                state=exported["state"],
+            )
+            assert copy["ok"]
+            try:
+                assert client.query_wm("copy-of-export") == client.query_wm(sid)
+            finally:
+                client.destroy_session("copy-of-export")
+        finally:
+            client.destroy_session(sid)
+
+
+def test_import_session_rejects_bad_state_payloads(server):
+    """Malformed, truncated, or schema-mismatched engine-state blobs
+    arriving over the wire become a typed ``bad_state`` reply -- never a
+    traceback, never a half-imported session."""
+    with RuleClient(server.address) as client:
+        sid = client.create_session(program=closure.PROGRAM)
+        try:
+            exported = client.request("export", session=sid)
+            config, state = exported["config"], exported["state"]
+
+            def refused(detail_match, **kwargs):
+                with pytest.raises(ServerError, match="bad_state") as caught:
+                    client.request("import_session", name="junk", **kwargs)
+                assert detail_match in caught.value.reply["detail"]
+                assert "junk" not in client.list_sessions()
+
+            refused("config must be", config="not a dict", state=state)
+            refused("JSON object", config=config, state=[1, 2, 3])
+            refused("schema", config=config,
+                    state={**state, "schema": "repro.engine-state/9"})
+            refused("triple", config=config,
+                    state={**state, "wmes": [[1, "c"]]})  # truncated wme
+            refused("positive integer", config=config,
+                    state={**state, "wmes": [[True, "c", {}]]})
+            refused("duplicate", config=config,
+                    state={**state, "wmes": [[1, "c", {}], [1, "d", {}]]})
+            refused("next_timetag", config=config,
+                    state={**state, "next_timetag": 0})
+            refused("halted", config=config, state={**state, "halted": "no"})
+            # Validation passed but the engine refuses: the config's
+            # program does not parse.  Still a typed reply.
+            refused("", config={**config, "program": "(p broken"}, state=state)
+
+            # The connection and the original session survived it all.
+            assert client.ping()["ok"] is True
+            assert sid in client.list_sessions()
+        finally:
+            client.destroy_session(sid)
