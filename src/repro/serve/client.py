@@ -154,10 +154,14 @@ class RuleClient:
         process restarting under the router, say) triggers a jittered
         reconnect-and-resend instead of a hard error, and only an
         exhausted budget re-raises the transport failure.  Resending
-        makes delivery at-least-once -- a reply lost mid-flight means
-        the op may run twice -- so exactly-once callers should route
-        through a durable router, whose journal answers the retried op
-        from the recovery replay.
+        makes delivery at-least-once: a reply lost between client and
+        router means the resent op may run twice.  A durable router's
+        journal de-duplicates only the router-to-worker leg (a worker
+        crash mid-op is answered from the recovery replay, not
+        re-executed); the protocol carries no client request id, so the
+        client-to-router leg stays at-least-once -- callers needing
+        strict exactly-once must make their ops idempotent or
+        de-duplicate at the application level.
         """
         draw = rng.uniform if rng is not None else random.uniform
         total_wait = 0.0

@@ -177,7 +177,13 @@ class ProcessFleet:
         self.max_restarts = max_restarts
         self.restarts: list[int] = [0] * workers
         self.events: list[dict] = []
+        #: Guards shared state (processes/restarts/events) -- held only
+        #: for brief reads/writes, never across a sleep or a spawn, so
+        #: snapshot() cannot stall behind a multi-second respawn.
         self._lock = threading.Lock()
+        #: Per-slot spawn serialisation: concurrent respawn/restart of
+        #: the same worker index must not race each other.
+        self._slot_locks = [threading.Lock() for _ in range(workers)]
         self.processes: list[Optional[WorkerProcess]] = []
         try:
             for _ in range(workers):
@@ -225,39 +231,46 @@ class ProcessFleet:
         Returns the new address, or None once the slot's restart budget
         is exhausted (the router then restores its sessions onto the
         surviving workers instead).  Thread-safe: the router calls this
-        from an executor thread while its loop keeps serving.
+        from an executor thread while its loop keeps serving.  The
+        backoff sleep and the spawn happen under the slot's own lock
+        only -- the fleet-wide lock is never held across them, so
+        ``snapshot()`` (and with it the router's ``stats`` op) stays
+        responsive during recovery.
         """
-        with self._lock:
+        with self._slot_locks[index]:
             self.fence(index)
-            if self.restarts[index] >= self.max_restarts:
-                self.processes[index] = None
+            with self._lock:
+                if self.restarts[index] >= self.max_restarts:
+                    self.processes[index] = None
+                    self.events.append(
+                        {
+                            "type": "restart_budget_exhausted",
+                            "worker": index,
+                            "restarts": self.restarts[index],
+                            "time": time.time(),
+                        }
+                    )
+                    return None
+                backoff = min(
+                    self.restart_backoff * (2 ** self.restarts[index]),
+                    self.restart_backoff_max,
+                )
+                self.restarts[index] += 1
+                restarts = self.restarts[index]
+            time.sleep(backoff)
+            process = self._spawn()
+            with self._lock:
+                self.processes[index] = process
                 self.events.append(
                     {
-                        "type": "restart_budget_exhausted",
+                        "type": "respawned",
                         "worker": index,
-                        "restarts": self.restarts[index],
+                        "pid": process.pid,
+                        "backoff": backoff,
+                        "restarts": restarts,
                         "time": time.time(),
                     }
                 )
-                return None
-            backoff = min(
-                self.restart_backoff * (2 ** self.restarts[index]),
-                self.restart_backoff_max,
-            )
-            self.restarts[index] += 1
-            time.sleep(backoff)
-            process = self._spawn()
-            self.processes[index] = process
-            self.events.append(
-                {
-                    "type": "respawned",
-                    "worker": index,
-                    "pid": process.pid,
-                    "backoff": backoff,
-                    "restarts": self.restarts[index],
-                    "time": time.time(),
-                }
-            )
             return process.address
 
     def restart(self, index: int) -> tuple:
@@ -266,20 +279,21 @@ class ProcessFleet:
         Unlike :meth:`respawn` this does not consume the crash-restart
         budget -- an operator-requested restart is not a failure.
         """
-        with self._lock:
+        with self._slot_locks[index]:
             process = self.processes[index]
             if process is not None:
                 process.terminate()
             process = self._spawn()
-            self.processes[index] = process
-            self.events.append(
-                {
-                    "type": "restarted",
-                    "worker": index,
-                    "pid": process.pid,
-                    "time": time.time(),
-                }
-            )
+            with self._lock:
+                self.processes[index] = process
+                self.events.append(
+                    {
+                        "type": "restarted",
+                        "worker": index,
+                        "pid": process.pid,
+                        "time": time.time(),
+                    }
+                )
             return process.address
 
     def stop(self) -> None:

@@ -66,9 +66,12 @@ order is execution order and a checkpoint taken under the lock covers
 exactly the journal prefix it records; the migrating-check,
 sequence-number bump, and journal append happen in one synchronous
 block on the event loop, so every append strictly precedes any recovery
-that could replay it.  The op a worker died on is answered from the
-recovery replay -- the journal is the authority, and handing the caller
-an error would invite a retry that double-applies.
+that could replay it.  Ops the worker definitively did not execute --
+backpressure rejections, and deadline expiries whose reply reports the
+op never started -- are tombstoned so replay applies exactly what ran.
+The op a worker died on is answered from the recovery replay -- the
+journal is the authority, and handing the caller an error would invite
+a retry that double-applies.
 """
 
 from __future__ import annotations
@@ -533,6 +536,20 @@ class RuleRouter:
                 lost.add(session_id)
             else:
                 replies[session_id] = outcome
+        if self.supervisor is None and replies:
+            # Without a supervisor nothing fenced the suspect worker: if
+            # it was merely slow rather than dead, its session copies
+            # are still live and holding worker-local quota beside the
+            # restored ones.  Best-effort destroy them; a truly dead
+            # worker fails the first call fast and we stop poking.
+            for session_id in sorted(replies):
+                try:
+                    await link.call(
+                        {"op": "destroy_session", "session": session_id},
+                        timeout=5.0,
+                    )
+                except Exception:
+                    break
         result = {"replies": replies, "lost": lost}
         self._last_recovery[link.index] = result
         self.events.append(
@@ -648,7 +665,15 @@ class RuleRouter:
     async def _heartbeat_loop(self) -> None:
         """Proactive liveness: don't wait for a client op to trip over a
         dead worker.  Process liveness via the supervisor when attached,
-        a ping round-trip otherwise."""
+        a ping round-trip otherwise.
+
+        A supervisor verdict (the OS process exited) is certain and
+        recovers immediately.  A ping timeout is not -- the worker may
+        merely be slow -- so both the durable and the classic path wait
+        for ``failure_threshold`` *consecutive* failures before acting:
+        a premature durable restore would leave the slow worker's live
+        session copies running unfenced beside the restored ones.
+        """
         while not self._draining:
             await asyncio.sleep(self.heartbeat_interval)
             if self._rolling:
@@ -662,19 +687,25 @@ class RuleRouter:
                 if not link.healthy:
                     continue
                 generation = link.generation
-                dead = (
+                process_dead = (
                     self.supervisor is not None
                     and not self.supervisor.alive(link.index)
                 )
-                if not dead:
+                if not process_dead:
                     try:
                         await link.call({"op": "ping"}, timeout=5.0)
                         continue
                     except Exception:
-                        dead = True
-                if dead and self.durability is not None:
-                    await self._recover_worker(link, generation, "heartbeat")
-                elif dead:
+                        pass  # counted in link.consecutive_failures
+                if self.durability is not None:
+                    if (
+                        process_dead
+                        or link.consecutive_failures >= self.failure_threshold
+                    ):
+                        await self._recover_worker(
+                            link, generation, "heartbeat"
+                        )
+                else:
                     demoted = self._record_failure(link)
                     if demoted:
                         await self._evacuate(link)
@@ -705,7 +736,14 @@ class RuleRouter:
             if placement is None:
                 return
             async with placement.lock:
-                if placement.migrating:
+                if (
+                    self.placements.get(session_id) is not placement
+                    or placement.migrating
+                ):
+                    # Destroyed (or destroyed-and-recreated under the
+                    # same name) while this task waited for the lock: a
+                    # stale checkpoint landing after the drop would
+                    # resurrect the old incarnation on recovery.
                     return
                 link = self.workers[placement.worker]
                 try:
@@ -785,9 +823,17 @@ class RuleRouter:
                         "detail": f"{type(retry_error).__name__}: {retry_error}",
                     }
             if journal:
-                if reply.get("error") == "backpressure":
-                    # Never enqueued at the worker: a replay must not
-                    # apply it.  Tombstone, don't rewrite history.
+                error = reply.get("error")
+                if error == "backpressure" or (
+                    error == "deadline" and not reply.get("started")
+                ):
+                    # Never enqueued at the worker (backpressure), or
+                    # cancelled in its queue before execution began
+                    # (deadline with started=false): the client was told
+                    # it failed, so a replay must not apply it.
+                    # Tombstone, don't rewrite history.  A started
+                    # deadline op did execute -- only its reply was
+                    # dropped -- so it stays live in the journal.
                     self.durability.mark_skipped(session_id, seq)
                 else:
                     self._maybe_checkpoint(session_id, placement)
@@ -906,24 +952,37 @@ class RuleRouter:
         placement = self.placements.get(session_id)
         if placement is None:
             return {"ok": False, "error": f"no session {session_id!r}"}
-        reply = await self._call_worker(
-            self.workers[placement.worker], request
-        )
-        if (
-            self.durability is not None
-            and reply.get("error") == "worker_unreachable"
-        ):
-            # Recovery just restored the session somewhere; honour the
-            # destroy against its new home rather than leaking a zombie.
-            placement = self.placements.get(session_id)
-            if placement is not None:
+        if self.durability is not None:
+            # The placement lock serialises the destroy against both
+            # in-flight durable ops and the off-path checkpoint task:
+            # without it, a checkpoint that exported before the drop
+            # could rewrite <sid>.ckpt.json after it -- and if the name
+            # was recreated in that window, recovery would restore the
+            # old incarnation's state under the new session's journal.
+            async with placement.lock:
+                if self.placements.get(session_id) is not placement:
+                    return {"ok": False, "error": f"no session {session_id!r}"}
                 reply = await self._call_worker(
                     self.workers[placement.worker], request
                 )
+                if reply.get("error") == "worker_unreachable":
+                    # Recovery just restored the session somewhere;
+                    # honour the destroy against its new home rather
+                    # than leaking a zombie.
+                    current = self.placements.get(session_id)
+                    if current is not None:
+                        reply = await self._call_worker(
+                            self.workers[current.worker], request
+                        )
+                if reply.get("ok") or reply.get("error") == "worker_unreachable":
+                    self.placements.pop(session_id, None)
+                    self.durability.drop(session_id)
+                return reply
+        reply = await self._call_worker(
+            self.workers[placement.worker], request
+        )
         if reply.get("ok") or reply.get("error") == "worker_unreachable":
             self.placements.pop(session_id, None)
-            if self.durability is not None:
-                self.durability.drop(session_id)
         return reply
 
     async def _op_list_sessions(self, request: dict) -> dict:

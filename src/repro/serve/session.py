@@ -238,7 +238,7 @@ class Session:
         #: describe()/stats() snapshot from the event loop while the
         #: worker thread serves a query -- notice folding must not race.
         self._fault_sync_lock = threading.Lock()
-        self._queue: asyncio.Queue[tuple[dict, asyncio.Future]] = asyncio.Queue(
+        self._queue: asyncio.Queue[tuple[dict, asyncio.Future, list]] = asyncio.Queue(
             maxsize=max_pending
         )
         self._executor = ThreadPoolExecutor(
@@ -259,13 +259,18 @@ class Session:
     async def _consume(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            request, future = await self._queue.get()
+            request, future, executing = await self._queue.get()
             if future.cancelled():
                 # The caller's deadline expired while the request was
                 # still queued; nothing has executed, so skipping it
                 # entirely is safe (and keeps the queue moving).
                 self._queue.task_done()
                 continue
+            # No await between the cancelled-check and this flag: once
+            # set, the request runs to completion even if its reply is
+            # later dropped, so the deadline reply's "started" field is
+            # exact -- durable routers tombstone only unstarted ops.
+            executing[0] = True
             try:
                 reply = await loop.run_in_executor(
                     self._executor, self.perform, request
@@ -296,7 +301,10 @@ class Session:
         ``"deadline"`` field bounds the wait: expiry answers the caller
         with ``error: "deadline"`` right away, cancelling the queued
         request if it has not started (a started request still completes
-        on the worker thread; only its reply is dropped).
+        on the worker thread; only its reply is dropped).  The deadline
+        reply carries ``started``, telling the caller -- and the durable
+        router's journal -- whether the request executed despite the
+        dropped reply.
         """
         if self._closed:
             return {"ok": False, "error": f"session {self.id!r} is closed"}
@@ -316,7 +324,8 @@ class Session:
         self.start()
         future = asyncio.get_running_loop().create_future()
         started = time.perf_counter()
-        self._queue.put_nowait((request, future))
+        executing = [False]
+        self._queue.put_nowait((request, future, executing))
         try:
             if deadline is not None:
                 reply = await asyncio.wait_for(future, timeout=deadline)
@@ -328,6 +337,7 @@ class Session:
                 "ok": False,
                 "error": "deadline",
                 "deadline": deadline,
+                "started": executing[0],
                 "queue_depth": self.queue_depth,
             }
         except Ops5Error as error:

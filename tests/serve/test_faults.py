@@ -86,6 +86,7 @@ def test_deadline_expiry_answers_immediately_and_is_counted():
             "ok": False,
             "error": "deadline",
             "deadline": 0.05,
+            "started": True,
             "queue_depth": 0,
         }
         assert session.telemetry.deadline_exceeded == 1
@@ -120,6 +121,8 @@ def test_expired_queued_request_never_executes():
             {"op": "assert", "wmes": _edges(1), "deadline": 0.05}
         )
         assert doomed["error"] == "deadline"
+        # The reply says so: durable routers tombstone exactly this case.
+        assert doomed["started"] is False
         assert (await blocker)["ok"]
         # Only the blocker executed: the doomed request was skipped.
         final = await session.submit({"op": "query", "what": "wm"})

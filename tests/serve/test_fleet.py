@@ -9,6 +9,9 @@ criterion end to end: every placed session recovers bit-identically,
 ``lost_sessions == 0``.
 """
 
+import asyncio
+import os
+import threading
 import time
 
 import pytest
@@ -21,10 +24,16 @@ from repro.serve import (
     ServerError,
     ServerThread,
 )
-from repro.serve.router import RouterThread
+from repro.serve.router import RouterThread, RuleRouter
 from repro.workloads.programs import closure
 
 CHAIN = [["parent", {"from": f"n{i}", "to": f"n{i + 1}"}] for i in range(6)]
+
+#: Long enough that running its transitive closure takes well over any
+#: deadline used below -- the slow op the deadline tests queue behind.
+LONG_CHAIN = [
+    ["parent", {"from": f"n{i}", "to": f"n{i + 1}"}] for i in range(100)
+]
 
 
 def reference_state(batches):
@@ -184,6 +193,267 @@ class TestDurableThreadWorkers:
             store.close()
 
 
+class TestDurableJournalCorrectness:
+    """The journal must record exactly what executed (review findings:
+    deadline tombstones, destroy-vs-checkpoint serialisation)."""
+
+    def test_unstarted_deadline_op_is_tombstoned_not_replayed(self, tmp_path):
+        """A journaled op whose deadline expires while still queued at
+        the worker never executes and answers ``error: "deadline"`` --
+        so recovery must not replay it, or the restored state would
+        diverge from the acknowledged pre-crash history."""
+        store = DurabilityStore(str(tmp_path))
+        workers = [ServerThread(), ServerThread()]
+        router = RouterThread(
+            worker_addresses=[w.address for w in workers],
+            durability=store,
+            checkpoint_every=0,
+        )
+        try:
+            with RuleClient(router.address) as client:
+                sid = client.create_session(program=closure.PROGRAM, name="dl")
+                # Op 1: a long closure run that blows its deadline while
+                # *executing* -- it completes on the worker thread with
+                # its reply dropped, so it must stay live in the journal.
+                with pytest.raises(ServerError) as slow:
+                    client.request(
+                        "assert", session=sid, wmes=LONG_CHAIN, run=True,
+                        deadline=0.05,
+                    )
+                assert slow.value.reply["error"] == "deadline"
+                assert slow.value.reply["started"] is True
+                # Op 2: queued behind the still-running op 1; its
+                # deadline expires before it starts, so the worker skips
+                # it entirely -- the journal must tombstone it.
+                with pytest.raises(ServerError) as doomed:
+                    client.request(
+                        "assert", session=sid,
+                        wmes=[["parent", {"from": "zz", "to": "zz2"}]],
+                        deadline=0.05,
+                    )
+                assert doomed.value.reply["error"] == "deadline"
+                assert doomed.value.reply["started"] is False
+
+                # The journal keeps op 1 and skips op 2.
+                bundle = store.load(sid)
+                assert [r.seq for r in bundle.records] == [1]
+                assert bundle.last_seq == 2
+
+                # Acknowledged history: op 1's closure, no "zz" edge.
+                wm_before = snapshot_wm(client, sid)
+                assert ["parent", [("from", "zz"), ("to", "zz2")]] not in [
+                    row[:2] for row in wm_before
+                ]
+
+                # Kill the hosting worker; the replay must reproduce
+                # exactly the acknowledged state.
+                victim = router.router.placements[sid].worker
+                workers[victim].stop()
+                assert snapshot_wm(client, sid) == wm_before
+                assert router.router.lost_sessions == []
+                assert router.router.recovered_sessions == [sid]
+        finally:
+            router.stop()
+            for worker in workers:
+                worker.stop()
+            store.close()
+
+    def test_destroy_waits_for_inflight_checkpoint(self, tmp_path):
+        """destroy_session must serialise with a checkpoint in flight:
+        a stale checkpoint landing after the drop would resurrect the
+        old incarnation (or poison a recreated name) on recovery."""
+        worker = ServerThread()
+
+        async def scenario():
+            store = DurabilityStore(str(tmp_path))
+            try:
+                router = RuleRouter(
+                    [worker.address], durability=store, checkpoint_every=0
+                )
+                created = await router.dispatch(
+                    {
+                        "op": "create_session",
+                        "program": closure.PROGRAM,
+                        "name": "c",
+                    }
+                )
+                assert created["ok"]
+                applied = await router.dispatch(
+                    {"op": "assert", "session": "c", "wmes": CHAIN[:2]}
+                )
+                assert applied["ok"]
+
+                # Gate the checkpoint's export call so it holds the
+                # placement lock while we race a destroy against it.
+                link = router.workers[0]
+                release = asyncio.Event()
+                original_call = link.call
+
+                async def gated_call(request, timeout=60.0):
+                    if request.get("op") == "export":
+                        await release.wait()
+                    return await original_call(request, timeout)
+
+                link.call = gated_call
+                router._checkpointing.add("c")
+                checkpoint = asyncio.create_task(
+                    router._checkpoint_session("c")
+                )
+                await asyncio.sleep(0.05)  # checkpoint now owns the lock
+                destroy = asyncio.create_task(
+                    router.dispatch({"op": "destroy_session", "session": "c"})
+                )
+                await asyncio.sleep(0.05)
+                assert not destroy.done()  # serialised behind the export
+
+                release.set()
+                await checkpoint
+                reply = await destroy
+                assert reply["ok"]
+                # The drop is final: nothing resurrects the session.
+                assert store.sessions() == []
+                assert not os.path.exists(store._ckpt_path("c"))
+                assert "c" not in router.placements
+            finally:
+                store.close()
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            worker.stop()
+
+
+class TestDurableHeartbeat:
+    """A ping timeout is a suspicion, not a verdict (review finding):
+    without a supervisor nothing fences the suspect, so durable
+    recovery must wait for the consecutive-failure threshold and then
+    clean up whatever copies the not-quite-dead worker still holds."""
+
+    def _router(self, tmp_path, workers, **kwargs):
+        store = DurabilityStore(str(tmp_path))
+        router = RouterThread(
+            worker_addresses=[w.address for w in workers],
+            durability=store,
+            **kwargs,
+        )
+        return store, router
+
+    def _sessions_on_worker(self, client, router, index, count=6):
+        sids = [
+            client.create_session(program=closure.PROGRAM, name=f"g{i}")
+            for i in range(count)
+        ]
+        placements = {
+            sid: router.router.placements[sid].worker for sid in sids
+        }
+        doomed = [sid for sid in sids if placements[sid] == index]
+        assert doomed, "placement hash spread must cover both workers"
+        return sids, doomed
+
+    def test_ping_failures_below_threshold_do_not_recover(self, tmp_path):
+        workers = [ServerThread(), ServerThread()]
+        store, router = self._router(
+            tmp_path,
+            workers,
+            heartbeat_interval=0.05,
+            failure_threshold=10_000,
+        )
+        try:
+            with RuleClient(router.address) as client:
+                sids, doomed = self._sessions_on_worker(client, router, 0)
+                workers[0].stop()
+                time.sleep(0.6)  # ~12 heartbeat rounds of failed pings
+                # Suspicion accrued, but below the threshold nothing
+                # was recovered and the worker was not written off.
+                assert router.router.workers[0].consecutive_failures >= 1
+                assert router.router.recovered_sessions == []
+                assert all(
+                    event["type"] != "worker_failed"
+                    for event in router.router.events
+                )
+                # A real op's transport failure is a certain signal:
+                # the call-driven path still recovers immediately.
+                reply = client.assert_wmes(doomed[0], CHAIN[:3], run=True)
+                assert reply["ok"]
+                assert doomed[0] in router.router.recovered_sessions
+        finally:
+            router.stop()
+            workers[1].stop()
+            store.close()
+
+    def test_heartbeat_recovers_after_threshold_without_supervisor(
+        self, tmp_path
+    ):
+        workers = [ServerThread(), ServerThread()]
+        store, router = self._router(
+            tmp_path,
+            workers,
+            heartbeat_interval=0.05,
+            failure_threshold=2,
+        )
+        try:
+            with RuleClient(router.address) as client:
+                sids, doomed = self._sessions_on_worker(client, router, 0)
+                workers[0].stop()
+                deadline = time.monotonic() + 15
+                while time.monotonic() < deadline:
+                    if sorted(router.router.recovered_sessions) == sorted(
+                        doomed
+                    ):
+                        break
+                    time.sleep(0.05)
+                assert sorted(router.router.recovered_sessions) == sorted(
+                    doomed
+                )
+                assert router.router.lost_sessions == []
+                for sid in doomed:
+                    assert router.router.placements[sid].worker == 1
+        finally:
+            router.stop()
+            workers[1].stop()
+            store.close()
+
+    def test_false_positive_recovery_destroys_stale_copies(self, tmp_path):
+        """If recovery fires while the 'dead' worker is actually alive
+        (no supervisor, so nothing fenced it), the old session copies
+        must be destroyed -- two live copies of one session would fork
+        history and leak worker-local quota."""
+        workers = [ServerThread(), ServerThread()]
+        store, router = self._router(tmp_path, workers)
+        try:
+            with RuleClient(router.address) as client:
+                sids, doomed = self._sessions_on_worker(client, router, 0)
+                for sid in doomed:
+                    client.assert_wmes(sid, CHAIN[:3], run=True)
+                link = router.router.workers[0]
+                future = asyncio.run_coroutine_threadsafe(
+                    router.router._recover_worker(
+                        link, link.generation, "test: false positive"
+                    ),
+                    router._loop,
+                )
+                result = future.result(timeout=30)
+                assert sorted(result["replies"]) == sorted(doomed)
+                assert result["lost"] == set()
+                for sid in doomed:
+                    assert router.router.placements[sid].worker == 1
+                # The still-alive worker 0 holds no stale copies.
+                with RuleClient(workers[0].address) as direct:
+                    assert direct.list_sessions() == []
+                with RuleClient(workers[1].address) as direct:
+                    assert set(direct.list_sessions()) >= set(doomed)
+                # And the restored copies keep serving bit-identically.
+                _, ref_wm = reference_state([CHAIN[:3], CHAIN[3:]])
+                for sid in doomed:
+                    client.assert_wmes(sid, CHAIN[3:], run=True)
+                    assert snapshot_wm(client, sid) == ref_wm
+        finally:
+            router.stop()
+            for worker in workers:
+                worker.stop()
+            store.close()
+
+
 class TestClientReconnect:
     """RuleClient.call survives the peer going away (satellite: the
     transparent-reconnect contract)."""
@@ -331,6 +601,30 @@ class TestProcessFleetChaos:
                 for sid in sids:
                     client.assert_wmes(sid, CHAIN[3:], run=True)
                     assert snapshot_wm(client, sid) == ref_wm
+
+    def test_snapshot_is_not_blocked_by_respawn_backoff(self):
+        """snapshot() (behind the router's stats op) must stay
+        responsive while a respawn sleeps out its backoff + spawn --
+        the fleet lock is not held across either."""
+        from repro.serve.fleet import ProcessFleet
+
+        with ProcessFleet(
+            workers=1, restart_backoff=1.5, restart_backoff_max=1.5
+        ) as fleet:
+            fleet.kill(0)
+            result = {}
+            spinner = threading.Thread(
+                target=lambda: result.update(address=fleet.respawn(0))
+            )
+            spinner.start()
+            time.sleep(0.3)  # respawn is now inside its 1.5s backoff
+            started = time.monotonic()
+            snap = fleet.snapshot()
+            assert time.monotonic() - started < 0.5
+            assert snap["restarts"] == [1]
+            spinner.join(timeout=60)
+            assert result["address"] is not None
+            assert fleet.alive(0)
 
     def test_fleet_chaos_harness_verdict(self):
         from repro.faults import fleet_chaos
