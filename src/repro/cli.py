@@ -93,7 +93,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for --matcher parallel (0 = inline)",
     )
     run.add_argument(
-        "--transport", choices=["auto", "ring", "pipe"], default=None,
+        "--transport", choices=["auto", "ring", "pipe", "local"], default=None,
         help="shard transport for --matcher parallel "
              "(auto = shared-memory ring when available)",
     )
@@ -119,7 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for --matcher parallel (0 = inline)",
     )
     demo.add_argument(
-        "--transport", choices=["auto", "ring", "pipe"], default=None,
+        "--transport", choices=["auto", "ring", "pipe", "local"], default=None,
         help="shard transport for --matcher parallel",
     )
 
@@ -216,6 +216,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--heartbeat-interval", type=float, default=0.5,
         help="seconds between worker liveness probes under --processes",
     )
+    serve.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the session journal before acknowledging each op "
+             "under --processes (survives host power loss, not just "
+             "worker death)",
+    )
+    serve.add_argument(
+        "--commit-window", type=float, default=0.0,
+        help="group-commit window in seconds for --fsync: batch journal "
+             "fsyncs behind one barrier per window (0 = fsync every op)",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -232,7 +243,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for --matcher parallel (0 = inline)",
     )
     profile.add_argument(
-        "--transport", choices=["auto", "ring", "pipe"], default=None,
+        "--transport", choices=["auto", "ring", "pipe", "local"], default=None,
         help="shard transport for --matcher parallel",
     )
     profile.add_argument("--strategy", choices=["lex", "mea"], default="lex")
@@ -259,7 +270,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard worker processes for the faulted run",
     )
     chaos.add_argument(
-        "--transport", choices=["auto", "ring", "pipe"], default="auto",
+        "--transport", choices=["auto", "ring", "pipe", "local"], default="auto",
         help="shard transport for the faulted run (recovery must be "
              "bit-identical over either)",
     )
@@ -342,7 +353,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes per parallel backend",
     )
     fuzz.add_argument(
-        "--transports", default="pipe,ring",
+        "--transports", default="pipe,ring,local",
         help="comma-separated parallel transports to include "
              "(ring is skipped with a note when unavailable)",
     )
@@ -669,6 +680,8 @@ def _cmd_serve(args) -> int:
                 checkpoint_every=args.checkpoint_every,
                 heartbeat_interval=args.heartbeat_interval,
                 max_pending=max_pending,
+                fsync=args.fsync,
+                commit_window=args.commit_window,
                 host=args.host,
                 port=args.port,
                 unix_path=args.socket,
@@ -756,6 +769,8 @@ def _cmd_matchers(args) -> int:
     ring_note = "" if ring_available() else " [unavailable on this host]"
     print("  pipe          pickled duplex pipes (always available)")
     print(f"  ring          shared-memory SPSC byte rings{ring_note}")
+    print("  local         thread shards sharing one compiled kernel "
+          "(zero-copy, work stealing)")
     print("  auto          ring when available, else pipe")
     return 0
 

@@ -32,6 +32,9 @@ Snapshot shape (sections appear when their source exists)::
       "kernel":   {"compiles", "ruleset_digest", "stores", "store_rows",
                    "columns", "subscriptions", "replayed_wmes", "oracle",
                    "cache"},
+      "scheduler": {"workers", "grain", "tasks_executed", "tasks_helped",
+                   "fast_batches", "steals", "epochs", "epoch_waits",
+                   "max_queue_depth", "queue_depths"},
       "serve":    Telemetry.snapshot(),
       "recorder": {"enabled", "events"},
     }
@@ -130,6 +133,13 @@ def _matcher_sections(matcher) -> dict:
         # fallbacks, ring stall episodes, intern-table size, and the
         # per-dispatch latency the batching is trying to amortise.
         sections["transport"] = matcher.transport_summary()
+        # Shared-memory backend only: the work-stealing scheduler's
+        # counters (steals, helped tasks, fast-path batches, epoch
+        # waits, live queue depths).  Like every section here the read
+        # is side-effect free -- it never advances the epoch barrier.
+        scheduler = matcher.scheduler_summary()
+        if scheduler is not None:
+            sections["scheduler"] = scheduler
     return sections
 
 

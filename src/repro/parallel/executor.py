@@ -67,6 +67,7 @@ from ..ops5.production import Instantiation, Production
 from ..ops5.symbols import SYMBOLS
 from ..ops5.wme import WME
 from . import messages
+from .local import LocalScheduler, _LocalShard, rebuild_local_state
 from .partition import Partition, assign_productions, production_weight
 from .ring import RingStall
 from .supervisor import (
@@ -405,7 +406,10 @@ class ParallelMatcher(Matcher):
     transport:
         ``"pipe"`` (pickled tuples over ``multiprocessing.Pipe``),
         ``"ring"`` (struct-packed frames over shared-memory SPSC rings,
-        symbols interned -- the PSM-style cheap scheduler), or
+        symbols interned -- the PSM-style cheap scheduler), ``"local"``
+        (shards as threads sharing this address space, each executing
+        the *compiled kernel* under a work-stealing scheduler -- no
+        serialisation at all, see :mod:`repro.parallel.local`), or
         ``"auto"`` (ring where shared memory works, else pipe).  The
         merged results are bit-identical across transports; only the
         dispatch cost changes (``benchmarks/bench_transport.py``).
@@ -451,8 +455,10 @@ class ParallelMatcher(Matcher):
         self._conflict_set = ConflictSet()
         self._stats = MatchStats()
         self._queue = WorkQueue(self._shard_count)
-        self._shards: list[_ProcessShard | _InlineShard] | None = None
+        self._shards: list[_ProcessShard | _InlineShard | _LocalShard] | None = None
         self._ctx = None
+        #: Work-stealing thread scheduler (local transport only).
+        self._scheduler: Optional[LocalScheduler] = None
         self._productions: dict[str, Production] = {}
         #: Production name -> owning shard index.
         self._assignment: dict[str, int] = {}
@@ -511,16 +517,27 @@ class ParallelMatcher(Matcher):
                 self._transport_kind = resolve_transport(self.transport)
             except ValueError as error:
                 raise Ops5Error(str(error)) from None
-            self._ctx = _context()
-            self._shards = [
-                self._new_process_shard(i) for i in range(self._shard_count)
-            ]
+            if self._transport_kind == "local":
+                # Thread shards in this address space: no context, no
+                # endpoints -- one shared work-stealing scheduler.
+                self._scheduler = LocalScheduler(self._shard_count)
+                self._shards = [
+                    self._new_shard(i) for i in range(self._shard_count)
+                ]
+            else:
+                self._ctx = _context()
+                self._shards = [
+                    self._new_shard(i) for i in range(self._shard_count)
+                ]
         for partition in assign_productions(self._unpartitioned, self._shard_count):
             for production in partition.productions:
                 self._place(production, partition.index)
         self._unpartitioned = []
 
-    def _new_process_shard(self, index: int) -> _ProcessShard:
+    def _new_shard(self, index: int) -> "_ProcessShard | _LocalShard":
+        """A fresh shard of whatever kind the resolved transport implies."""
+        if self._transport_kind == "local":
+            return _LocalShard(index, self._scheduler, self.fault_plan)
         return _ProcessShard(
             self._ctx,
             index,
@@ -529,6 +546,17 @@ class ParallelMatcher(Matcher):
             send_timeout=self._supervisor.config.collect_deadline,
             op_cache=self._op_cache,
         )
+
+    def _encode_wme(self, wme: WME) -> tuple:
+        """The WME-insert op for the resolved transport.
+
+        Local shards share this address space, so the op carries the
+        live object -- zero-copy dispatch; process shards get the
+        picklable ``(+w, cls, attrs, timetag)`` form.
+        """
+        if self._transport_kind == "local":
+            return (messages.ADD_WME_REF, wme)
+        return messages.encode_wme(wme)
 
     def _absorb_shard_stats(self, shard) -> None:
         """Fold a doomed endpoint's wire stats into the retired rollup."""
@@ -543,6 +571,9 @@ class ParallelMatcher(Matcher):
                 self._absorb_shard_stats(shard)
                 shard.stop()
             self._shards = None
+        if self._scheduler is not None:
+            self._scheduler.shutdown()
+            self._scheduler = None
         self._closed = True
 
     def __enter__(self) -> "ParallelMatcher":
@@ -573,7 +604,7 @@ class ParallelMatcher(Matcher):
                 wme = self._wmes[timetag]
                 if wme.cls == cls:
                     self._queue.push(
-                        shard, messages.encode_wme(wme), change=_BACKFILL
+                        shard, self._encode_wme(wme), change=_BACKFILL
                     )
         self._subscribed[shard] |= classes
         self._queue.push(shard, (messages.ADD_PRODUCTION, production))
@@ -617,7 +648,7 @@ class ParallelMatcher(Matcher):
         change = self._queue.open_change("add", wme.cls)
         targets = self._route(wme.cls)
         for shard in targets:
-            self._queue.push(shard, messages.encode_wme(wme), change=change)
+            self._queue.push(shard, self._encode_wme(wme), change=change)
         self._maybe_eager(targets)
 
     def remove_wme(self, wme: WME) -> None:
@@ -760,6 +791,8 @@ class ParallelMatcher(Matcher):
         for shard in self._shards:
             if isinstance(shard, _ProcessShard):
                 shard.endpoint.end_epoch()
+        if self._scheduler is not None:
+            self._scheduler.end_epoch()
 
         if rec.enabled:
             rec.complete(
@@ -900,29 +933,42 @@ class ParallelMatcher(Matcher):
         if isinstance(shard, _ProcessShard):
             self._absorb_shard_stats(shard)
             shard.kill()
+        elif isinstance(shard, _LocalShard):
+            shard.kill()
         journal_ops = sup.journal_length(i)
         used_checkpoint = sup.checkpoints[i] is not None
+        local = self._transport_kind == "local"
         attempts = 0
         while True:
             attempts += 1
             if failures >= sup.config.max_failures:
                 replay_started = time.perf_counter()
                 checkpoint, journal = sup.recovery_payload(i)
-                state = rebuild_state(checkpoint, journal)
+                if local:
+                    # Demote to a synchronous (schedulerless) thread
+                    # shard: still the compiled kernel, no concurrency.
+                    self._shards[i] = _LocalShard(
+                        i, state=rebuild_local_state(checkpoint, journal)
+                    )
+                else:
+                    state = rebuild_state(checkpoint, journal)
+                    self._shards[i] = _InlineShard(i, state)
                 replay_seconds = time.perf_counter() - replay_started
-                self._shards[i] = _InlineShard(i, state)
                 for record in self._inflight[i]:
                     self._shards[i].dispatch(record.ops, None)
                 action = "demoted"
                 break
-            if self._ctx is None:  # pragma: no cover - workers=0 guard
+            if not local and self._ctx is None:  # pragma: no cover - workers=0 guard
                 self._ctx = _context()
-            replacement = self._new_process_shard(i)
+            replacement = self._new_shard(i)
             try:
                 replay_started = time.perf_counter()
-                replacement.restore_pickled(
-                    sup.restore_message_bytes(i), sup.config.recovery_deadline
-                )
+                if isinstance(replacement, _LocalShard):
+                    replacement.restore(*sup.recovery_payload(i))
+                else:
+                    replacement.restore_pickled(
+                        sup.restore_message_bytes(i), sup.config.recovery_deadline
+                    )
                 replay_seconds = time.perf_counter() - replay_started
                 for record in self._inflight[i]:
                     replacement.dispatch(record.ops, None)
@@ -962,6 +1008,9 @@ class ParallelMatcher(Matcher):
     def _restore_worker(self, i: int) -> None:
         """Put shard *i*'s journalled state back after an error reply."""
         shard = self._shards[i]
+        if isinstance(shard, _LocalShard):
+            shard.restore(*self._supervisor.recovery_payload(i))
+            return
         if not isinstance(shard, _ProcessShard):
             return
         try:
@@ -987,7 +1036,7 @@ class ParallelMatcher(Matcher):
                 try:
                     blob = shard.checkpoint(sup.config.recovery_deadline)
                 except ShardFailure as failure:
-                    self._recover(failure, seq=None, redispatch=None)
+                    self._recover(failure, seq=None)
                     continue
             if blob is not None:
                 sup.store_checkpoint(i, blob, time.perf_counter() - started)
@@ -1084,9 +1133,29 @@ class ParallelMatcher(Matcher):
             partitions[i].degraded = down
         return partitions
 
+    def scheduler_summary(self) -> Optional[dict]:
+        """The ``scheduler`` metrics section for the local backend.
+
+        Side-effect-free by construction (mirrors :meth:`peek_stats`'s
+        guarantee): reads counters only, never touches the work queue
+        or the epoch barrier.  ``None`` for process/inline backends.
+        """
+        if self._scheduler is None:
+            return None
+        return self._scheduler.stats()
+
     def _merge_edits(self, edits: Sequence[tuple]) -> None:
         for edit in edits:
-            if edit[0] == messages.INSERT:
+            if edit[0] == messages.INSERT_REF:
+                # Zero-copy insert from a thread shard: the very object
+                # the kernel built.  Same removed-production race as the
+                # encoded form below, resolved via the instantiation key.
+                inst = edit[1]
+                if inst.production.name not in self._productions:
+                    self._skipped_inserts.add(inst.key)
+                    continue
+                self._conflict_set.insert(inst)
+            elif edit[0] == messages.INSERT:
                 _, name, timetags, bindings = edit
                 production = self._productions.get(name)
                 if production is None:

@@ -1,0 +1,813 @@
+"""The shared-memory parallel backend: compiled-kernel shards as threads.
+
+The paper's Sections 4-5 argue that production-system parallelism only
+pays when a dispatch costs about one scheduler operation -- the PSM gets
+there with a hardware task queue over a *shared* match network.  The
+process backends (``pipe``, ``ring``) partition the network across
+address spaces and pay marshalling per op; this module is the
+third backend, ``local``, which removes the boundary instead:
+
+* Shards are **threads in the coordinator's address space**.  They
+  share the process-wide symbol intern table, the
+  :class:`~repro.kernel.shared.SharedKernel` registry (one codegen +
+  module exec per ruleset shape, whichever shard gets there first), and
+  the columnar alpha-store layout.
+* Each shard executes the **compiled kernel**
+  (:mod:`repro.kernel`) rather than the interpreted Rete -- per-activation
+  match cost, not coordination, dominates the budget.
+* A dispatch is an **append to a shared deque** -- no codec, no ring
+  frames, no pickle.  WME inserts travel as ``("+wr", wme)`` object
+  references (:data:`~repro.parallel.messages.ADD_WME_REF`), and
+  conflict-set inserts come back as live
+  :class:`~repro.ops5.production.Instantiation` references.
+* Scheduling is **work stealing at node-activation granularity**: a
+  shard's lane of ops is drained in small grains, and between grains
+  the lane returns to a per-worker ready deque where any idle worker
+  (or the coordinator itself, while it waits at the barrier) may steal
+  it.  The flush barrier is a **counting epoch**: per-lane
+  published/completed counters, no channel round-trip.
+
+The coordinator-facing surface mirrors the process shards exactly
+(``dispatch`` / ``collect`` / ``checkpoint`` / ``restore`` / ``stop`` /
+``kill`` plus fault-plan consultation), so
+:class:`~repro.parallel.executor.ParallelMatcher` drives all three
+backends through one seam and the chaos/differential harnesses run
+unchanged over this one.
+
+Correctness discipline
+----------------------
+A lane is executed by **at most one thread at a time** (it is enqueued
+on exactly one ready deque, or being drained, never both), so kernel
+state needs no locks; stealing moves whole lanes between workers, never
+splits one.  Replies preserve batch order because lanes are FIFO.
+Faults are emulated at dispatch time: ``crash``/``pipe-drop`` discard
+the shard's state (exactly what losing a process loses), ``hang`` wedges
+the lane behind an abandonable sleep, ``slow`` prepends a bounded sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from collections import deque
+from typing import Iterable, Optional, Sequence
+
+from ..faults.plan import CRASH, HANG, HANG_FOREVER, PIPE_DROP, SLOW, FaultPlan
+from ..kernel.runtime import KernelRuntime
+from ..kernel.shared import shared_kernel
+from ..ops5.conflict import ConflictSet
+from ..ops5.production import Production
+from ..ops5.wme import WME
+from . import messages
+from .supervisor import ShardFailure
+
+__all__ = [
+    "LocalKernelState",
+    "LocalScheduler",
+    "_LocalShard",
+    "rebuild_local_state",
+]
+
+#: How many queued ops a worker runs before returning the lane to a
+#: ready deque -- the steal window, i.e. the node-activation grain.
+DEFAULT_GRAIN = 16
+
+#: Sleep-task slice: injected hangs sleep in increments this long and
+#: re-check the lane's abandoned flag, so kill() unwinds threads fast.
+_SLEEP_SLICE = 0.02
+
+
+class _RecordingConflictSet(ConflictSet):
+    """A conflict set that journals its edits as zero-copy tuples.
+
+    The process workers' recorder encodes inserts as
+    ``("i", name, timetags, bindings)`` so they survive pickling; here
+    both sides share an address space, so an insert is recorded as
+    ``("I", instantiation)`` -- the coordinator files the very same
+    object into its own conflict set.  Deletes stay ``("d", name,
+    timetags)``.  ``delete_key`` is the override point (generated
+    kernels bind it directly as ``cs_delete``); ``delete`` funnels
+    through it, so nothing records twice.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.edits: list[tuple] = []
+
+    def insert(self, inst) -> None:
+        super().insert(inst)
+        self.edits.append((messages.INSERT_REF, inst))
+
+    def delete_key(self, key) -> None:
+        super().delete_key(key)
+        self.edits.append((messages.DELETE, key[0], key[1]))
+
+    def drain(self) -> list[tuple]:
+        edits, self.edits = self.edits, []
+        return edits
+
+
+class LocalKernelState:
+    """One shard's match state: a compiled kernel over its rule slice.
+
+    The thread-shard analogue of :class:`~repro.parallel.worker.ShardState`,
+    but executing generated kernel closures instead of a
+    :class:`~repro.rete.ReteNetwork`.  Mirrors
+    :class:`~repro.kernel.matcher.CompiledMatcher`'s rebuild policy:
+    production edits while WM is empty only mark the state dirty (one
+    compile per final ruleset shape, so loading N productions does not
+    pollute the process-wide kernel cache with N-1 prefix shapes); once
+    WMEs exist an edit rebuilds immediately and emits the conflict-set
+    *diff* as edits, because the coordinator incrementally maintains its
+    merged view.
+    """
+
+    def __init__(self) -> None:
+        self.productions: dict[str, Production] = {}
+        self.wmes: dict[int, WME] = {}
+        self.conflict_set = _RecordingConflictSet()
+        self._rt: Optional[KernelRuntime] = None
+        self._dirty = False
+
+    # -- op application ----------------------------------------------------
+
+    def apply_op(self, op: Sequence, wme_ordinal: int) -> Optional[tuple]:
+        """Apply one batch op; return a stats row for WME ops, else None."""
+        tag = op[0]
+        if tag == messages.ADD_WME_REF:
+            return self._add_wme(op[1], wme_ordinal)
+        if tag == messages.ADD_WME:
+            return self._add_wme(messages.decode_wme(op), wme_ordinal)
+        if tag == messages.REMOVE_WME:
+            return self._remove_wme(op[1], wme_ordinal)
+        if tag == messages.ADD_PRODUCTION:
+            production = op[1]
+            self.productions[production.name] = production
+            self._ruleset_edit()
+            return None
+        if tag == messages.REMOVE_PRODUCTION:
+            del self.productions[op[1]]
+            self._ruleset_edit()
+            return None
+        if tag == messages.RESET:
+            self.productions = {}
+            self.wmes = {}
+            self.conflict_set = _RecordingConflictSet()
+            self._rt = None
+            self._dirty = False
+            return None
+        raise ValueError(f"unknown op tag {tag!r}")
+
+    def apply_batch(self, ops: Iterable[Sequence]) -> tuple[list, list]:
+        """Apply *ops* in order; return ``(edits, stat_rows)``.
+
+        Used by the demoted-inline path and by restore replay; the
+        scheduled path applies ops one at a time so grains interleave.
+        """
+        stat_rows: list[tuple] = []
+        ordinal = 0
+        for op in ops:
+            row = self.apply_op(op, ordinal)
+            if row is not None:
+                stat_rows.append(row)
+                ordinal += 1
+        return self.conflict_set.drain(), stat_rows
+
+    def _add_wme(self, wme: WME, ordinal: int) -> tuple:
+        if self._dirty:
+            self._rebuild(diff=False)
+        self.wmes[wme.timetag] = wme
+        rt = self._rt
+        if rt is None:
+            return (ordinal, 0, 0, 0, 0)
+        stores = rt.by_class.get(wme.cls)
+        if not stores:
+            return (ordinal, 0, 0, 0, 0)
+        counters = rt.counters
+        b0, b1, b2 = counters
+        affected: set[str] = set()
+        for store in stores:
+            predicate = store.predicate
+            if predicate is None or predicate(wme):
+                store.insert(wme)
+                affected |= store.production_names
+                for fn in store.add_subs:
+                    fn(wme)
+        return (
+            ordinal,
+            len(affected),
+            counters[0] - b0,
+            counters[1] - b1,
+            counters[2] - b2,
+        )
+
+    def _remove_wme(self, timetag: int, ordinal: int) -> tuple:
+        self._ensure_built()
+        wme = self.wmes.pop(timetag)
+        rt = self._rt
+        if rt is None:
+            return (ordinal, 0, 0, 0, 0)
+        counters = rt.counters
+        base = tuple(counters)
+        affected: set[str] = set()
+        hit = [s for s in rt.by_class.get(wme.cls, ()) if timetag in s.rows]
+        # Two-phase, like CompiledMatcher: retraction subscribers run
+        # while the columns still hold the dying WME, then rows drop.
+        for store in hit:
+            affected |= store.production_names
+            for fn in store.del_subs:
+                fn(wme)
+        for store in hit:
+            store.remove(wme)
+        return (
+            ordinal,
+            len(affected),
+            counters[0] - base[0],
+            counters[1] - base[1],
+            counters[2] - base[2],
+        )
+
+    # -- (re)compilation ---------------------------------------------------
+
+    def _ruleset_edit(self) -> None:
+        if self.wmes:
+            self._rebuild(diff=True)
+        else:
+            self._dirty = True
+
+    def _ensure_built(self) -> None:
+        if self._dirty:
+            self._rebuild(diff=False)
+
+    def _rebuild(self, diff: bool) -> None:
+        """Re-attach a kernel for the current ruleset over the WM mirror.
+
+        Always builds a *fresh* recording conflict set and swaps it in:
+        generated kernels bind ``cs_insert``/``cs_delete`` at attach
+        time, so re-using the old set under a new runtime would leave
+        stale closures writing into it.  Replay edits are discarded
+        (replay is quiet); with ``diff=True`` the membership difference
+        against the old set is appended instead, keeping the
+        coordinator's incrementally-merged view exact.
+        """
+        pending = self.conflict_set.edits
+        old_keys = self.conflict_set.snapshot() if diff else None
+        cs = _RecordingConflictSet()
+        productions = list(self.productions.values())
+        rt = None
+        if productions:
+            kernel = shared_kernel(productions)
+            rt = kernel.attach(
+                cs, productions, (self.wmes[t] for t in sorted(self.wmes))
+            )
+        cs.edits = pending
+        if diff:
+            new_keys = cs.snapshot()
+            for key in sorted(old_keys - new_keys):
+                cs.edits.append((messages.DELETE, key[0], key[1]))
+            for key in sorted(new_keys - old_keys):
+                cs.edits.append((messages.INSERT_REF, cs.get(key)))
+        self.conflict_set = cs
+        self._rt = rt
+        self._dirty = False
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> tuple:
+        """Snapshot the *inputs* (productions + WM mirror), not the kernel.
+
+        Zero-copy like everything else in this backend: the containers
+        are copied (a checkpoint must freeze membership while the live
+        state keeps mutating) but the Production and WME objects inside
+        are shared by reference.  That sharing is load-bearing, not just
+        cheap: the engine removes WMEs by identity, so a restored
+        shard's instantiations must reference the coordinator's live WME
+        objects -- a pickle round-trip here (the process backend's
+        design) would resurface them as equal-but-distinct copies and
+        poison every firing that touches them.  The kernel itself is
+        never captured: it is a pure function of the ruleset shape, so
+        restore re-attaches from the shared registry and replays the
+        mirror.
+        """
+        return (dict(self.productions), dict(self.wmes))
+
+    def state_size(self) -> int:
+        return self._rt.state_size() if self._rt is not None else 0
+
+
+def rebuild_local_state(
+    checkpoint: Optional[tuple], journal: Iterable[Sequence]
+) -> LocalKernelState:
+    """Checkpoint + journal-tail replay, the recovery path's core.
+
+    Mirrors :func:`repro.parallel.worker.rebuild_state`: restore the
+    last checkpoint snapshot (or start empty), then re-apply the
+    journalled ops quietly -- edits and stat rows from replay are
+    discarded, because the coordinator already merged the originals
+    before the failure.
+    """
+    state = LocalKernelState()
+    if checkpoint is not None:
+        productions, wmes = checkpoint
+        state.productions = dict(productions)
+        state.wmes = dict(wmes)
+        if state.productions:
+            state._rebuild(diff=False)
+        state.conflict_set.drain()
+    ops = list(journal)
+    if ops:
+        state.apply_batch(ops)
+    return state
+
+
+class _Lane:
+    """One shard's FIFO of pending tasks plus its epoch counters.
+
+    ``scheduled`` is the single-executor token: True exactly while the
+    lane sits on a ready deque or is being drained, so two workers can
+    never run the same shard's kernel concurrently.  ``published`` /
+    ``completed`` are the counting-epoch pair: the barrier for this
+    lane is simply ``completed == published``, no message round-trip.
+    """
+
+    __slots__ = (
+        "index",
+        "home",
+        "state",
+        "tasks",
+        "lock",
+        "scheduled",
+        "published",
+        "completed",
+        "replies",
+        "abandoned",
+    )
+
+    def __init__(self, index: int, home: int, state: LocalKernelState) -> None:
+        self.index = index
+        self.home = home
+        self.state = state
+        self.tasks: deque = deque()
+        self.lock = threading.Lock()
+        self.scheduled = False
+        self.published = 0
+        self.completed = 0
+        self.replies: deque = deque()
+        self.abandoned = False
+
+
+class _BatchJob:
+    """Book-keeping for one dispatched batch as its ops flow as tasks."""
+
+    __slots__ = ("remaining", "stat_rows", "wme_ordinal", "failed", "error")
+
+    def __init__(self, remaining: int) -> None:
+        self.remaining = remaining
+        self.stat_rows: list[tuple] = []
+        self.wme_ordinal = 0
+        self.failed = False
+        self.error: Optional[tuple[str, str]] = None
+
+
+class LocalScheduler:
+    """Work-stealing task scheduler over the thread shards.
+
+    *workers* daemon threads each own a ready deque of lanes.  A lane is
+    pushed to its home worker's deque on dispatch; the owning worker
+    drains it ``grain`` ops at a time, re-queueing between grains so the
+    lane is stealable at node-activation granularity.  Idle workers
+    steal from the *back* of peers' deques (classic Chase-Lev
+    discipline, minus the lock-free part -- one condition variable
+    guards all deques, which is proportionate under a GIL).  The
+    coordinator thread "helps": while it waits at the flush barrier it
+    drains lanes too, so on few-core hosts the barrier wait converts
+    into match work instead of a context switch.
+    """
+
+    def __init__(self, workers: int, grain: int = DEFAULT_GRAIN) -> None:
+        self.workers = max(1, workers)
+        self.grain = max(1, grain)
+        self._cv = threading.Condition()
+        self._ready: list[deque] = [deque() for _ in range(self.workers)]
+        self._stopped = False
+        # Counters (ints; single-writer or GIL-atomic += under CPython,
+        # and read only for reporting).
+        self.steals = 0
+        self.executed = 0
+        self.helped = 0
+        self.fast_batches = 0
+        self.epoch_waits = 0
+        self.epochs = 0
+        self.max_queue_depth = 0
+        self._threads = [
+            threading.Thread(
+                target=self._run, args=(w,), daemon=True, name=f"repro-local-{w}"
+            )
+            for w in range(self.workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def enqueue(self, lane: _Lane, tasks: Sequence[tuple]) -> None:
+        """Publish *tasks* onto *lane* and make the lane runnable."""
+        with lane.lock:
+            lane.tasks.extend(tasks)
+            lane.published += len(tasks)
+            need_schedule = not lane.scheduled and not lane.abandoned
+            if need_schedule:
+                lane.scheduled = True
+        if need_schedule:
+            with self._cv:
+                self._ready[lane.home].append(lane)
+                depth = sum(len(q) for q in self._ready)
+                if depth > self.max_queue_depth:
+                    self.max_queue_depth = depth
+                self._cv.notify(1)
+
+    # -- worker side -------------------------------------------------------
+
+    def _run(self, worker: int) -> None:
+        while True:
+            with self._cv:
+                while True:
+                    if self._stopped:
+                        return
+                    lane = self._take(worker)
+                    if lane is not None:
+                        break
+                    self._cv.wait(0.05)
+            self.executed += self._drain(lane, worker)
+
+    def _take(self, worker: int, helper: bool = False) -> Optional[_Lane]:
+        """Pop a runnable lane: own deque first, then steal. CV held.
+
+        With ``helper=True`` (the coordinator draining at the barrier)
+        lanes whose next task is a sleep are skipped: an injected hang
+        must wedge a *worker* thread, never the coordinator -- otherwise
+        the collect deadline could not fire.
+        """
+        own = self._ready[worker]
+        if own:
+            lane = self._pick(own, helper)
+            if lane is not None:
+                return lane
+        for offset in range(1, self.workers):
+            peer = self._ready[(worker + offset) % self.workers]
+            if peer:
+                lane = self._pick(peer, helper)
+                if lane is not None:
+                    self.steals += 1
+                    return lane
+        return None
+
+    @staticmethod
+    def _pick(queue: deque, helper: bool) -> Optional[_Lane]:
+        if not helper:
+            return queue.popleft()
+        # Peeking without the lane lock is safe: a lane on a ready deque
+        # has no concurrent drainer, and enqueue only appends.
+        for lane in queue:
+            head = lane.tasks[0] if lane.tasks else None
+            if head is None or head[0] != "sleep":
+                queue.remove(lane)
+                return lane
+        return None
+
+    def _drain(self, lane: _Lane, worker: int, helper: bool = False) -> int:
+        """Execute *lane*'s queued tasks on the calling thread.
+
+        A worker thread runs one task (= one grain of ops) and returns
+        the lane to its deque, keeping it stealable at node-activation
+        granularity.  The helping coordinator runs the lane dry in one
+        visit instead -- at the barrier every lane must drain anyway,
+        so grain-by-grain requeueing would be pure lock traffic -- but
+        refuses sleep tasks (injected hangs must wedge a worker thread,
+        never the coordinator).
+
+        Returns the number of tasks executed.  The single-executor
+        invariant holds because ``lane.scheduled`` stays True from the
+        enqueue that scheduled the lane until this method observes an
+        empty task deque under the lane lock.
+        """
+        ran = 0
+        while True:
+            task = None
+            declined = False
+            with lane.lock:
+                if lane.abandoned:
+                    lane.tasks.clear()
+                    lane.scheduled = False
+                    return ran
+                if lane.tasks:
+                    if helper and lane.tasks[0][0] == "sleep":
+                        declined = True
+                    else:
+                        task = lane.tasks.popleft()
+                else:
+                    lane.scheduled = False
+            if declined:
+                # Hand the sleeping lane to a worker thread.
+                with self._cv:
+                    self._ready[lane.home].append(lane)
+                    self._cv.notify(1)
+                return ran
+            if task is None:
+                break
+            self._execute(lane, task)
+            lane.completed += 1
+            ran += 1
+            if not helper:
+                requeue = False
+                with lane.lock:
+                    if lane.tasks and not lane.abandoned:
+                        requeue = True  # keep scheduled; stay stealable
+                    else:
+                        lane.scheduled = False
+                if requeue:
+                    with self._cv:
+                        self._ready[worker].append(lane)
+                        self._cv.notify(1)
+                    return ran
+                break
+        if not helper:
+            # A reply may have completed an epoch; wake barrier waiters.
+            with self._cv:
+                self._cv.notify_all()
+        return ran
+
+    def _execute(self, lane: _Lane, task: tuple) -> None:
+        kind = task[0]
+        if kind == "sleep":
+            deadline = time.monotonic() + task[1]
+            while time.monotonic() < deadline and not lane.abandoned:
+                time.sleep(_SLEEP_SLICE)
+            return
+        _, job, ops = task
+        if not job.failed:
+            state = lane.state
+            apply_op = state.apply_op
+            rows = job.stat_rows
+            try:
+                for op in ops:
+                    row = apply_op(op, job.wme_ordinal)
+                    if row is not None:
+                        rows.append(row)
+                        job.wme_ordinal += 1
+            except Exception as exc:  # noqa: BLE001 - mirrors worker loop
+                job.failed = True
+                job.error = (repr(exc), traceback.format_exc())
+                # State is torn mid-batch; start fresh exactly like the
+                # process worker does -- the coordinator restores from
+                # checkpoint + journal on seeing the error reply.
+                lane.state = LocalKernelState()
+        job.remaining -= 1
+        if job.remaining == 0:
+            if job.failed:
+                reply = (messages.ERROR, job.error[0], job.error[1])
+            else:
+                reply = (messages.OK, lane.state.conflict_set.drain(), job.stat_rows)
+            lane.replies.append(reply)
+            # One wakeup per completed batch (not per op): a parked
+            # barrier waiter learns its reply is ready immediately.
+            with self._cv:
+                self._cv.notify_all()
+
+    # -- coordinator side --------------------------------------------------
+
+    def help_until(self, lane: _Lane, predicate, deadline: Optional[float]) -> bool:
+        """Run tasks on the caller's thread until *predicate* or timeout.
+
+        This is the counting-epoch barrier: instead of blocking, the
+        coordinator drains ready lanes (preferring *lane*'s home deque)
+        while it waits.  Returns the predicate's final value.
+        """
+        limit = None if deadline is None else time.monotonic() + deadline
+        while True:
+            if predicate():
+                return True
+            with self._cv:
+                claimed = (
+                    None if self._stopped else self._take(lane.home, helper=True)
+                )
+            if claimed is not None:
+                self.helped += self._drain(claimed, claimed.home, helper=True)
+                continue
+            # Nothing runnable here -- a worker may be mid-grain on the
+            # lane we need.  Park briefly; reply/requeue notifies us.
+            with self._cv:
+                if predicate():
+                    return True
+                remaining = None if limit is None else limit - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return bool(predicate())
+                self.epoch_waits += 1
+                self._cv.wait(0.01 if remaining is None else min(0.01, remaining))
+
+    def end_epoch(self) -> None:
+        """Mark a flush-barrier epoch complete (reporting only)."""
+        self.epochs += 1
+
+    # -- lifecycle / reporting ---------------------------------------------
+
+    def shutdown(self) -> None:
+        with self._cv:
+            self._stopped = True
+            self._cv.notify_all()
+        for t in self._threads:
+            t.join(timeout=1.0)
+
+    def stats(self) -> dict:
+        """Side-effect-free counters snapshot (never advances the epoch)."""
+        return {
+            "workers": self.workers,
+            "grain": self.grain,
+            "tasks_executed": self.executed,
+            "tasks_helped": self.helped,
+            "fast_batches": self.fast_batches,
+            "steals": self.steals,
+            "epochs": self.epochs,
+            "epoch_waits": self.epoch_waits,
+            "max_queue_depth": self.max_queue_depth,
+            "queue_depths": [len(q) for q in self._ready],
+        }
+
+
+class _LocalShard:
+    """Coordinator-side handle for one thread shard.
+
+    With a scheduler this fronts a :class:`_Lane`; with
+    ``scheduler=None`` it executes synchronously on the caller's thread
+    -- the demotion target after ``max_failures``, the thread analogue
+    of the executor's ``_InlineShard`` (and, like it, it never consults
+    the fault plan).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        scheduler: Optional[LocalScheduler] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        state: Optional[LocalKernelState] = None,
+    ) -> None:
+        self.index = index
+        self.scheduler = scheduler
+        self.fault_plan = fault_plan
+        self._dead: Optional[str] = None
+        self._replies: deque = deque()  # inline mode only
+        initial = state if state is not None else LocalKernelState()
+        if scheduler is not None:
+            self.lane: Optional[_Lane] = _Lane(
+                index, index % scheduler.workers, initial
+            )
+        else:
+            self.lane = None
+            self._state = initial
+
+    @property
+    def state(self) -> LocalKernelState:
+        return self.lane.state if self.lane is not None else self._state
+
+    # -- command surface ---------------------------------------------------
+
+    def dispatch(self, ops: Sequence, seq: Optional[int] = None) -> None:
+        if self.scheduler is None:
+            self._dispatch_inline(ops)
+            return
+        if self._dead is not None:
+            return  # a dead process swallows writes too; collect() raises
+        tasks: list[tuple] = []
+        fault = (
+            self.fault_plan.shard_fault(self.index, seq)
+            if self.fault_plan is not None
+            else None
+        )
+        if fault is not None:
+            if fault.kind in (CRASH, PIPE_DROP):
+                # Losing a thread shard loses what losing a process
+                # loses: all match state since the last checkpoint.
+                self._dead = "crash"
+                self._abandon_lane()
+                return
+            if fault.kind in (HANG, SLOW):
+                seconds = fault.seconds if fault.seconds > 0 else HANG_FOREVER
+                tasks.append(("sleep", seconds))
+        lane = self.lane
+        if not ops:
+            # Nothing to run, but the protocol owes one reply per batch.
+            lane.replies.append((messages.OK, [], []))
+            return
+        grain = self.scheduler.grain
+        if (
+            fault is None
+            and len(ops) <= grain
+            and lane.completed >= lane.published
+            and not lane.tasks
+        ):
+            # Granularity shortcut -- the paper's Section 4 trade-off
+            # measured live: below one grain of work the enqueue/notify/
+            # steal round-trip costs more than the match work itself, so
+            # a quiescent lane serves the batch on the caller's thread.
+            # The single-executor discipline holds (nothing is queued,
+            # nothing mid-drain), and batches bigger than a grain still
+            # go through the deques where workers and thieves share them.
+            self.scheduler.fast_batches += 1
+            try:
+                edits, stat_rows = lane.state.apply_batch(ops)
+            except Exception as exc:  # noqa: BLE001 - mirrors worker loop
+                lane.state = LocalKernelState()
+                lane.replies.append(
+                    (messages.ERROR, repr(exc), traceback.format_exc())
+                )
+                return
+            lane.replies.append((messages.OK, edits, stat_rows))
+            return
+        # One task per grain of ops: the work-stealing (and helping)
+        # granularity without per-op task bookkeeping.
+        job = _BatchJob(0)
+        op_tasks = [
+            ("ops", job, ops[start : start + grain])
+            for start in range(0, len(ops), grain)
+        ]
+        job.remaining = len(op_tasks)
+        tasks.extend(op_tasks)
+        self.scheduler.enqueue(lane, tasks)
+
+    def _dispatch_inline(self, ops: Sequence) -> None:
+        try:
+            edits, stat_rows = self._state.apply_batch(ops)
+        except Exception as exc:  # noqa: BLE001 - mirrors worker loop
+            self._state = LocalKernelState()
+            self._replies.append(
+                (messages.ERROR, repr(exc), traceback.format_exc())
+            )
+            return
+        self._replies.append((messages.OK, edits, stat_rows))
+
+    def collect(self, deadline: Optional[float] = None):
+        if self.scheduler is None:
+            assert self._replies  # dispatch is synchronous in this mode
+            return self._replies.popleft()
+        if self._dead is not None:
+            raise ShardFailure(
+                self.index, self._dead, "shard state discarded by injected fault"
+            )
+        lane = self.lane
+        served = self.scheduler.help_until(
+            lane, lambda: bool(lane.replies), deadline
+        )
+        if not served:
+            raise ShardFailure(
+                self.index,
+                "hang",
+                f"no reply within {deadline:g}s"
+                if deadline is not None
+                else "no reply",
+            )
+        return lane.replies.popleft()
+
+    def checkpoint(self, deadline: Optional[float] = None) -> tuple:
+        """Snapshot state; called at the flush barrier (lane drained)."""
+        if self.scheduler is None:
+            return self._state.checkpoint()
+        lane = self.lane
+        settled = self.scheduler.help_until(
+            lane, lambda: lane.completed >= lane.published, deadline
+        )
+        if not settled:
+            raise ShardFailure(
+                self.index, "hang", "lane did not settle for checkpoint"
+            )
+        return lane.state.checkpoint()
+
+    def restore(self, checkpoint: Optional[bytes], journal: Sequence) -> int:
+        """Rebuild from checkpoint + journal tail; returns ops replayed."""
+        state = rebuild_local_state(checkpoint, journal)
+        if self.scheduler is not None:
+            self._abandon_lane()
+            self.lane = _Lane(
+                self.index, self.index % self.scheduler.workers, state
+            )
+            self._dead = None
+        else:
+            self._state = state
+        return len(journal)
+
+    def stop(self) -> None:
+        self._abandon_lane()
+
+    def kill(self) -> None:
+        """Tear the shard down ungracefully (recovery path)."""
+        self._dead = self._dead or "crash"
+        self._abandon_lane()
+
+    def _abandon_lane(self) -> None:
+        lane = self.lane
+        if lane is None:
+            return
+        lane.abandoned = True  # drain loops bail; sleep tasks unwind
+        with lane.lock:
+            lane.tasks.clear()
+        lane.replies.clear()

@@ -69,6 +69,12 @@ ADD_PRODUCTION = "+p"
 REMOVE_PRODUCTION = "-p"
 ADD_WME = "+w"
 REMOVE_WME = "-w"
+#: Zero-copy WME insertion: ``("+wr", wme)`` carries the live object
+#: reference instead of (cls, attrs, timetag).  Only the ``local``
+#: shared-memory backend emits it -- it must never cross a process
+#: boundary as anything but a pickle (which would defeat its point),
+#: but shard code accepts it everywhere so journals replay uniformly.
+ADD_WME_REF = "+wr"
 RESET = "reset"
 
 #: Command tags (coordinator -> worker).
@@ -84,6 +90,10 @@ ERROR = "error"
 
 INSERT = "i"
 DELETE = "d"
+#: Zero-copy insert edit: ``("I", instantiation)`` carries the live
+#: Instantiation object.  Emitted only by the ``local`` shared-memory
+#: backend, whose shards share the coordinator's address space.
+INSERT_REF = "I"
 
 #: An edit row: ("i", name, timetags, bindings) or ("d", name, timetags).
 Edit = tuple

@@ -18,6 +18,12 @@ of wire is invisible above this module:
     Everything the codec cannot pack (checkpoints, restores, errors)
     rides the same rings as pickle frames, so the *protocol* is
     transport-independent.
+``local``
+    Not a wire at all: shards run as threads in the coordinator's
+    address space and a dispatch is an append to a shared deque (see
+    :mod:`repro.parallel.local`).  This module only names and resolves
+    it -- the executor branches before any endpoint is created, because
+    there is no process to connect.
 ``auto``
     ``ring`` when the platform supports ``multiprocessing.shared_memory``,
     else ``pipe``.
@@ -62,7 +68,7 @@ __all__ = [
     "RingStall",
 ]
 
-TRANSPORTS = ("auto", "ring", "pipe")
+TRANSPORTS = ("auto", "ring", "pipe", "local")
 
 #: The one byte a ring producer sends on the liveness pipe to wake a
 #: parked consumer.  Nothing else ever writes data on that pipe, so a

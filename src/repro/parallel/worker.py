@@ -110,8 +110,11 @@ class ShardState:
         wme_ordinal = 0
         for op in ops:
             tag = op[0]
-            if tag == messages.ADD_WME:
-                wme = messages.decode_wme(op)
+            if tag == messages.ADD_WME or tag == messages.ADD_WME_REF:
+                # ADD_WME_REF is the local backend's zero-copy form; it
+                # lands here only via journal replay after a demotion or
+                # a harness feeding one journal to both shard kinds.
+                wme = op[1] if tag == messages.ADD_WME_REF else messages.decode_wme(op)
                 self.wmes[wme.timetag] = wme
                 self.network.add_wme(wme)
                 stat_rows.append(self._stat_row(wme_ordinal))

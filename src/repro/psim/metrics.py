@@ -167,7 +167,9 @@ class MeasuredRun:
 
 
 def predicted_vs_measured(
-    predicted: SimulationResult, measured: MeasuredRun
+    predicted: SimulationResult,
+    measured: MeasuredRun,
+    cost_model: str = "paper-sec3",
 ) -> dict[str, float | int | str]:
     """Line up a DES prediction with a live measurement of the same run.
 
@@ -186,6 +188,7 @@ def predicted_vs_measured(
     return {
         "label": measured.label,
         "workers": measured.workers,
+        "cost_model": cost_model,
         "predicted_processors": predicted.config.processors,
         "predicted_concurrency": predicted.concurrency,
         "predicted_true_speedup": predicted.true_speedup,

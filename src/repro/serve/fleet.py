@@ -341,6 +341,7 @@ class ProcessRouterFleet:
         restart_backoff_max: float = DEFAULT_RESTART_BACKOFF_MAX,
         max_restarts: int = DEFAULT_MAX_RESTARTS,
         fsync: bool = False,
+        commit_window: float = 0.0,
         **router_kwargs,
     ) -> None:
         from .durability import DurabilityStore
@@ -350,7 +351,9 @@ class ProcessRouterFleet:
         if durability_dir is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-fleet-")
             durability_dir = self._tmpdir.name
-        self.durability = DurabilityStore(durability_dir, fsync=fsync)
+        self.durability = DurabilityStore(
+            durability_dir, fsync=fsync, commit_window=commit_window
+        )
         self.fleet: Optional[ProcessFleet] = None
         self.router_thread = None
         try:

@@ -27,6 +27,7 @@ from .profiles import (
     profile_named,
 )
 from .generator import GENERATOR_PROFILES, case_from_seed, emit_system_program, fuzz
+from .replay import OpStreamRecorder, Recording, record_program, timed_replay
 from .synthetic import SyntheticGenerator, generate_trace
 from .programs import ALL_PROGRAMS
 
@@ -37,9 +38,11 @@ __all__ = [
     "EP_SOAR",
     "ILOG",
     "MUD",
+    "OpStreamRecorder",
     "PAPER_SYSTEMS",
     "PARALLEL_FIRING_SYSTEMS",
     "R1_SOAR",
+    "Recording",
     "SyntheticGenerator",
     "SystemProfile",
     "VT",
@@ -48,4 +51,6 @@ __all__ = [
     "fuzz",
     "generate_trace",
     "profile_named",
+    "record_program",
+    "timed_replay",
 ]

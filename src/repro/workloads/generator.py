@@ -11,8 +11,8 @@ modify mixes -- together with matched working-memory change streams, and
 feeds them to the cross-matcher differential harness: every generated
 ``(ruleset, stream)`` pair must produce bit-identical conflict sets,
 firing sequences, output, and final memories across all six matcher
-backends (naive, TREAT, Rete, indexed Rete, Oflazer, parallel) and both
-shard transports (pipe, ring).
+backends (naive, TREAT, Rete, indexed Rete, Oflazer, parallel) and all
+shard transports (pipe, ring, and the shared-memory ``local`` threads).
 
 Three consumers share the machinery:
 
@@ -577,7 +577,7 @@ def fuzz_cases(profile: GeneratorProfile = DEFAULT_PROFILE):
 
 
 # ---------------------------------------------------------------------------
-# The differential harness: seven matchers x two transports
+# The differential harness: serial matchers x parallel transports
 # ---------------------------------------------------------------------------
 
 #: The serial matcher backends every case runs through.  ``compiled`` is
@@ -593,8 +593,11 @@ SERIAL_BACKENDS: tuple[str, ...] = (
     "compiled",
 )
 
-#: Default shard transports for the parallel backend.
-DEFAULT_TRANSPORTS: tuple[str, ...] = ("pipe", "ring")
+#: Default shard transports for the parallel backend.  ``local`` is the
+#: shared-memory thread backend (compiled-kernel shards, zero-copy
+#: dispatch); its inclusion makes every fuzz case a differential check
+#: of the work-stealing scheduler against the process transports too.
+DEFAULT_TRANSPORTS: tuple[str, ...] = ("pipe", "ring", "local")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,184 @@
+"""Op-stream replay: record a program's matcher traffic, time the match.
+
+The paper's speedup figures (Sections 2 and 6) are about the *match
+phase* of a long-lived production system: the ruleset is loaded once and
+working-memory changes stream through it cycle after cycle.  Timing
+``mod.run()`` end to end on the system-class programs does not measure
+that -- each repetition re-parses the OPS5 source and rebuilds the
+engine, which on a one-core host costs several times the match work
+itself and buries the quantity under setup noise.
+
+This module separates the two.  :func:`record_program` runs a program
+once against an instrumented serial Rete and captures the exact op
+stream the engine sent its matcher, split into
+
+* ``preload`` -- everything before the first conflict-set read: the
+  production load plus the initial facts.  Replays apply this untimed,
+  the same way a serve fleet compiles a ruleset before traffic arrives.
+* ``cycles`` -- one op list per recognise-act cycle (the ops between
+  consecutive conflict-set reads: the previous firing's makes/removes).
+
+:func:`timed_replay` then replays the stream against any matcher
+factory and times only the cycle loop -- each cycle applies its ops and
+performs one conflict-set read, exactly the flush cadence the engine
+imposes.  The returned conflict-set keys let callers assert
+bit-identity between backends before trusting a timing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..rete.network import ReteNetwork
+
+__all__ = [
+    "OpStreamRecorder",
+    "Recording",
+    "record_program",
+    "replay_once",
+    "timed_replay",
+]
+
+
+@dataclass
+class Recording:
+    """A program's matcher op stream, split for replay."""
+
+    name: str
+    preload: list = field(default_factory=list)
+    cycles: list = field(default_factory=list)
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(cycle) for cycle in self.cycles)
+
+    @property
+    def cycle_count(self) -> int:
+        return len(self.cycles)
+
+
+class OpStreamRecorder:
+    """A matcher shim that journals ops while a real Rete answers.
+
+    Delegates everything to a wrapped :class:`ReteNetwork` (so the
+    recorded run behaves exactly like a serial run) and files each
+    mutating call as a ``(tag, arg)`` pair.  The first conflict-set read
+    closes the preload; every later read closes one cycle -- the
+    engine's read cadence *is* the cycle boundary, so no engine
+    cooperation is needed.
+    """
+
+    def __init__(self, name: str = "?") -> None:
+        self.net = ReteNetwork()
+        self.recording = Recording(name)
+        self._current: list = []
+        self._prologue = True
+
+    def _record(self, op: tuple) -> None:
+        if self._prologue:
+            self.recording.preload.append(op)
+        else:
+            self._current.append(op)
+
+    def add_production(self, production) -> None:
+        self._record(("+p", production))
+        self.net.add_production(production)
+
+    def remove_production(self, name: str) -> None:
+        self._record(("-p", name))
+        self.net.remove_production(name)
+
+    def add_wme(self, wme) -> None:
+        self._record(("+w", wme))
+        self.net.add_wme(wme)
+
+    def remove_wme(self, wme) -> None:
+        self._record(("-w", wme))
+        self.net.remove_wme(wme)
+
+    @property
+    def conflict_set(self):
+        if self._prologue:
+            self._prologue = False
+        elif self._current:
+            self.recording.cycles.append(self._current)
+            self._current = []
+        return self.net.conflict_set
+
+    def clear(self) -> None:  # engines call this on reset; nothing to do
+        pass
+
+    def __getattr__(self, name: str):
+        # Everything not intercepted (stats, production_names, ...)
+        # passes straight through to the live network.
+        return getattr(self.net, name)
+
+
+def record_program(mod) -> Recording:
+    """Run a program module once, returning its op-stream recording."""
+    recorder = OpStreamRecorder(getattr(mod, "NAME", mod.__name__))
+    mod.run(matcher=recorder)
+    if recorder._current:
+        recorder.recording.cycles.append(recorder._current)
+    return recorder.recording
+
+
+def _apply(matcher, tag: str, arg) -> None:
+    if tag == "+w":
+        matcher.add_wme(arg)
+    elif tag == "-w":
+        matcher.remove_wme(arg)
+    elif tag == "+p":
+        matcher.add_production(arg)
+    elif tag == "-p":
+        matcher.remove_production(arg)
+    else:  # pragma: no cover - recorder only emits the four tags above
+        raise ValueError(f"unknown replay tag {tag!r}")
+
+
+def replay_once(recording: Recording, matcher) -> tuple[float, list]:
+    """Replay *recording* on an already-built matcher.
+
+    Preload is applied untimed (plus one conflict-set read, which the
+    parallel backends treat as the flush that builds their kernels);
+    the cycle loop is timed.  Returns ``(elapsed_seconds, sorted
+    conflict-set keys)`` -- the keys are the bit-identity witness.
+    """
+    for tag, arg in recording.preload:
+        _apply(matcher, tag, arg)
+    _ = matcher.conflict_set
+    start = time.perf_counter()
+    for cycle in recording.cycles:
+        for tag, arg in cycle:
+            _apply(matcher, tag, arg)
+        _ = matcher.conflict_set
+    elapsed = time.perf_counter() - start
+    keys = sorted(inst.key for inst in matcher.conflict_set)
+    return elapsed, keys
+
+
+def timed_replay(
+    recording: Recording,
+    factory: Callable[[], object],
+    repeats: int = 3,
+    close: bool = False,
+) -> tuple[float, list]:
+    """Best-of-*repeats* replay against fresh matchers from *factory*.
+
+    Best-of (not mean) because the CI host's timing noise is one-sided:
+    a repetition can only be slowed by interference, never sped up, so
+    the minimum is the least-contaminated estimate of the true cost.
+    """
+    best = float("inf")
+    keys: Sequence = ()
+    for _ in range(max(1, repeats)):
+        matcher = factory()
+        try:
+            elapsed, keys = replay_once(recording, matcher)
+        finally:
+            if close:
+                matcher.close()
+        best = min(best, elapsed)
+    return best, list(keys)

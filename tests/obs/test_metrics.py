@@ -98,3 +98,26 @@ class TestConsistencyProblems:
              "serve": {"firings": 2}}
         )
         assert any("serve telemetry" in p for p in problems)
+
+
+class TestSchedulerSection:
+    def test_local_transport_reports_scheduler_counters(self):
+        with ParallelMatcher(workers=2, transport="local") as matcher:
+            system = hanoi.build(3, matcher=matcher)
+            system.run()
+            data = snapshot(system)
+            again = snapshot(system)
+        scheduler = data["scheduler"]
+        assert scheduler["workers"] == 2
+        assert scheduler["epochs"] > 0
+        assert scheduler["fast_batches"] >= 0
+        # Snapshot reads are side-effect-free: a second read observes
+        # the same counters (no epoch advanced, no task dispatched).
+        assert again["scheduler"] == scheduler
+
+    def test_section_absent_off_local_transport(self):
+        with ParallelMatcher(workers=0) as matcher:
+            system = hanoi.build(3, matcher=matcher)
+            system.run()
+            data = snapshot(system)
+        assert "scheduler" not in data

@@ -44,7 +44,8 @@ def test_resolution():
         assert resolve_transport("auto") == "ring"
     with pytest.raises(ValueError):
         resolve_transport("telepathy")
-    assert set(TRANSPORTS) == {"auto", "ring", "pipe"}
+    assert resolve_transport("local") == "local"
+    assert set(TRANSPORTS) == {"auto", "ring", "pipe", "local"}
 
 
 def test_matcher_rejects_unknown_transport():
